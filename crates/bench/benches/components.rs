@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the integration machinery and
+//! substrates: these guard the simulator's own performance, since every
+//! figure costs hundreds of millions of simulated cycles.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rix_frontend::HybridPredictor;
+use rix_integration::{IndexScheme, It, ItKey, Lisp, PregRef, RefVector};
+use rix_isa::{reg, Instr, Opcode};
+use rix_mem::{Cache, CacheConfig, MemConfig, MemSystem};
+use std::hint::black_box;
+
+fn bench_it(c: &mut Criterion) {
+    let mut g = c.benchmark_group("it");
+    let add = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, 4);
+    g.bench_function("lookup_hit", |b| {
+        let mut it = It::new(1024, 4, IndexScheme::OpcodeDepth);
+        let key = ItKey::new(10, add, 1, Some(PregRef::new(7, 1)), None);
+        it.insert_direct(key, PregRef::new(9, 1), 1);
+        b.iter(|| black_box(it.lookup(black_box(key))));
+    });
+    g.bench_function("lookup_miss", |b| {
+        let mut it = It::new(1024, 4, IndexScheme::OpcodeDepth);
+        let key = ItKey::new(10, add, 1, Some(PregRef::new(7, 1)), None);
+        b.iter(|| black_box(it.lookup(black_box(key))));
+    });
+    g.bench_function("insert_churn", |b| {
+        let mut it = It::new(1024, 4, IndexScheme::OpcodeDepth);
+        let mut n = 0u16;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let key = ItKey::new(
+                u64::from(n),
+                add,
+                n % 8,
+                Some(PregRef::new(n % 512, 1)),
+                None,
+            );
+            it.insert_direct(key, PregRef::new(n % 512, 2), u64::from(n));
+        });
+    });
+    g.finish();
+}
+
+fn bench_refvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refvec");
+    g.bench_function("alloc_free_cycle", |b| {
+        b.iter_batched(
+            || RefVector::new(1024, 4, 4),
+            |mut v| {
+                for _ in 0..64 {
+                    let r = v.alloc().expect("free register");
+                    v.mark_written(r);
+                    v.unmap_squash(r);
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("integrate_unmap", |b| {
+        let mut v = RefVector::new(1024, 4, 4);
+        let r = v.alloc().expect("free register");
+        v.mark_written(r);
+        b.iter(|| {
+            if v.eligible_general(r) {
+                let _ = v.integrate(r);
+                v.unmap_shadow(r);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        cache.fill(0x1000);
+        b.iter(|| black_box(cache.lookup(black_box(0x1000), false)));
+    });
+    g.bench_function("hierarchy_load_warm", |b| {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let _ = sys.dload(0, 0x1000);
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 4;
+            black_box(sys.dload(now, 0x1000))
+        });
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("hybrid_predict_train", |b| {
+        let mut p = HybridPredictor::new(rix_frontend::PredictorConfig::default());
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 13) & 0xffff;
+            let h = p.history();
+            let t = p.predict_and_update(pc);
+            p.train(pc, h, t);
+        });
+    });
+    g.bench_function("lisp", |b| {
+        let mut l = Lisp::new(1024, 2);
+        l.train(64);
+        b.iter(|| black_box(l.suppress(black_box(64))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_it, bench_refvec, bench_caches, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure-regeneration benches: time one representative data point of
+//! each figure, so `cargo bench` exercises every experiment path the
+//! `fig4`–`fig7` binaries use (workload generation included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rix_integration::IntegrationConfig;
+use rix_sim::{CoreConfig, SimConfig, Simulator};
+use std::hint::black_box;
+
+const INSTRS: u64 = 10_000;
+
+fn point(program: &rix_isa::Program, cfg: SimConfig) -> f64 {
+    Simulator::new(program, cfg).run(INSTRS).ipc()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let program = rix_workloads::by_name("vortex").expect("known benchmark").build(7);
+
+    g.bench_function("fig4_arm_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, ic) in IntegrationConfig::figure4_arms() {
+                acc += point(&program, SimConfig::default().with_integration(ic));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("fig5_breakdowns", |b| {
+        b.iter(|| {
+            let r = Simulator::new(&program, SimConfig::default()).run(INSTRS);
+            black_box(r.stats.integration.by_type)
+        });
+    });
+    g.bench_function("fig6_it_geometry", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (entries, ways) in [(1024, 1), (64, 64)] {
+                let ic = IntegrationConfig::plus_reverse().with_it_geometry(entries, ways);
+                acc += point(&program, SimConfig::default().with_integration(ic));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("fig7_reduced_cores", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for core in [CoreConfig::rs20(), CoreConfig::iw3()] {
+                acc += point(&program, SimConfig::default().with_core(core));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("workload_generation", |b| {
+        let spec = rix_workloads::by_name("gcc").expect("known benchmark");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(spec.build(seed))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end simulator throughput: simulated instructions per wall
+//! second, per machine configuration. Integration adds rename-stage
+//! work; this measures its simulation cost next to the baseline renamer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rix_integration::IntegrationConfig;
+use rix_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+
+const INSTRS: u64 = 20_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRS));
+    for (label, cfg) in [
+        ("baseline", SimConfig::baseline()),
+        ("squash", SimConfig::default().with_integration(IntegrationConfig::squash_reuse())),
+        ("full_integration", SimConfig::default()),
+        (
+            "oracle",
+            SimConfig::default().with_integration(IntegrationConfig::default().with_oracle()),
+        ),
+    ] {
+        for bench in ["gcc", "gzip", "mcf"] {
+            let program = rix_workloads::by_name(bench).expect("known benchmark").build(7);
+            g.bench_function(format!("{label}/{bench}"), |b| {
+                b.iter(|| black_box(Simulator::new(&program, cfg).run(INSTRS)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

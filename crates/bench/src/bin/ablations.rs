@@ -1,0 +1,124 @@
+//! Ablations of the design choices the paper calls out in prose:
+//!
+//! 1. **Generation-counter width** (§2.2): N-bit counters cut register
+//!    mis-integrations by 2^N (one input) / 2^2N (two inputs); "four-bit
+//!    counters eliminate virtually all register mis-integrations".
+//! 2. **Reference-counter width** (§3.3): saturation makes narrow
+//!    counters degrade gracefully — a saturated register simply spawns a
+//!    fresh copy that subsequent instructions integrate instead.
+//! 3. **Integration pipelining** (§3.3): separating the IT read and
+//!    write stages by 4 instructions (a 4-wide machine's pipelined
+//!    integration circuit) should cost at most ~20% of integrations.
+//! 4. **Reverse-entry scope** (§2.4): the paper restricts reverse entries
+//!    to stack-pointer stores/adjusts to save IT capacity; the
+//!    generalised all-invertible scope trades capacity for coverage.
+
+use rix_bench::{amean, Harness, Table};
+use rix_integration::{IntegrationConfig, ReverseScope};
+use rix_sim::SimConfig;
+
+fn main() {
+    let h = Harness::from_args();
+    let benches = h.benchmarks();
+
+    // --- 1. generation-counter width ---------------------------------
+    let mut gen_t = Table::new(&["gen bits", "rate%", "register mis/M", "load mis/M"]);
+    for bits in [1u32, 2, 3, 4] {
+        let mut rates = Vec::new();
+        let mut reg_mis = Vec::new();
+        let mut load_mis = Vec::new();
+        for b in &benches {
+            let p = b.build(h.seed);
+            let ic = IntegrationConfig::plus_reverse().with_gen_bits(bits);
+            let r = h.run(&p, SimConfig::default().with_integration(ic));
+            let s = &r.stats.integration;
+            rates.push(s.rate() * 100.0);
+            reg_mis.push(s.register_mis_integrations as f64 * 1e6 / s.retired.max(1) as f64);
+            load_mis.push(s.load_mis_integrations as f64 * 1e6 / s.retired.max(1) as f64);
+        }
+        gen_t.row(vec![
+            bits.to_string(),
+            format!("{:.1}", amean(&rates)),
+            format!("{:.0}", amean(&reg_mis)),
+            format!("{:.0}", amean(&load_mis)),
+        ]);
+    }
+
+    // --- 2. reference-counter width -----------------------------------
+    let mut cnt_t = Table::new(&["count bits", "rate%", "saturation note"]);
+    for bits in [1u32, 2, 3, 4] {
+        let mut rates = Vec::new();
+        for b in &benches {
+            let p = b.build(h.seed);
+            let ic = IntegrationConfig { count_bits: bits, ..IntegrationConfig::plus_reverse() };
+            let r = h.run(&p, SimConfig::default().with_integration(ic));
+            rates.push(r.stats.integration.rate() * 100.0);
+        }
+        cnt_t.row(vec![
+            bits.to_string(),
+            format!("{:.1}", amean(&rates)),
+            "saturated registers respawn (§3.3)".into(),
+        ]);
+    }
+
+    // --- 3. integration pipelining ------------------------------------
+    let mut pipe_t = Table::new(&["pipeline depth", "rate%", "loss vs atomic"]);
+    let mut atomic_rate = 0.0;
+    for depth in [0u64, 2, 4, 8] {
+        let mut rates = Vec::new();
+        for b in &benches {
+            let p = b.build(h.seed);
+            let ic = IntegrationConfig::plus_reverse().with_pipeline_depth(depth);
+            let r = h.run(&p, SimConfig::default().with_integration(ic));
+            rates.push(r.stats.integration.rate() * 100.0);
+        }
+        let rate = amean(&rates);
+        if depth == 0 {
+            atomic_rate = rate;
+        }
+        pipe_t.row(vec![
+            depth.to_string(),
+            format!("{rate:.1}"),
+            if depth == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}%", (1.0 - rate / atomic_rate) * 100.0)
+            },
+        ]);
+    }
+
+    // --- 4. reverse scope ----------------------------------------------
+    let mut rev_t = Table::new(&["reverse scope", "rate%", "reverse%", "mis/M"]);
+    for (name, scope) in [
+        ("off", ReverseScope::Off),
+        ("stack pointer", ReverseScope::StackPointer),
+        ("all invertible", ReverseScope::AllInvertible),
+    ] {
+        let mut rates = Vec::new();
+        let mut revs = Vec::new();
+        let mut mis = Vec::new();
+        for b in &benches {
+            let p = b.build(h.seed);
+            let ic = IntegrationConfig { reverse: scope, ..IntegrationConfig::plus_reverse() };
+            let r = h.run(&p, SimConfig::default().with_integration(ic));
+            rates.push(r.stats.integration.rate() * 100.0);
+            revs.push(r.stats.integration.reverse_rate() * 100.0);
+            mis.push(r.stats.integration.mis_per_million());
+        }
+        rev_t.row(vec![
+            name.into(),
+            format!("{:.1}", amean(&rates)),
+            format!("{:.1}", amean(&revs)),
+            format!("{:.0}", amean(&mis)),
+        ]);
+    }
+
+    println!("Ablation 1 — generation-counter width (§2.2):");
+    println!("{}", gen_t.render());
+    println!("Ablation 2 — reference-counter width (§3.3):");
+    println!("{}", cnt_t.render());
+    println!("Ablation 3 — integration pipelining (§3.3, read/write separation):");
+    println!("{}", pipe_t.render());
+    println!("Ablation 4 — reverse-entry scope (§2.4):");
+    println!("{}", rev_t.render());
+}

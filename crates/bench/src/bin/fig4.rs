@@ -1,0 +1,117 @@
+//! Figure 4: impact of general reuse, opcode indexing, and speculative
+//! memory bypassing.
+//!
+//! Top graph — speedups over the no-integration baseline for the four
+//! cumulative extension arms, each with a realistic LISP and with oracle
+//! mis-integration suppression. Bottom graph — integration rates split
+//! into direct and reverse, with mis-integrations per million retired
+//! instructions (the number printed atop each bar in the paper).
+//!
+//! `--diagnostics` appends the §3.2 secondary metrics: mis-prediction
+//! resolution latency, fetched-instruction delta, and reservation-station
+//! occupancy.
+
+use rix_bench::{amean, figure4_arms, gmean_speedup, speedup_pct, Harness, Table};
+use rix_sim::SimConfig;
+
+fn main() {
+    let h = Harness::from_args();
+    let arms = figure4_arms();
+
+    let mut speedup = Table::new(&[
+        "bench", "squash", "squash*", "+general", "+general*", "+opcode", "+opcode*",
+        "+reverse", "+reverse*",
+    ]);
+    let mut rates = Table::new(&[
+        "bench", "squash", "+general", "+opcode", "+reverse(dir+rev)", "mis/M",
+    ]);
+    let mut diag = Table::new(&[
+        "bench", "baseIPC", "IPC", "resolve0", "resolve1", "fetch%", "RS0", "RS1",
+    ]);
+
+    let mut per_arm_speedups: Vec<Vec<f64>> = vec![Vec::new(); arms.len() * 2];
+    let mut per_arm_rates: Vec<Vec<f64>> = vec![Vec::new(); arms.len()];
+    let mut reverse_rates: Vec<f64> = Vec::new();
+    let mut mis_rates: Vec<f64> = Vec::new();
+
+    for b in h.benchmarks() {
+        let program = b.build(h.seed);
+        let base = h.run(&program, SimConfig::baseline());
+        let mut srow = vec![b.name.to_string()];
+        let mut rrow = vec![b.name.to_string()];
+        let mut final_run = None;
+        for (ai, (_, ic)) in arms.iter().enumerate() {
+            let real = h.run(&program, SimConfig::default().with_integration(*ic));
+            let oracle =
+                h.run(&program, SimConfig::default().with_integration(ic.with_oracle()));
+            let sp_real = speedup_pct(&real, &base);
+            let sp_orac = speedup_pct(&oracle, &base);
+            srow.push(format!("{sp_real:+.1}%"));
+            srow.push(format!("{sp_orac:+.1}%"));
+            per_arm_speedups[ai * 2].push(sp_real);
+            per_arm_speedups[ai * 2 + 1].push(sp_orac);
+            let rate = real.stats.integration.rate() * 100.0;
+            per_arm_rates[ai].push(rate);
+            if ai < arms.len() - 1 {
+                rrow.push(format!("{rate:.1}%"));
+            } else {
+                rrow.push(format!(
+                    "{:.1}% ({:.1}+{:.1})",
+                    rate,
+                    real.stats.integration.direct_rate() * 100.0,
+                    real.stats.integration.reverse_rate() * 100.0
+                ));
+                reverse_rates.push(real.stats.integration.reverse_rate() * 100.0);
+                mis_rates.push(real.stats.integration.mis_per_million());
+                rrow.push(format!("{:.0}", real.stats.integration.mis_per_million()));
+                final_run = Some(real);
+            }
+        }
+        speedup.row(srow);
+        rates.row(rrow);
+        if h.diagnostics {
+            let f = final_run.expect("arms are non-empty");
+            diag.row(vec![
+                b.name.to_string(),
+                format!("{:.2}", base.ipc()),
+                format!("{:.2}", f.ipc()),
+                format!("{:.1}", base.stats.branch_resolution_latency()),
+                format!("{:.1}", f.stats.branch_resolution_latency()),
+                format!(
+                    "{:+.1}",
+                    (f.stats.fetched as f64 / base.stats.fetched.max(1) as f64 - 1.0) * 100.0
+                ),
+                format!("{:.1}", base.stats.avg_rs_occupancy()),
+                format!("{:.1}", f.stats.avg_rs_occupancy()),
+            ]);
+        }
+    }
+
+    // Means row (geometric for speedups, arithmetic for rates — §3.2).
+    let mut mean_s = vec!["GMean".to_string()];
+    for v in &per_arm_speedups {
+        mean_s.push(format!("{:+.1}%", gmean_speedup(v)));
+    }
+    speedup.row(mean_s);
+    let mut mean_r = vec!["AMean".to_string()];
+    for (ai, v) in per_arm_rates.iter().enumerate() {
+        if ai < per_arm_rates.len() - 1 {
+            mean_r.push(format!("{:.1}%", amean(v)));
+        } else {
+            let total = amean(v);
+            let rev = amean(&reverse_rates);
+            mean_r.push(format!("{:.1}% ({:.1}+{:.1})", total, total - rev, rev));
+            mean_r.push(format!("{:.0}", amean(&mis_rates)));
+        }
+    }
+    rates.row(mean_r);
+
+    println!("Figure 4 (top): speedup per extension arm ('*' = oracle suppression)");
+    println!("{}", speedup.render());
+    println!("Figure 4 (bottom): integration rate at retirement, realistic LISP");
+    println!("{}", rates.render());
+    if h.diagnostics {
+        println!("§3.2 diagnostics (baseline vs +reverse): resolution latency, fetched delta, RS occupancy");
+        println!("{}", diag.render());
+    }
+}

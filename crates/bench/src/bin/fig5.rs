@@ -1,0 +1,91 @@
+//! Figure 5: breakdowns of the integration retirement stream under the
+//! default configuration (1K-entry 4-way IT, realistic LISP).
+//!
+//! Four stacked-bar breakdowns, printed as percentage tables with the
+//! paper's direct/reverse split (`d+r`):
+//!
+//! * **Type** — stack-pointer loads, other loads, ALU, branches, FP,
+//! * **Distance** — renamed instructions between entry creator and
+//!   integrator (pipelinability of integration),
+//! * **Status** — result state when the integrating instruction renamed
+//!   (rename / issue / retire / shadow-squash),
+//! * **Refcount** — reference count after integration (sharing degree,
+//!   i.e. how many counter bits matter).
+
+use rix_bench::{Harness, Table};
+use rix_integration::{stats, IntegrationType, ResultStatus};
+use rix_sim::SimConfig;
+
+fn pct(n: u64, d: u64) -> String {
+    if d == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}", n as f64 / d as f64 * 100.0)
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+
+    let mut ty = Table::new(&["bench", "rate%", "load sp", "load", "ALU", "branch", "FP"]);
+    let mut dist = Table::new(&["bench", "<=4", "<=16", "<=64", "<=256", "<=1024", ">1024"]);
+    let mut status =
+        Table::new(&["bench", "rename", "issue", "retire", "shadow/squash"]);
+    let mut refc = Table::new(&["bench", "1", "<=3", "<=7", "<=15"]);
+
+    for b in h.benchmarks() {
+        let program = b.build(h.seed);
+        let r = h.run(&program, SimConfig::default());
+        let s = &r.stats.integration;
+        let total = s.integrations();
+
+        let mut row = vec![b.name.to_string(), format!("{:.1}", s.rate() * 100.0)];
+        for t in IntegrationType::ALL {
+            let d = s.by_type[t.index()][0];
+            let rv = s.by_type[t.index()][1];
+            row.push(format!("{}+{}", pct(d, total), pct(rv, total)));
+        }
+        ty.row(row);
+
+        let mut row = vec![b.name.to_string()];
+        for i in 0..stats::DISTANCE_BUCKETS.len() {
+            row.push(format!(
+                "{}+{}",
+                pct(s.by_distance[i][0], total),
+                pct(s.by_distance[i][1], total)
+            ));
+        }
+        dist.row(row);
+
+        let mut row = vec![b.name.to_string()];
+        for st in ResultStatus::ALL {
+            row.push(format!(
+                "{}+{}",
+                pct(s.by_status[st.index()][0], total),
+                pct(s.by_status[st.index()][1], total)
+            ));
+        }
+        status.row(row);
+
+        let value_total: u64 = s.by_refcount.iter().map(|b| b[0] + b[1]).sum();
+        let mut row = vec![b.name.to_string()];
+        for i in 0..stats::REFCOUNT_BUCKETS.len() {
+            row.push(format!(
+                "{}+{}",
+                pct(s.by_refcount[i][0], value_total),
+                pct(s.by_refcount[i][1], value_total)
+            ));
+        }
+        refc.row(row);
+    }
+
+    println!("Figure 5 breakdowns (each cell: direct+reverse, % of integrations)\n");
+    println!("Type:");
+    println!("{}", ty.render());
+    println!("Distance (renamed instructions creator→integrator):");
+    println!("{}", dist.render());
+    println!("Status (result state at integration):");
+    println!("{}", status.render());
+    println!("Refcount (count after integration; value integrations only):");
+    println!("{}", refc.render());
+}

@@ -1,0 +1,84 @@
+//! Figure 6: impact of integration-table associativity and size.
+//!
+//! Left — 1K-entry IT at associativities 1, 2, 4 and full, each with a
+//! realistic LISP and with oracle suppression; the paper's finding is
+//! that low associativity degrades integration gracefully (mis-
+//! integrations dampen the benefit of more ways).
+//!
+//! Right — fully-associative, LRU-managed ITs of 64, 256, 1K and 4K
+//! entries (the 4K point also uses 4K physical registers), measuring the
+//! temporal locality of integration.
+
+use rix_bench::{gmean_speedup, speedup_pct, Harness, Table};
+use rix_integration::IntegrationConfig;
+use rix_sim::SimConfig;
+
+fn main() {
+    let h = Harness::from_args();
+
+    let assoc_points: Vec<(&str, usize, usize)> =
+        vec![("1-way", 1024, 1), ("2-way", 1024, 2), ("4-way", 1024, 4), ("full", 1024, 1024)];
+    let size_points: Vec<(&str, usize, usize)> =
+        vec![("64", 64, 64), ("256", 256, 256), ("1K", 1024, 1024), ("4K", 4096, 4096)];
+
+    let mut assoc = Table::new(&[
+        "bench", "1-way", "1-way*", "2-way", "2-way*", "4-way", "4-way*", "full", "full*",
+    ]);
+    let mut size = Table::new(&["bench", "64", "64*", "256", "256*", "1K", "1K*", "4K", "4K*"]);
+    let mut assoc_means = vec![Vec::new(); assoc_points.len() * 2];
+    let mut size_means = vec![Vec::new(); size_points.len() * 2];
+
+    for b in h.benchmarks() {
+        let program = b.build(h.seed);
+        let base = h.run(&program, SimConfig::baseline());
+
+        let mut arow = vec![b.name.to_string()];
+        for (i, (_, entries, ways)) in assoc_points.iter().enumerate() {
+            let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
+            let real = h.run(&program, SimConfig::default().with_integration(ic));
+            let orac =
+                h.run(&program, SimConfig::default().with_integration(ic.with_oracle()));
+            let (sr, so) = (speedup_pct(&real, &base), speedup_pct(&orac, &base));
+            arow.push(format!("{sr:+.1}%"));
+            arow.push(format!("{so:+.1}%"));
+            assoc_means[2 * i].push(sr);
+            assoc_means[2 * i + 1].push(so);
+        }
+        assoc.row(arow);
+
+        let mut srow = vec![b.name.to_string()];
+        for (i, (_, entries, ways)) in size_points.iter().enumerate() {
+            let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
+            // The 4K-entry point uses a 4K-register file (§3.4).
+            let pregs = if *entries >= 4096 { 4096 } else { 1024 };
+            let cfg = SimConfig::default().with_integration(ic).with_pregs(pregs);
+            let ocfg = SimConfig::default()
+                .with_integration(ic.with_oracle())
+                .with_pregs(pregs);
+            let real = h.run(&program, cfg);
+            let orac = h.run(&program, ocfg);
+            let (sr, so) = (speedup_pct(&real, &base), speedup_pct(&orac, &base));
+            srow.push(format!("{sr:+.1}%"));
+            srow.push(format!("{so:+.1}%"));
+            size_means[2 * i].push(sr);
+            size_means[2 * i + 1].push(so);
+        }
+        size.row(srow);
+    }
+
+    let mut mrow = vec!["GMean".to_string()];
+    for v in &assoc_means {
+        mrow.push(format!("{:+.1}%", gmean_speedup(v)));
+    }
+    assoc.row(mrow);
+    let mut mrow = vec!["GMean".to_string()];
+    for v in &size_means {
+        mrow.push(format!("{:+.1}%", gmean_speedup(v)));
+    }
+    size.row(mrow);
+
+    println!("Figure 6 (left): IT associativity at 1K entries ('*' = oracle)");
+    println!("{}", assoc.render());
+    println!("Figure 6 (right): fully-associative IT size ('*' = oracle; 4K uses 4K pregs)");
+    println!("{}", size.render());
+}

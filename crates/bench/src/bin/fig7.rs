@@ -1,0 +1,70 @@
+//! Figure 7: trading integration complexity for execution-core
+//! complexity (§3.5).
+//!
+//! Four machines — `base` (4-way issue, 40 RS), `RS` (20 RS), `IW`
+//! (3-way issue, single load/store port), `IW+RS` (both) — each run
+//! without integration, with the realistic default integration, and with
+//! oracle suppression. Speedups are relative to `base` *without*
+//! integration, and the base IPC row is printed below the table, exactly
+//! as the paper annotates the figure.
+//!
+//! The paper's claim to check: integration (a ~17% execution-stream
+//! reduction) recovers most of the loss from a 25% issue-width cut or a
+//! 50% buffering cut.
+
+use rix_bench::{gmean_speedup, speedup_pct, Harness, Table};
+use rix_sim::{CoreConfig, SimConfig};
+
+fn main() {
+    let h = Harness::from_args();
+    let cores: Vec<(&str, CoreConfig)> = vec![
+        ("base", CoreConfig::default()),
+        ("RS", CoreConfig::rs20()),
+        ("IW", CoreConfig::iw3()),
+        ("IW+RS", CoreConfig::iw3_rs20()),
+    ];
+
+    let mut t = Table::new(&[
+        "bench", "base", "base+i", "base*", "RS", "RS+i", "RS*", "IW", "IW+i", "IW*", "IW+RS",
+        "IW+RS+i", "IW+RS*",
+    ]);
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); cores.len() * 3];
+    let mut base_ipcs: Vec<String> = Vec::new();
+
+    for b in h.benchmarks() {
+        let program = b.build(h.seed);
+        let reference = h.run(&program, SimConfig::baseline());
+        base_ipcs.push(format!("{}={:.2}", b.name, reference.ipc()));
+        let mut row = vec![b.name.to_string()];
+        for (ci, (_, core)) in cores.iter().enumerate() {
+            let none = h.run(&program, SimConfig::baseline().with_core(*core));
+            let integ = h.run(&program, SimConfig::default().with_core(*core));
+            let oracle = h.run(
+                &program,
+                SimConfig::default()
+                    .with_integration(rix_integration::IntegrationConfig::default().with_oracle())
+                    .with_core(*core),
+            );
+            for (k, r) in [&none, &integ, &oracle].into_iter().enumerate() {
+                let sp = speedup_pct(r, &reference);
+                row.push(format!("{sp:+.1}%"));
+                means[ci * 3 + k].push(sp);
+            }
+        }
+        t.row(row);
+    }
+
+    let mut mrow = vec!["GMean".to_string()];
+    for v in &means {
+        mrow.push(format!("{:+.1}%", gmean_speedup(v)));
+    }
+    t.row(mrow);
+
+    println!(
+        "Figure 7: reduced-complexity engines, speedup vs base-without-integration"
+    );
+    println!("(+i = realistic integration, * = oracle suppression)\n");
+    println!("{}", t.render());
+    println!("Base IPC per benchmark (printed under the paper's figure):");
+    println!("{}", base_ipcs.join("  "));
+}

@@ -1,0 +1,222 @@
+//! # rix-bench: the evaluation harness
+//!
+//! One binary per figure in the paper's evaluation (§3):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig4` | Figure 4 — speedup and integration rate per extension arm (squash / +general / +opcode / +reverse), realistic LISP and oracle suppression, mis-integrations per million; `--diagnostics` adds the §3.2 secondary metrics |
+//! | `fig5` | Figure 5 — integration-stream breakdowns: Type, Distance, Status, Refcount |
+//! | `fig6` | Figure 6 — IT associativity (1/2/4/full) and size (64/256/1K/4K) sweeps |
+//! | `fig7` | Figure 7 — reduced-complexity execution engines (base / RS / IW / IW+RS) with and without integration |
+//!
+//! Shared flags: `--instructions N` (retired instructions per run,
+//! default 100 000), `--seed S`, `--bench NAME` (filter to one
+//! benchmark). All binaries print aligned text tables whose rows/series
+//! match the paper's figures.
+//!
+//! The Criterion benches (`cargo bench -p rix-bench`) measure the
+//! simulator's own throughput per subsystem and end-to-end, so
+//! performance regressions in the simulator itself are visible.
+
+use rix_integration::IntegrationConfig;
+use rix_isa::Program;
+use rix_sim::{RunResult, SimConfig, Simulator};
+use rix_workloads::Benchmark;
+
+/// Common command-line options for the figure binaries.
+#[derive(Clone, Debug)]
+pub struct Harness {
+    /// Retired instructions per simulation run.
+    pub instructions: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Restrict to one benchmark by name.
+    pub filter: Option<String>,
+    /// Print the extra §3.2 diagnostics (fig4 only).
+    pub diagnostics: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self { instructions: 100_000, seed: 7, filter: None, diagnostics: false }
+    }
+}
+
+impl Harness {
+    /// Parses `--instructions N --seed S --bench NAME --diagnostics`
+    /// from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut h = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--instructions" | "-n" => {
+                    i += 1;
+                    h.instructions = args[i].parse().expect("--instructions takes a number");
+                }
+                "--seed" => {
+                    i += 1;
+                    h.seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--bench" => {
+                    i += 1;
+                    h.filter = Some(args[i].clone());
+                }
+                "--diagnostics" => h.diagnostics = true,
+                other => panic!(
+                    "unknown argument `{other}` \
+                     (expected --instructions N, --seed S, --bench NAME, --diagnostics)"
+                ),
+            }
+            i += 1;
+        }
+        h
+    }
+
+    /// The benchmarks selected by the filter.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        rix_workloads::all_benchmarks()
+            .into_iter()
+            .filter(|b| self.filter.as_deref().is_none_or(|f| f == b.name))
+            .collect()
+    }
+
+    /// Runs `program` under `cfg` for the configured instruction budget.
+    #[must_use]
+    pub fn run(&self, program: &Program, cfg: SimConfig) -> RunResult {
+        Simulator::new(program, cfg).run(self.instructions)
+    }
+}
+
+/// The four Figure 4 extension arms (name, config).
+#[must_use]
+pub fn figure4_arms() -> Vec<(&'static str, IntegrationConfig)> {
+    IntegrationConfig::figure4_arms()
+}
+
+/// Percentage speedup of `x` over `base` IPC.
+#[must_use]
+pub fn speedup_pct(x: &RunResult, base: &RunResult) -> f64 {
+    if base.ipc() == 0.0 {
+        0.0
+    } else {
+        (x.ipc() / base.ipc() - 1.0) * 100.0
+    }
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of (1 + x/100) speedup percentages, returned as a
+/// percentage (the paper reports geometric-mean speedups).
+#[must_use]
+pub fn gmean_speedup(pcts: &[f64]) -> f64 {
+    if pcts.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pcts.iter().map(|p| (1.0 + p / 100.0).max(1e-9).ln()).sum();
+    ((log_sum / pcts.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// A minimal aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(amean(&[]), 0.0);
+        // gmean of +10% and -9.0909..% is ~0.
+        let g = gmean_speedup(&[10.0, -9.090_909_090_9]);
+        assert!(g.abs() < 1e-6, "{g}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2.5".into()]);
+        let r = t.render();
+        assert!(r.contains("long-name"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    fn harness_selects_benchmarks() {
+        let mut h = Harness::default();
+        assert_eq!(h.benchmarks().len(), 16);
+        h.filter = Some("mcf".into());
+        assert_eq!(h.benchmarks().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_width() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

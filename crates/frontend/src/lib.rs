@@ -1,0 +1,246 @@
+//! # rix-frontend: branch prediction and next-PC generation
+//!
+//! The paper's front end (§3.1): an 8K-entry hybrid gshare/bimodal
+//! conditional-branch predictor with a 4K-entry BTB and a return-address
+//! stack. The RAS also supplies the *call depth* (its top-of-stack index),
+//! which extension 2 mixes into the integration-table index (§2.3).
+//!
+//! All predictor state is updated speculatively at fetch; every branch
+//! carries a [`SpecCheckpoint`] so the core can repair global history and
+//! the RAS when the branch squashes.
+
+pub mod btb;
+pub mod predictor;
+pub mod ras;
+
+pub use btb::Btb;
+pub use predictor::{HybridPredictor, PredictorConfig};
+pub use ras::Ras;
+
+use rix_isa::{InstAddr, Instr, Opcode};
+
+/// State snapshot taken at prediction time, used to repair speculative
+/// front-end state when the instruction squashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecCheckpoint {
+    /// Global history register before this prediction.
+    pub history: u64,
+    /// RAS top-of-stack index before this prediction.
+    pub ras_tos: usize,
+    /// RAS top entry before this prediction (repairs a clobbered slot).
+    pub ras_top: InstAddr,
+}
+
+/// The outcome of predicting one fetched instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted next fetch PC.
+    pub next_pc: InstAddr,
+    /// Predicted direction for conditional branches (`false` otherwise).
+    pub taken: bool,
+    /// Call depth (RAS TOS index) *at this instruction*, used by
+    /// opcode-based IT indexing.
+    pub call_depth: u16,
+    /// Snapshot taken *before* this prediction updated speculative state.
+    /// Use for squashes that re-fetch this instruction (it will re-predict
+    /// and re-update), and for conditional-branch repairs together with
+    /// the corrected outcome.
+    pub checkpoint: SpecCheckpoint,
+    /// Snapshot taken *after* this prediction updated speculative state.
+    /// Use for squashes of everything younger where this instruction's
+    /// own effect must be kept (e.g. a mispredicted `ret`: the RAS pop
+    /// stands, only the wrong-path updates are undone).
+    pub post_checkpoint: SpecCheckpoint,
+}
+
+/// The complete front end: predictor + BTB + RAS.
+///
+/// ```
+/// use rix_frontend::FrontEnd;
+/// use rix_isa::{Instr, Opcode, reg};
+///
+/// let mut fe = FrontEnd::default();
+/// let br = Instr::cond_branch(Opcode::Bne, reg::R1, 100);
+/// let p = fe.predict(5, br);
+/// assert!(p.next_pc == 6 || p.next_pc == 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrontEnd {
+    predictor: HybridPredictor,
+    btb: Btb,
+    ras: Ras,
+    predictions: u64,
+    cond_predictions: u64,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        Self::new(PredictorConfig::default())
+    }
+}
+
+impl FrontEnd {
+    /// Builds a front end with the given predictor configuration
+    /// (paper-default BTB and RAS sizes).
+    #[must_use]
+    pub fn new(cfg: PredictorConfig) -> Self {
+        Self {
+            predictor: HybridPredictor::new(cfg),
+            btb: Btb::new(4096, 4),
+            ras: Ras::new(64),
+            predictions: 0,
+            cond_predictions: 0,
+        }
+    }
+
+    /// The current call depth (RAS top-of-stack index).
+    #[must_use]
+    pub fn call_depth(&self) -> u16 {
+        self.ras.depth()
+    }
+
+    /// Predicts the next PC for `instr` fetched at `pc`, speculatively
+    /// updating history, BTB, and RAS.
+    pub fn predict(&mut self, pc: InstAddr, instr: Instr) -> Prediction {
+        self.predictions += 1;
+        let checkpoint = SpecCheckpoint {
+            history: self.predictor.history(),
+            ras_tos: self.ras.tos(),
+            ras_top: self.ras.top(),
+        };
+        let call_depth = self.ras.depth();
+        let (next_pc, taken) = match instr.op.exec_class() {
+            rix_isa::ExecClass::CondBranch => {
+                self.cond_predictions += 1;
+                let taken = self.predictor.predict_and_update(pc);
+                // Direct conditional branches carry their target; the BTB
+                // is consulted so a taken prediction without a BTB entry
+                // still redirects correctly at decode (bubble charged by
+                // the fetch unit via `btb_hit`).
+                self.btb.insert(pc, instr.target);
+                (if taken { instr.target } else { pc + 1 }, taken)
+            }
+            rix_isa::ExecClass::DirectJump => {
+                if instr.op == Opcode::Jsr {
+                    self.ras.push(pc + 1);
+                }
+                self.btb.insert(pc, instr.target);
+                (instr.target, true)
+            }
+            rix_isa::ExecClass::IndirectJump => {
+                let target = self.ras.pop();
+                (target, true)
+            }
+            _ => (pc + 1, false),
+        };
+        let post_checkpoint = SpecCheckpoint {
+            history: self.predictor.history(),
+            ras_tos: self.ras.tos(),
+            ras_top: self.ras.top(),
+        };
+        Prediction { next_pc, taken, call_depth, checkpoint, post_checkpoint }
+    }
+
+    /// Whether the BTB knows a target for `pc` (fetch-stage redirect
+    /// without a decode bubble).
+    #[must_use]
+    pub fn btb_hit(&self, pc: InstAddr) -> bool {
+        self.btb.lookup(pc).is_some()
+    }
+
+    /// Commits the true outcome of a conditional branch (trains the
+    /// predictor tables with the resolved direction).
+    pub fn resolve_cond(&mut self, pc: InstAddr, checkpoint: SpecCheckpoint, taken: bool) {
+        self.predictor.train(pc, checkpoint.history, taken);
+    }
+
+    /// Repairs speculative state after a squash: restores global history
+    /// (corrected with the branch's true outcome when `actual` is given)
+    /// and the RAS.
+    pub fn repair(&mut self, checkpoint: SpecCheckpoint, actual: Option<bool>) {
+        self.predictor.set_history(checkpoint.history, actual);
+        self.ras.restore(checkpoint.ras_tos, checkpoint.ras_top);
+    }
+
+    /// Total predictions made.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Conditional-branch predictions made.
+    #[must_use]
+    pub fn cond_predictions(&self) -> u64 {
+        self.cond_predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::reg;
+
+    #[test]
+    fn sequential_for_alu() {
+        let mut fe = FrontEnd::default();
+        let p = fe.predict(10, Instr::alu_rr(Opcode::Addq, reg::R1, reg::R2, reg::R3));
+        assert_eq!(p.next_pc, 11);
+        assert!(!p.taken);
+    }
+
+    #[test]
+    fn jsr_ret_pairing() {
+        let mut fe = FrontEnd::default();
+        assert_eq!(fe.call_depth(), 0);
+        let p = fe.predict(5, Instr::jsr(100));
+        assert_eq!(p.next_pc, 100);
+        assert_eq!(fe.call_depth(), 1);
+        let p = fe.predict(107, Instr::ret());
+        assert_eq!(p.next_pc, 6, "RAS predicts the return target");
+        assert_eq!(fe.call_depth(), 0);
+    }
+
+    #[test]
+    fn call_depth_tracks_nesting() {
+        let mut fe = FrontEnd::default();
+        fe.predict(0, Instr::jsr(10));
+        fe.predict(10, Instr::jsr(20));
+        fe.predict(20, Instr::jsr(30));
+        assert_eq!(fe.call_depth(), 3);
+    }
+
+    #[test]
+    fn repair_restores_ras_and_history() {
+        let mut fe = FrontEnd::default();
+        fe.predict(0, Instr::jsr(10)); // depth 1
+        let br = Instr::cond_branch(Opcode::Beq, reg::R1, 50);
+        let p = fe.predict(10, br);
+        fe.predict(p.next_pc, Instr::jsr(60)); // wrong-path call
+        assert_eq!(fe.call_depth(), 2);
+        fe.repair(p.checkpoint, Some(!p.taken));
+        assert_eq!(fe.call_depth(), 1, "wrong-path push undone");
+    }
+
+    #[test]
+    fn predictor_learns_a_loop_branch() {
+        let mut fe = FrontEnd::default();
+        let br = Instr::cond_branch(Opcode::Bne, reg::R1, 3);
+        // Train: always taken.
+        for _ in 0..64 {
+            let p = fe.predict(7, br);
+            fe.resolve_cond(7, p.checkpoint, true);
+        }
+        let p = fe.predict(7, br);
+        assert!(p.taken, "a monotone branch becomes predicted-taken");
+        assert_eq!(p.next_pc, 3);
+    }
+
+    #[test]
+    fn btb_learns_targets() {
+        let mut fe = FrontEnd::default();
+        assert!(!fe.btb_hit(7));
+        let br = Instr::cond_branch(Opcode::Bne, reg::R1, 3);
+        fe.predict(7, br);
+        assert!(fe.btb_hit(7));
+    }
+}

@@ -1,0 +1,160 @@
+//! The return-address stack.
+//!
+//! Beyond predicting `ret` targets, the RAS plays a second role in this
+//! paper: its top-of-stack index is the **call depth** that extension 2
+//! XORs into the integration-table index (§2.3). Call depth groups IT
+//! entries by static function *and* dynamic invocation — save/restore
+//! pairs always agree on it, which is what makes reverse integration
+//! conflict-free in a set-associative IT.
+//!
+//! The stack is a circular buffer: pushing past capacity wraps and
+//! overwrites the oldest entry (depth saturates), popping an empty stack
+//! returns 0. Squash repair restores the TOS index and the one entry a
+//! wrong-path push may have clobbered.
+
+use rix_isa::InstAddr;
+
+/// Circular return-address stack.
+#[derive(Clone, Debug)]
+pub struct Ras {
+    entries: Vec<InstAddr>,
+    tos: usize, // number of live entries, saturating at capacity for depth purposes
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS needs at least one entry");
+        Self { entries: vec![0; capacity], tos: 0 }
+    }
+
+    /// Current call depth (top-of-stack index). This is the value mixed
+    /// into the IT index by opcode-based indexing.
+    #[must_use]
+    pub fn depth(&self) -> u16 {
+        self.tos.min(u16::MAX as usize) as u16
+    }
+
+    /// Raw TOS counter (monotone across wrap; used for checkpointing).
+    #[must_use]
+    pub fn tos(&self) -> usize {
+        self.tos
+    }
+
+    /// The entry a push at the current TOS would overwrite (used for
+    /// checkpointing).
+    #[must_use]
+    pub fn top(&self) -> InstAddr {
+        self.entries[self.tos % self.entries.len()]
+    }
+
+    /// Pushes a return address (on `jsr`).
+    pub fn push(&mut self, addr: InstAddr) {
+        let idx = self.tos % self.entries.len();
+        self.entries[idx] = addr;
+        self.tos += 1;
+    }
+
+    /// Pops the predicted return target (on `ret`); returns 0 when empty.
+    pub fn pop(&mut self) -> InstAddr {
+        if self.tos == 0 {
+            return 0;
+        }
+        self.tos -= 1;
+        self.entries[self.tos % self.entries.len()]
+    }
+
+    /// Restores the checkpointed TOS and the (possibly clobbered) slot at
+    /// it.
+    pub fn restore(&mut self, tos: usize, top: InstAddr) {
+        self.tos = tos;
+        let idx = self.tos % self.entries.len();
+        self.entries[idx] = top;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut r = Ras::new(8);
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), 20);
+        assert_eq!(r.pop(), 10);
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn empty_pop_is_zero() {
+        let mut r = Ras::new(4);
+        assert_eq!(r.pop(), 0);
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn wraps_past_capacity() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), 3);
+        assert_eq!(r.pop(), 2);
+        assert_eq!(r.pop(), 3, "wrapped slot: oldest was overwritten");
+    }
+
+    #[test]
+    fn restore_undoes_wrong_path_push() {
+        let mut r = Ras::new(8);
+        r.push(100);
+        let (tos, top) = (r.tos(), r.top());
+        r.push(999); // wrong path
+        r.restore(tos, top);
+        assert_eq!(r.depth(), 1);
+        assert_eq!(r.pop(), 100);
+    }
+
+    #[test]
+    fn restore_undoes_wrong_path_pop() {
+        let mut r = Ras::new(8);
+        r.push(100);
+        r.push(200);
+        let (tos, top) = (r.tos(), r.top());
+        assert_eq!(r.pop(), 200); // wrong path
+        r.restore(tos, top);
+        assert_eq!(r.pop(), 200, "pop restored");
+    }
+
+    proptest! {
+        /// Within capacity, the RAS behaves exactly like a Vec stack.
+        #[test]
+        fn matches_vec_stack(ops in proptest::collection::vec(proptest::option::of(1u64..1000), 0..64)) {
+            let mut r = Ras::new(64);
+            let mut v: Vec<u64> = Vec::new();
+            for op in ops {
+                match op {
+                    Some(addr) => {
+                        if v.len() < 64 {
+                            r.push(addr);
+                            v.push(addr);
+                        }
+                    }
+                    None => {
+                        let expect = v.pop().unwrap_or(0);
+                        prop_assert_eq!(r.pop(), expect);
+                    }
+                }
+                prop_assert_eq!(r.depth() as usize, v.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Integration configuration and the paper's experiment presets.
+
+/// How the integration table is indexed (§2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexScheme {
+    /// PC indexing: instructions only integrate results of older dynamic
+    /// instances of *themselves* (squash-reuse style).
+    Pc,
+    /// Opcode ⊕ immediate ⊕ call-depth indexing: different static
+    /// instructions with the same operation can integrate each other's
+    /// results, and save/restore pairs land in conflict-free sets.
+    OpcodeDepth,
+}
+
+/// Which operations create reverse IT entries (§2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReverseScope {
+    /// No reverse entries.
+    Off,
+    /// The paper's design point: stack-pointer-based stores (register
+    /// saves) and stack-pointer adds (frame pushes/pops) only.
+    StackPointer,
+    /// Every store and every invertible immediate add — a generalisation
+    /// the paper sketches (more IT pressure, more coverage).
+    AllInvertible,
+}
+
+/// How load mis-integrations are suppressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suppression {
+    /// The realistic predictor: a 1K-entry 2-way PC-indexed tag cache
+    /// where a hit suppresses integration (overbiased: any past
+    /// mis-integration of this PC suppresses all its future
+    /// integrations).
+    Lisp,
+    /// Oracle suppression: an integration is allowed only if its value
+    /// will verify at DIVA (the paper's dark-bar configurations).
+    Oracle,
+}
+
+/// Full configuration of the integration machinery.
+///
+/// `IntegrationConfig::default()` is the paper's headline configuration:
+/// general reuse + opcode indexing + stack-pointer reverse integration,
+/// a 1K-entry 4-way IT, 4-bit generation counters, 4-bit reference
+/// counters, and a realistic LISP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntegrationConfig {
+    /// Master switch; `false` gives the no-integration baseline renamer.
+    pub enabled: bool,
+    /// `true` = general reuse (reference counting); `false` = squash
+    /// reuse only (only squashed registers integrate).
+    pub general_reuse: bool,
+    /// IT index function.
+    pub index: IndexScheme,
+    /// Reverse-entry creation policy.
+    pub reverse: ReverseScope,
+    /// Mis-integration suppression.
+    pub suppression: Suppression,
+    /// Total IT entries (power of two).
+    pub it_entries: usize,
+    /// IT associativity; use [`IntegrationConfig::fully_associative`] or
+    /// set `it_ways == it_entries` for a fully-associative table.
+    pub it_ways: usize,
+    /// Generation counter width in bits (paper: 4).
+    pub gen_bits: u32,
+    /// Reference counter width in bits (paper: 4).
+    pub count_bits: u32,
+    /// LISP entries (power of two).
+    pub lisp_entries: usize,
+    /// LISP associativity.
+    pub lisp_ways: usize,
+    /// Emulated integration-pipeline depth (§3.3): an IT entry becomes
+    /// visible to lookups only this many renamed instructions after its
+    /// creation. 0 models the atomic (single-stage) integration circuit;
+    /// 4 models integration pipelined over four stages on a 4-wide
+    /// machine. Squash reuse is naturally impervious (the squash
+    /// separates creator and integrator by a pipeline flush).
+    pub pipeline_depth: u64,
+}
+
+impl Default for IntegrationConfig {
+    fn default() -> Self {
+        Self::plus_reverse()
+    }
+}
+
+impl IntegrationConfig {
+    fn base() -> Self {
+        Self {
+            enabled: true,
+            general_reuse: true,
+            index: IndexScheme::OpcodeDepth,
+            reverse: ReverseScope::StackPointer,
+            suppression: Suppression::Lisp,
+            it_entries: 1024,
+            it_ways: 4,
+            gen_bits: 4,
+            count_bits: 4,
+            lisp_entries: 1024,
+            lisp_ways: 2,
+            pipeline_depth: 0,
+        }
+    }
+
+    /// Integration disabled: the baseline processor.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::base() }
+    }
+
+    /// The paper's first experiment arm: PC-indexed squash reuse only.
+    #[must_use]
+    pub fn squash_reuse() -> Self {
+        Self {
+            general_reuse: false,
+            index: IndexScheme::Pc,
+            reverse: ReverseScope::Off,
+            ..Self::base()
+        }
+    }
+
+    /// Second arm: + general reuse via reference counting.
+    #[must_use]
+    pub fn plus_general() -> Self {
+        Self {
+            general_reuse: true,
+            index: IndexScheme::Pc,
+            reverse: ReverseScope::Off,
+            ..Self::base()
+        }
+    }
+
+    /// Third arm: + opcode ⊕ immediate ⊕ call-depth indexing.
+    #[must_use]
+    pub fn plus_opcode() -> Self {
+        Self {
+            general_reuse: true,
+            index: IndexScheme::OpcodeDepth,
+            reverse: ReverseScope::Off,
+            ..Self::base()
+        }
+    }
+
+    /// Final arm (the paper's headline configuration): + reverse
+    /// integration for stack saves/restores.
+    #[must_use]
+    pub fn plus_reverse() -> Self {
+        Self::base()
+    }
+
+    /// Switches this configuration to oracle mis-integration suppression.
+    #[must_use]
+    pub fn with_oracle(self) -> Self {
+        Self { suppression: Suppression::Oracle, ..self }
+    }
+
+    /// Sets IT geometry (entries must be a power of two and a multiple of
+    /// ways).
+    #[must_use]
+    pub fn with_it_geometry(self, entries: usize, ways: usize) -> Self {
+        Self { it_entries: entries, it_ways: ways, ..self }
+    }
+
+    /// Makes the IT fully associative at its current size.
+    #[must_use]
+    pub fn fully_associative(self) -> Self {
+        Self { it_ways: self.it_entries, ..self }
+    }
+
+    /// Sets the emulated integration-pipeline depth (§3.3).
+    #[must_use]
+    pub fn with_pipeline_depth(self, depth: u64) -> Self {
+        Self { pipeline_depth: depth, ..self }
+    }
+
+    /// Sets the generation-counter width (§2.2's register
+    /// mis-integration defence; the paper uses 4 bits).
+    #[must_use]
+    pub fn with_gen_bits(self, bits: u32) -> Self {
+        Self { gen_bits: bits, ..self }
+    }
+
+    /// The four extension arms of Figure 4, in order, with their paper
+    /// labels.
+    #[must_use]
+    pub fn figure4_arms() -> Vec<(&'static str, Self)> {
+        vec![
+            ("squash", Self::squash_reuse()),
+            ("+general", Self::plus_general()),
+            ("+opcode", Self::plus_opcode()),
+            ("+reverse", Self::plus_reverse()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_headline_config() {
+        let c = IntegrationConfig::default();
+        assert!(c.enabled);
+        assert!(c.general_reuse);
+        assert_eq!(c.index, IndexScheme::OpcodeDepth);
+        assert_eq!(c.reverse, ReverseScope::StackPointer);
+        assert_eq!(c.it_entries, 1024);
+        assert_eq!(c.it_ways, 4);
+        assert_eq!(c.gen_bits, 4);
+    }
+
+    #[test]
+    fn arms_are_cumulative() {
+        let arms = IntegrationConfig::figure4_arms();
+        assert_eq!(arms.len(), 4);
+        assert!(!arms[0].1.general_reuse);
+        assert!(arms[1].1.general_reuse);
+        assert_eq!(arms[1].1.index, IndexScheme::Pc);
+        assert_eq!(arms[2].1.index, IndexScheme::OpcodeDepth);
+        assert_eq!(arms[2].1.reverse, ReverseScope::Off);
+        assert_eq!(arms[3].1.reverse, ReverseScope::StackPointer);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = IntegrationConfig::default().with_pipeline_depth(4).with_gen_bits(1);
+        assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(c.gen_bits, 1);
+        assert_eq!(IntegrationConfig::default().pipeline_depth, 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = IntegrationConfig::plus_reverse()
+            .with_oracle()
+            .with_it_geometry(256, 256);
+        assert_eq!(c.suppression, Suppression::Oracle);
+        assert_eq!(c.it_entries, 256);
+        assert_eq!(c.it_ways, 256);
+        let f = IntegrationConfig::default().fully_associative();
+        assert_eq!(f.it_ways, f.it_entries);
+    }
+}

@@ -1,0 +1,628 @@
+//! The integration table (IT).
+//!
+//! The IT buffers `<operation, input-preg1, input-preg2, output-preg>`
+//! tuples of recently renamed instructions. A renaming instruction whose
+//! operation and (generation-qualified) input physical registers match an
+//! entry may *integrate*: its output logical register is pointed at the
+//! entry's output physical register and the instruction bypasses the
+//! execution engine. Neither the test nor the reuse moves any values.
+//!
+//! This implementation holds **direct** and **reverse** entries in one
+//! unified set-associative LRU table (§3.1: "a unified design allows
+//! direct integration to use the maximum number of entries in programs
+//! which do not exploit reverse integration"), supports both PC indexing
+//! and the opcode ⊕ immediate ⊕ call-depth indexing of §2.3, and stores
+//! generation counters alongside every physical register specifier so
+//! stale entries fail the match (§2.2).
+//!
+//! Conditional branches have no output register; their entries record the
+//! resolved *outcome* instead ([`ItOutput::Branch`]), created at execution
+//! time. Because an entry only matches when the input `(preg, gen)` pair
+//! matches — i.e. the very same value — a matching branch entry's outcome
+//! is always value-correct; integrating it resolves the branch at rename.
+
+use crate::config::{IndexScheme, ReverseScope};
+use crate::preg::PregRef;
+use rix_isa::{reg, InstAddr, Instr, Opcode};
+
+/// What an IT entry yields on integration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItOutput {
+    /// A shared physical register (ALU operations and loads).
+    Value(PregRef),
+    /// A resolved conditional-branch direction.
+    Branch(bool),
+}
+
+/// The lookup key built from a renaming instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItKey {
+    /// The instruction's PC (used by PC indexing).
+    pub pc: InstAddr,
+    /// Operation.
+    pub op: Opcode,
+    /// Whether the instruction carries an immediate/displacement.
+    pub has_imm: bool,
+    /// The immediate/displacement value (0 for register forms).
+    pub imm: i32,
+    /// Call depth at fetch (used by opcode indexing).
+    pub call_depth: u16,
+    /// Renamed first input.
+    pub in1: Option<PregRef>,
+    /// Renamed second input.
+    pub in2: Option<PregRef>,
+}
+
+impl ItKey {
+    /// Builds the key for `instr` at `pc` given its renamed inputs.
+    #[must_use]
+    pub fn new(
+        pc: InstAddr,
+        instr: Instr,
+        call_depth: u16,
+        in1: Option<PregRef>,
+        in2: Option<PregRef>,
+    ) -> Self {
+        Self {
+            pc,
+            op: instr.op,
+            has_imm: instr.has_immediate(),
+            imm: instr.it_imm(),
+            call_depth,
+            in1,
+            in2,
+        }
+    }
+}
+
+/// One integration-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItEntry {
+    /// Creator PC (matched under PC indexing).
+    pub pc: InstAddr,
+    /// Operation (matched under opcode indexing; stored as the minimal
+    /// tag in both schemes).
+    pub op: Opcode,
+    /// Whether the operation carries an immediate.
+    pub has_imm: bool,
+    /// Immediate value.
+    pub imm: i32,
+    /// Call depth of the creator (index component under opcode indexing).
+    pub call_depth: u16,
+    /// First input register, with generation.
+    pub in1: Option<PregRef>,
+    /// Second input register, with generation.
+    pub in2: Option<PregRef>,
+    /// The shared output.
+    pub out: ItOutput,
+    /// Whether this is a reverse entry (§2.4).
+    pub reverse: bool,
+    /// Dynamic sequence number of the creating instruction (for the
+    /// Figure 5 distance statistic).
+    pub creator_seq: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    entry: ItEntry,
+    valid: bool,
+    lru: u64,
+}
+
+/// Statistics for the integration table itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ItStats {
+    /// Successful lookups (tag + inputs matched).
+    pub hits: u64,
+    /// Lookups with no matching entry.
+    pub misses: u64,
+    /// Entries created.
+    pub inserts: u64,
+    /// Valid entries evicted by LRU replacement.
+    pub evictions: u64,
+    /// Entries invalidated after a mis-integration.
+    pub invalidations: u64,
+}
+
+/// The set-associative integration table.
+///
+/// ```
+/// use rix_integration::{It, ItKey, ItOutput, IndexScheme, PregRef};
+/// use rix_isa::{Instr, Opcode, reg};
+///
+/// let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+/// let add = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, 4);
+/// let key = ItKey::new(10, add, 0, Some(PregRef::new(7, 1)), None);
+/// it.insert_direct(key, PregRef::new(9, 1), 100);
+/// let hit = it.lookup(key).expect("matches");
+/// assert_eq!(hit.out, ItOutput::Value(PregRef::new(9, 1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct It {
+    sets: Vec<Vec<Slot>>,
+    num_sets: usize,
+    scheme: IndexScheme,
+    stamp: u64,
+    stats: ItStats,
+}
+
+impl It {
+    /// Creates an IT with `entries` total entries and `ways`
+    /// associativity under the given index scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero, `ways` is zero, or `entries` is not a
+    /// multiple of `ways` with a power-of-two set count.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize, scheme: IndexScheme) -> Self {
+        assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways), "bad IT geometry");
+        let num_sets = entries / ways;
+        assert!(num_sets.is_power_of_two(), "IT set count must be a power of two");
+        let empty = Slot {
+            entry: ItEntry {
+                pc: 0,
+                op: Opcode::Nop,
+                has_imm: false,
+                imm: 0,
+                call_depth: 0,
+                in1: None,
+                in2: None,
+                out: ItOutput::Branch(false),
+                reverse: false,
+                creator_seq: 0,
+            },
+            valid: false,
+            lru: 0,
+        };
+        Self {
+            sets: vec![vec![empty; ways]; num_sets],
+            num_sets,
+            scheme,
+            stamp: 0,
+            stats: ItStats::default(),
+        }
+    }
+
+    /// The index scheme in use.
+    #[must_use]
+    pub fn scheme(&self) -> IndexScheme {
+        self.scheme
+    }
+
+    /// Table statistics.
+    #[must_use]
+    pub fn stats(&self) -> ItStats {
+        self.stats
+    }
+
+    fn index(&self, pc: InstAddr, op: Opcode, has_imm: bool, imm: i32, depth: u16) -> usize {
+        let mask = self.num_sets - 1;
+        match self.scheme {
+            IndexScheme::Pc => (pc as usize) & mask,
+            IndexScheme::OpcodeDepth => {
+                // §2.3: XOR of opcode, immediate and call depth — raw,
+                // as the paper describes. The XOR's clumpy distribution
+                // (ldq/0, addq/1, …) is part of what the paper measures;
+                // the call depth is the structured disambiguator, and
+                // because stack displacements are 8-byte aligned while
+                // the depth occupies the low bits, frame slots and call
+                // levels compose into distinct sets.
+                let imm_bits = if has_imm { imm as u32 as u64 } else { u64::MAX };
+                let h = u64::from(op.code()) ^ imm_bits ^ u64::from(depth);
+                (h as usize) & mask
+            }
+        }
+    }
+
+    fn key_index(&self, key: &ItKey) -> usize {
+        self.index(key.pc, key.op, key.has_imm, key.imm, key.call_depth)
+    }
+
+    fn entry_index(&self, e: &ItEntry) -> usize {
+        self.index(e.pc, e.op, e.has_imm, e.imm, e.call_depth)
+    }
+
+    fn tag_matches(scheme: IndexScheme, e: &ItEntry, key: &ItKey) -> bool {
+        match scheme {
+            // PC match establishes operation and immediate equivalence.
+            IndexScheme::Pc => !e.reverse && e.pc == key.pc && e.op == key.op,
+            // Opcode indexing uses the minimal opcode/immediate tag so
+            // different static instructions can match (§2.3).
+            IndexScheme::OpcodeDepth => {
+                e.op == key.op && e.has_imm == key.has_imm && e.imm == key.imm
+            }
+        }
+    }
+
+    /// Performs the operational-equivalence test: finds an entry whose
+    /// tag and generation-qualified inputs match `key`.
+    ///
+    /// On a hit the entry's LRU position is refreshed and a copy
+    /// returned. The entry is *not* removed — in general reuse many
+    /// instructions may integrate the same result.
+    pub fn lookup(&mut self, key: ItKey) -> Option<ItEntry> {
+        let set = self.key_index(&key);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let scheme = self.scheme;
+        for slot in &mut self.sets[set] {
+            if slot.valid
+                && Self::tag_matches(scheme, &slot.entry, &key)
+                && slot.entry.in1 == key.in1
+                && slot.entry.in2 == key.in2
+            {
+                slot.lru = stamp;
+                self.stats.hits += 1;
+                return Some(slot.entry);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, entry: ItEntry) {
+        let set = self.entry_index(&entry);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.stats.inserts += 1;
+        let scheme = self.scheme;
+        let slots = &mut self.sets[set];
+        // Overwrite an entry for the same static operation and inputs
+        // rather than duplicating it.
+        let dup_key = ItKey {
+            pc: entry.pc,
+            op: entry.op,
+            has_imm: entry.has_imm,
+            imm: entry.imm,
+            call_depth: entry.call_depth,
+            in1: entry.in1,
+            in2: entry.in2,
+        };
+        if let Some(slot) = slots.iter_mut().find(|s| {
+            s.valid
+                && s.entry.reverse == entry.reverse
+                && Self::tag_matches(scheme, &s.entry, &dup_key)
+                && s.entry.in1 == entry.in1
+                && s.entry.in2 == entry.in2
+        }) {
+            slot.entry = entry;
+            slot.lru = stamp;
+            return;
+        }
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .expect("IT set non-empty");
+        if victim.valid {
+            self.stats.evictions += 1;
+        }
+        *victim = Slot { entry, valid: true, lru: stamp };
+    }
+
+    /// Creates a direct entry for a value-producing instruction that
+    /// failed to integrate: `<op/imm, in1, in2> → out`.
+    pub fn insert_direct(&mut self, key: ItKey, out: PregRef, creator_seq: u64) {
+        self.insert(ItEntry {
+            pc: key.pc,
+            op: key.op,
+            has_imm: key.has_imm,
+            imm: key.imm,
+            call_depth: key.call_depth,
+            in1: key.in1,
+            in2: key.in2,
+            out: ItOutput::Value(out),
+            reverse: false,
+            creator_seq,
+        });
+    }
+
+    /// Creates (or refreshes) a branch-outcome entry at execution time.
+    pub fn insert_branch(&mut self, key: ItKey, taken: bool, creator_seq: u64) {
+        self.insert(ItEntry {
+            pc: key.pc,
+            op: key.op,
+            has_imm: key.has_imm,
+            imm: key.imm,
+            call_depth: key.call_depth,
+            in1: key.in1,
+            in2: key.in2,
+            out: ItOutput::Branch(taken),
+            reverse: false,
+            creator_seq,
+        });
+    }
+
+    /// Creates the reverse entry for a renamed store (§2.4): renaming
+    /// `stq data, disp(base)` creates `<ldq/disp, base> → data`, which a
+    /// future `ldq ?, disp(base)` integrates — speculative memory
+    /// bypassing with no value movement.
+    ///
+    /// Returns `false` (creating nothing) for opcodes with no inverse.
+    pub fn insert_reverse_store(
+        &mut self,
+        pc: InstAddr,
+        instr: Instr,
+        call_depth: u16,
+        base: PregRef,
+        data: PregRef,
+        creator_seq: u64,
+    ) -> bool {
+        let Some(load_op) = instr.op.inverse() else { return false };
+        self.insert(ItEntry {
+            pc,
+            op: load_op,
+            has_imm: true,
+            imm: instr.disp,
+            call_depth,
+            in1: Some(base),
+            in2: None,
+            out: ItOutput::Value(data),
+            reverse: true,
+            creator_seq,
+        });
+        true
+    }
+
+    /// Creates the reverse entry for a renamed immediate add (§2.4):
+    /// renaming `addq d, s, #imm` (old mapping of `s` = `src`, new
+    /// mapping of `d` = `dst`) creates `<addq/-imm, dst> → src`, so the
+    /// complementary `addq ?, d, #-imm` re-maps to the *original*
+    /// physical register. Applied to `lda sp, -32(sp)` / `lda sp, 32(sp)`
+    /// pairs this restores the pre-call stack-pointer mapping, which is
+    /// what lets save/restore bypassing work across frame pushes.
+    ///
+    /// Returns `false` when the immediate cannot be negated or the opcode
+    /// has no inverse.
+    pub fn insert_reverse_add(
+        &mut self,
+        pc: InstAddr,
+        instr: Instr,
+        call_depth: u16,
+        src: PregRef,
+        dst: PregRef,
+        creator_seq: u64,
+    ) -> bool {
+        let Some(inv_op) = instr.op.inverse() else { return false };
+        let Some(imm) = instr.alu_imm() else { return false };
+        let Some(neg) = imm.checked_neg() else { return false };
+        self.insert(ItEntry {
+            pc,
+            op: inv_op,
+            has_imm: true,
+            imm: neg,
+            call_depth,
+            in1: Some(dst),
+            in2: None,
+            out: ItOutput::Value(src),
+            reverse: true,
+            creator_seq,
+        });
+        true
+    }
+
+    /// Invalidates the entry that produced a mis-integration (identified
+    /// by its tag, inputs and output), preventing repeat offenders and
+    /// livelock after the DIVA flush re-fetches the same instruction.
+    pub fn invalidate(&mut self, key: ItKey, out: ItOutput) {
+        let set = self.key_index(&key);
+        let scheme = self.scheme;
+        for slot in &mut self.sets[set] {
+            if slot.valid
+                && Self::tag_matches(scheme, &slot.entry, &key)
+                && slot.entry.in1 == key.in1
+                && slot.entry.in2 == key.in2
+                && slot.entry.out == out
+            {
+                slot.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Number of valid entries (diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|s| s.valid).count()
+    }
+}
+
+/// Whether `instr` should create a reverse entry under `scope`.
+///
+/// The paper's design point creates them for stack-pointer stores
+/// (register saves) and stack-pointer immediate adds (frame pushes/pops)
+/// only — "the logic to recognise stack-pointer stores and decrements".
+#[must_use]
+pub fn wants_reverse_entry(scope: ReverseScope, instr: Instr) -> bool {
+    match scope {
+        ReverseScope::Off => false,
+        ReverseScope::StackPointer => {
+            let sp_based = instr.src1 == Some(reg::SP);
+            (instr.op.is_store() && sp_based)
+                || (instr.op == Opcode::Addq
+                    && sp_based
+                    && instr.dst == Some(reg::SP)
+                    && instr.alu_imm().is_some())
+        }
+        ReverseScope::AllInvertible => {
+            instr.op.is_store()
+                || (instr.op.inverse().is_some() && instr.alu_imm().is_some())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u16, g: u8) -> PregRef {
+        PregRef::new(n, g)
+    }
+
+    fn add_key(pc: InstAddr, imm: i32, depth: u16, in1: PregRef) -> ItKey {
+        let i = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, imm);
+        ItKey::new(pc, i, depth, Some(in1), None)
+    }
+
+    #[test]
+    fn direct_hit_requires_matching_inputs() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let key = add_key(10, 4, 0, p(7, 1));
+        it.insert_direct(key, p(9, 1), 1);
+        assert!(it.lookup(key).is_some());
+        // Different input preg → miss.
+        assert!(it.lookup(add_key(10, 4, 0, p(8, 1))).is_none());
+        // Same preg, different generation → miss (stale entry filtered).
+        assert!(it.lookup(add_key(10, 4, 0, p(7, 2))).is_none());
+    }
+
+    #[test]
+    fn pc_indexing_requires_same_pc() {
+        let mut it = It::new(64, 4, IndexScheme::Pc);
+        let key = add_key(10, 4, 0, p(7, 1));
+        it.insert_direct(key, p(9, 1), 1);
+        assert!(it.lookup(key).is_some());
+        let other_pc = add_key(11, 4, 0, p(7, 1));
+        assert!(it.lookup(other_pc).is_none(), "different static instruction");
+    }
+
+    #[test]
+    fn opcode_indexing_matches_across_pcs() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let key = add_key(10, 4, 0, p(7, 1));
+        it.insert_direct(key, p(9, 1), 1);
+        let other_pc = add_key(999, 4, 0, p(7, 1));
+        assert!(
+            it.lookup(other_pc).is_some(),
+            "§2.3: different static instructions integrate each other"
+        );
+    }
+
+    #[test]
+    fn reg_form_and_imm_form_distinct() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let ri = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, 0);
+        let rr = Instr::alu_rr(Opcode::Addq, reg::R1, reg::R2, reg::ZERO);
+        let k_ri = ItKey::new(5, ri, 0, Some(p(7, 1)), None);
+        let k_rr = ItKey::new(5, rr, 0, Some(p(7, 1)), Some(p(0, 0)));
+        it.insert_direct(k_ri, p(9, 1), 1);
+        assert!(it.lookup(k_rr).is_none());
+    }
+
+    #[test]
+    fn reverse_store_creates_load_entry() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let st = Instr::store(Opcode::Stq, reg::T0, reg::SP, 8);
+        assert!(it.insert_reverse_store(3, st, 2, p(12, 1), p(20, 1), 50));
+        // The complementary load: ldq ?, 8(sp) with the same base preg.
+        let ld = Instr::load(Opcode::Ldq, reg::T0, reg::SP, 8);
+        let key = ItKey::new(77, ld, 2, Some(p(12, 1)), None);
+        let hit = it.lookup(key).expect("bypassing entry matches");
+        assert_eq!(hit.out, ItOutput::Value(p(20, 1)));
+        assert!(hit.reverse);
+    }
+
+    #[test]
+    fn reverse_add_restores_original_mapping() {
+        // §2.4 working example: lda sp, -32(sp) (old sp = p12, new = p31)
+        // creates <addq/+32, p31> → p12.
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let push = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, -32);
+        assert!(it.insert_reverse_add(4, push, 1, p(12, 1), p(31, 1), 60));
+        let pop = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, 32);
+        let key = ItKey::new(90, pop, 1, Some(p(31, 1)), None);
+        let hit = it.lookup(key).expect("inverse matches");
+        assert_eq!(hit.out, ItOutput::Value(p(12, 1)));
+    }
+
+    #[test]
+    fn reverse_add_rejects_unnegatable_imm() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let i = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, i32::MIN);
+        assert!(!it.insert_reverse_add(4, i, 1, p(12, 1), p(31, 1), 60));
+    }
+
+    #[test]
+    fn branch_entries_roundtrip() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let br = Instr::cond_branch(Opcode::Bne, reg::R1, 55);
+        let key = ItKey::new(20, br, 0, Some(p(5, 2)), None);
+        it.insert_branch(key, true, 9);
+        assert_eq!(it.lookup(key).unwrap().out, ItOutput::Branch(true));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // Fully associative 2-entry table: third insert evicts LRU.
+        let mut it = It::new(2, 2, IndexScheme::OpcodeDepth);
+        let k1 = add_key(1, 100, 0, p(1, 1));
+        let k2 = add_key(2, 200, 0, p(2, 1));
+        let k3 = add_key(3, 300, 0, p(3, 1));
+        it.insert_direct(k1, p(10, 1), 1);
+        it.insert_direct(k2, p(11, 1), 2);
+        assert!(it.lookup(k1).is_some()); // touch k1 → k2 is LRU
+        it.insert_direct(k3, p(12, 1), 3);
+        assert!(it.lookup(k1).is_some());
+        assert!(it.lookup(k2).is_none(), "LRU entry evicted");
+        assert!(it.lookup(k3).is_some());
+        assert_eq!(it.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let key = add_key(10, 4, 0, p(7, 1));
+        it.insert_direct(key, p(9, 1), 1);
+        it.insert_direct(key, p(13, 2), 2);
+        assert_eq!(it.lookup(key).unwrap().out, ItOutput::Value(p(13, 2)));
+        assert_eq!(it.occupancy(), 1, "no duplicate entries");
+    }
+
+    #[test]
+    fn invalidate_removes_offender() {
+        let mut it = It::new(64, 4, IndexScheme::OpcodeDepth);
+        let key = add_key(10, 4, 0, p(7, 1));
+        it.insert_direct(key, p(9, 1), 1);
+        it.invalidate(key, ItOutput::Value(p(9, 1)));
+        assert!(it.lookup(key).is_none());
+        assert_eq!(it.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn call_depth_separates_sets_under_opcode_indexing() {
+        // Same op/imm at different depths indexes different sets (the
+        // §2.3 conflict-relief property). With a direct-mapped table the
+        // two entries must coexist.
+        let mut it = It::new(64, 1, IndexScheme::OpcodeDepth);
+        let k_d1 = add_key(10, 8, 1, p(7, 1));
+        let k_d2 = add_key(10, 8, 2, p(8, 1));
+        it.insert_direct(k_d1, p(9, 1), 1);
+        it.insert_direct(k_d2, p(10, 1), 2);
+        assert!(it.lookup(k_d1).is_some());
+        assert!(it.lookup(k_d2).is_some());
+    }
+
+    #[test]
+    fn wants_reverse_entry_scopes() {
+        let sp_store = Instr::store(Opcode::Stq, reg::T0, reg::SP, 8);
+        let other_store = Instr::store(Opcode::Stq, reg::T0, reg::R2, 8);
+        let sp_push = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, -32);
+        let plain_add = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, 4);
+        let sp_read = Instr::alu_ri(Opcode::Addq, reg::R1, reg::SP, 4);
+
+        assert!(!wants_reverse_entry(ReverseScope::Off, sp_store));
+        assert!(wants_reverse_entry(ReverseScope::StackPointer, sp_store));
+        assert!(wants_reverse_entry(ReverseScope::StackPointer, sp_push));
+        assert!(!wants_reverse_entry(ReverseScope::StackPointer, other_store));
+        assert!(!wants_reverse_entry(ReverseScope::StackPointer, plain_add));
+        assert!(!wants_reverse_entry(ReverseScope::StackPointer, sp_read));
+        assert!(wants_reverse_entry(ReverseScope::AllInvertible, other_store));
+        assert!(wants_reverse_entry(ReverseScope::AllInvertible, plain_add));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad IT geometry")]
+    fn bad_geometry_rejected() {
+        let _ = It::new(0, 4, IndexScheme::Pc);
+    }
+}

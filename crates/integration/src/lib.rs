@@ -1,0 +1,50 @@
+//! # rix-integration: the paper's contribution
+//!
+//! Register integration is a register-renaming discipline that implements
+//! instruction reuse via physical register sharing: a renaming instruction
+//! whose `<operation, input physical registers>` tuple matches an
+//! **integration table** entry points its output logical register at the
+//! entry's output physical register and bypasses the out-of-order engine
+//! entirely. This crate implements the mechanism and all three extensions
+//! from *"Three Extensions to Register Integration"*:
+//!
+//! * [`RefVector`] — the generalised physical register state vector:
+//!   true reference counts with a valid bit (distinguishing the two
+//!   zero-reference states of §2.2) and the per-register *generation
+//!   counters* that kill stale IT entries when a register is reallocated,
+//! * [`It`] — the integration table, holding direct and reverse entries in
+//!   a unified set-associative LRU structure, with either PC indexing
+//!   (squash reuse) or the opcode ⊕ immediate ⊕ call-depth indexing of
+//!   §2.3,
+//! * reverse-entry construction for stores and invertible adds (§2.4),
+//!   which yields free speculative memory bypassing for stack
+//!   save/restore pairs,
+//! * [`Lisp`] — the load integration suppression predictor,
+//! * [`MapTable`] — pointer-based rename map storing `(preg, generation)`
+//!   pairs,
+//! * [`IntegrationConfig`] — configuration presets matching the paper's
+//!   four experiment arms (`squash`, `+general`, `+opcode`, `+reverse`),
+//! * [`stats`] — the retirement-stream accounting behind Figures 4 and 5.
+//!
+//! The pipeline that drives all of this lives in `rix-sim`; this crate is
+//! pure mechanism and is exhaustively unit- and property-tested on its
+//! own invariants (reference-count conservation, generation-counter
+//! filtering, LRU behaviour, reverse-entry algebra).
+
+pub mod config;
+pub mod it;
+pub mod lisp;
+pub mod map;
+pub mod preg;
+pub mod refvec;
+pub mod stats;
+
+pub use config::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
+pub use it::{It, ItEntry, ItKey, ItOutput};
+pub use lisp::Lisp;
+pub use map::MapTable;
+pub use preg::PregRef;
+pub use refvec::{RefVector, RegSnapshot, ZeroKind};
+pub use stats::{
+    IntegrationEvent, IntegrationKind, IntegrationStats, IntegrationType, ResultStatus,
+};

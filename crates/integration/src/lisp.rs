@@ -1,0 +1,146 @@
+//! The load integration suppression predictor (LISP).
+//!
+//! Load mis-integrations — a load integrating despite an intervening
+//! conflicting store — cannot be detected by the integration mechanism,
+//! which tracks only register dependences. They are, however, functions
+//! of store-load dependences and therefore predictable. The LISP is a
+//! PC-indexed *tag cache*: a load whose PC hits is suppressed from
+//! integrating. It is trained by inserting the PC of every load that
+//! mis-integrates, and deliberately **overbiased** (§3.1): it suppresses
+//! as many integrations as possible even at the expense of false
+//! suppressions, because a mis-integration costs a full pipeline flush.
+
+use rix_isa::InstAddr;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    pc: InstAddr,
+    valid: bool,
+    lru: u64,
+}
+
+/// PC-indexed set-associative suppression tag cache (paper default:
+/// 1K entries, 2-way).
+#[derive(Clone, Debug)]
+pub struct Lisp {
+    sets: Vec<Vec<Entry>>,
+    num_sets: u64,
+    stamp: u64,
+    suppressions: u64,
+    insertions: u64,
+}
+
+impl Lisp {
+    /// Creates a LISP with `entries` total entries and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways` or either is zero.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways), "bad LISP geometry");
+        let num_sets = (entries / ways) as u64;
+        Self {
+            sets: vec![vec![Entry::default(); ways]; num_sets as usize],
+            num_sets,
+            stamp: 0,
+            suppressions: 0,
+            insertions: 0,
+        }
+    }
+
+    fn set_of(&self, pc: InstAddr) -> usize {
+        (pc % self.num_sets) as usize
+    }
+
+    /// Whether the load at `pc` should be suppressed from integrating.
+    /// A hit refreshes the entry (recently offending loads stay
+    /// suppressed).
+    pub fn suppress(&mut self, pc: InstAddr) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(pc);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.pc == pc) {
+            e.lru = stamp;
+            self.suppressions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Trains the predictor with a mis-integrating load's PC.
+    pub fn train(&mut self, pc: InstAddr) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(pc);
+        let lines = &mut self.sets[set];
+        if let Some(e) = lines.iter_mut().find(|e| e.valid && e.pc == pc) {
+            e.lru = stamp;
+            return;
+        }
+        self.insertions += 1;
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("LISP set non-empty");
+        *victim = Entry { pc, valid: true, lru: stamp };
+    }
+
+    /// Number of integrations suppressed.
+    #[must_use]
+    pub fn suppressions(&self) -> u64 {
+        self.suppressions
+    }
+
+    /// Number of distinct offender insertions.
+    #[must_use]
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_pc_not_suppressed() {
+        let mut l = Lisp::new(16, 2);
+        assert!(!l.suppress(100));
+    }
+
+    #[test]
+    fn trained_pc_suppressed() {
+        let mut l = Lisp::new(16, 2);
+        l.train(100);
+        assert!(l.suppress(100));
+        assert!(!l.suppress(101));
+        assert_eq!(l.suppressions(), 1);
+    }
+
+    #[test]
+    fn retrain_refreshes_not_duplicates() {
+        let mut l = Lisp::new(16, 2);
+        l.train(100);
+        l.train(100);
+        assert_eq!(l.insertions(), 1);
+    }
+
+    #[test]
+    fn conflict_evicts_lru() {
+        let mut l = Lisp::new(4, 2); // 2 sets, 2 ways: PCs 0,2,4 share set 0
+        l.train(0);
+        l.train(2);
+        assert!(l.suppress(0)); // refresh 0 → 2 is LRU
+        l.train(4); // evicts 2
+        assert!(l.suppress(0));
+        assert!(!l.suppress(2));
+        assert!(l.suppress(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad LISP geometry")]
+    fn bad_geometry_rejected() {
+        let _ = Lisp::new(3, 2);
+    }
+}

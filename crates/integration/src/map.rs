@@ -1,0 +1,83 @@
+//! The pointer-based rename map table.
+//!
+//! Maps each logical register to its current `(physical register,
+//! generation)` pair. Storing the generation in the map table is part of
+//! the §2.2 mis-integration defence: IT entries copy the generation from
+//! here when created, and the integration test requires both the register
+//! number *and* the counter to match.
+//!
+//! Squash recovery is performed by the core walking the ROB backwards and
+//! calling [`MapTable::set`] with each instruction's previous mapping —
+//! the serial-undo scheme the paper describes (checkpoint-based recovery
+//! would be an optimisation with identical semantics).
+
+use crate::preg::PregRef;
+use rix_isa::reg::NUM_LOG_REGS;
+use rix_isa::LogReg;
+
+/// The logical→physical rename map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapTable {
+    map: Vec<PregRef>,
+}
+
+impl MapTable {
+    /// Creates a map with every logical register pointing at `init`
+    /// (callers re-point each register at its reset physical register).
+    #[must_use]
+    pub fn new(init: PregRef) -> Self {
+        Self { map: vec![init; NUM_LOG_REGS] }
+    }
+
+    /// Current mapping of `r`.
+    #[must_use]
+    pub fn get(&self, r: LogReg) -> PregRef {
+        self.map[r.index()]
+    }
+
+    /// Re-points `r` at `p`, returning the previous mapping.
+    pub fn set(&mut self, r: LogReg, p: PregRef) -> PregRef {
+        std::mem::replace(&mut self.map[r.index()], p)
+    }
+
+    /// Iterates over all `(logical, physical)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LogReg, PregRef)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (LogReg::new(i as u8), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::reg;
+
+    #[test]
+    fn set_returns_old_mapping() {
+        let mut m = MapTable::new(PregRef::new(0, 0));
+        let old = m.set(reg::R1, PregRef::new(5, 1));
+        assert_eq!(old, PregRef::new(0, 0));
+        assert_eq!(m.get(reg::R1), PregRef::new(5, 1));
+        assert_eq!(m.get(reg::R2), PregRef::new(0, 0), "others untouched");
+    }
+
+    #[test]
+    fn serial_undo_restores() {
+        let mut m = MapTable::new(PregRef::new(0, 0));
+        let old1 = m.set(reg::R1, PregRef::new(5, 1));
+        let old2 = m.set(reg::R1, PregRef::new(6, 1));
+        // Undo in reverse order.
+        m.set(reg::R1, old2);
+        m.set(reg::R1, old1);
+        assert_eq!(m.get(reg::R1), PregRef::new(0, 0));
+    }
+
+    #[test]
+    fn iter_covers_all_registers() {
+        let m = MapTable::new(PregRef::new(3, 2));
+        assert_eq!(m.iter().count(), NUM_LOG_REGS);
+        assert!(m.iter().all(|(_, p)| p == PregRef::new(3, 2)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Physical register references.
+
+use std::fmt;
+
+/// A physical register paired with its generation counter.
+///
+/// Generation counters (§2.2, "avoiding register mis-integrations") are
+/// short wrap-around counters incremented on every reallocation. They are
+/// stored in the map table and copied into IT entries at creation; the
+/// integration logic signals success only when *both* the register number
+/// and the counter match, which simulates invalidating all IT entries
+/// that name a reallocated register. N-bit counters cut register
+/// mis-integrations by 2^N (one input) or 2^2N (two inputs); the paper
+/// found 4 bits eliminate virtually all of them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PregRef {
+    /// Physical register number.
+    pub preg: u16,
+    /// Generation at the time the reference was captured.
+    pub gen: u8,
+}
+
+impl PregRef {
+    /// Creates a reference to `preg` at generation `gen`.
+    #[must_use]
+    pub fn new(preg: u16, gen: u8) -> Self {
+        Self { preg, gen }
+    }
+}
+
+impl fmt::Debug for PregRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}g{}", self.preg, self.gen)
+    }
+}
+
+impl fmt::Display for PregRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.preg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_preg_different_gen_unequal() {
+        assert_ne!(PregRef::new(5, 0), PregRef::new(5, 1));
+        assert_eq!(PregRef::new(5, 3), PregRef::new(5, 3));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let r = PregRef::new(12, 3);
+        assert_eq!(format!("{r:?}"), "p12g3");
+        assert_eq!(r.to_string(), "p12");
+    }
+}

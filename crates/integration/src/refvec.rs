@@ -1,0 +1,480 @@
+//! The physical register state vector, generalised to reference counts.
+//!
+//! Squash reuse needed only three states per register (free / active /
+//! squashed) because a physical register was mapped by at most one logical
+//! register instance at a time. General reuse (§2.2) removes that
+//! invariant: a register may be simultaneously mapped by any number of
+//! in-flight and retired-but-not-overwritten logical instances. The state
+//! vector therefore holds a **true reference count** — the number of
+//! active mappings — plus:
+//!
+//! * a **valid bit** distinguishing the two zero-reference states: `0/T`
+//!   ("currently unused but holds a useful, integration-eligible value")
+//!   and `0/F` ("holds garbage" — the output of a squashed instruction
+//!   that never executed, whose integration would deadlock the machine),
+//! * a wrap-around **generation counter**, incremented on reallocation,
+//!   that filters stale IT entries,
+//! * a **written** flag recording whether the producing instruction has
+//!   executed — this is what decides `0/T` vs `0/F` when a squash
+//!   completely unmaps a register.
+//!
+//! Mapping operations (allocation, integration) increment the count;
+//! unmapping operations (squash undo, architectural overwrite at commit)
+//! decrement it. Retirement itself does not change the count. A register
+//! is reclaimable exactly when its count is zero; allocation scans
+//! circularly (FIFO reclamation), which — combined with IT LRU — is the
+//! paper's "disjoint organisation" approximation of coordinated
+//! replacement.
+
+use crate::preg::PregRef;
+
+/// Interpretation of a zero-reference register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroKind {
+    /// Never written, or squashed before executing: garbage, not
+    /// integration eligible (the `0/F` state).
+    Garbage,
+    /// Completely unmapped by a squash after its value was produced
+    /// (the squash-reuse `squashed` state; `0/T`).
+    Squashed,
+    /// Unmapped by architectural overwrite at commit (shadowed; `0/T`).
+    Shadowed,
+}
+
+/// Public snapshot of one register's state (for tests and diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegSnapshot {
+    /// Active mapping count.
+    pub count: u8,
+    /// Current generation.
+    pub gen: u8,
+    /// Whether the register holds an executed value.
+    pub written: bool,
+    /// Zero-state interpretation (meaningful only when `count == 0`).
+    pub kind: ZeroKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Reg {
+    count: u8,
+    gen: u8,
+    written: bool,
+    kind: ZeroKind,
+    pinned: bool,
+}
+
+/// The reference-count vector over all physical registers.
+#[derive(Clone, Debug)]
+pub struct RefVector {
+    regs: Vec<Reg>,
+    alloc_ptr: usize,
+    gen_mask: u8,
+    max_count: u8,
+    saturation_rejects: u64,
+}
+
+impl RefVector {
+    /// Creates a vector of `num_pregs` registers, all free (`0/F`), with
+    /// `gen_bits`-bit generation counters and `count_bits`-bit reference
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pregs == 0`, `gen_bits` is 0 or > 8, or
+    /// `count_bits` is 0 or > 8.
+    #[must_use]
+    pub fn new(num_pregs: usize, gen_bits: u32, count_bits: u32) -> Self {
+        assert!(num_pregs > 0, "need at least one physical register");
+        assert!((1..=8).contains(&gen_bits), "generation counters are 1-8 bits");
+        assert!((1..=8).contains(&count_bits), "reference counters are 1-8 bits");
+        Self {
+            regs: vec![
+                Reg {
+                    count: 0,
+                    gen: 0,
+                    written: false,
+                    kind: ZeroKind::Garbage,
+                    pinned: false,
+                };
+                num_pregs
+            ],
+            alloc_ptr: 0,
+            gen_mask: ((1u16 << gen_bits) - 1) as u8,
+            max_count: ((1u16 << count_bits) - 1) as u8,
+            saturation_rejects: 0,
+        }
+    }
+
+    /// Number of physical registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the vector is empty (never true for a constructed vector).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Pins `preg` with one permanent mapping and an executed value
+    /// (used for the architectural reset state and the zero register).
+    ///
+    /// Returns the pinned reference.
+    pub fn pin(&mut self, preg: u16) -> PregRef {
+        let r = &mut self.regs[preg as usize];
+        r.count = 1;
+        r.written = true;
+        r.pinned = true;
+        PregRef::new(preg, r.gen)
+    }
+
+    /// Allocates a free register (count 0, not pinned) by circular scan,
+    /// bumping its generation. Returns `None` when no register is free.
+    pub fn alloc(&mut self) -> Option<PregRef> {
+        let n = self.regs.len();
+        for off in 0..n {
+            let idx = (self.alloc_ptr + off) % n;
+            let r = &mut self.regs[idx];
+            if r.count == 0 && !r.pinned {
+                r.gen = (r.gen + 1) & self.gen_mask;
+                r.count = 1;
+                r.written = false;
+                r.kind = ZeroKind::Garbage;
+                self.alloc_ptr = (idx + 1) % n;
+                return Some(PregRef::new(idx as u16, r.gen));
+            }
+        }
+        None
+    }
+
+    /// Number of registers currently allocatable.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.regs.iter().filter(|r| r.count == 0 && !r.pinned).count()
+    }
+
+    /// Whether `r` may be integrated under *general* reuse: the generation
+    /// matches (the register has not been reallocated), the register is
+    /// not garbage, and the reference count is not saturated.
+    pub fn eligible_general(&mut self, r: PregRef) -> bool {
+        let Some(reg) = self.regs.get(r.preg as usize) else { return false };
+        if reg.gen != r.gen {
+            return false;
+        }
+        if reg.count == 0 && reg.kind == ZeroKind::Garbage {
+            return false;
+        }
+        if reg.count >= self.max_count {
+            self.saturation_rejects += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Whether `r` may be integrated under *squash-only* reuse: exactly
+    /// the `squashed` zero-reference state of the original mechanism.
+    #[must_use]
+    pub fn eligible_squash(&self, r: PregRef) -> bool {
+        self.regs.get(r.preg as usize).is_some_and(|reg| {
+            reg.gen == r.gen && reg.count == 0 && reg.kind == ZeroKind::Squashed
+        })
+    }
+
+    /// Integrates `r`: increments its reference count.
+    ///
+    /// Returns the count *after* the increment (the Figure 5 "Refcount"
+    /// statistic), or `None` if `r` is not integration-eligible (callers
+    /// should have checked eligibility first).
+    pub fn integrate(&mut self, r: PregRef) -> Option<u8> {
+        if self.regs[r.preg as usize].gen != r.gen
+            || self.regs[r.preg as usize].count >= self.max_count
+        {
+            return None;
+        }
+        let reg = &mut self.regs[r.preg as usize];
+        reg.count += 1;
+        Some(reg.count)
+    }
+
+    /// Marks the producing instruction's value as present (at writeback).
+    pub fn mark_written(&mut self, r: PregRef) {
+        let reg = &mut self.regs[r.preg as usize];
+        if reg.gen == r.gen {
+            reg.written = true;
+        }
+    }
+
+    /// Whether the value for `r` has been produced.
+    #[must_use]
+    pub fn written(&self, r: PregRef) -> bool {
+        let reg = &self.regs[r.preg as usize];
+        reg.gen == r.gen && reg.written
+    }
+
+    /// Unmaps on architectural overwrite: the retiring instruction's
+    /// destination shadows the previous mapping of the same logical
+    /// register. On reaching zero the register stays integration eligible
+    /// (`0/T`, shadowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero — reference counts must be
+    /// conserved, and an underflow means a leak elsewhere.
+    pub fn unmap_shadow(&mut self, r: PregRef) {
+        let reg = &mut self.regs[r.preg as usize];
+        if reg.pinned || reg.gen != r.gen {
+            return;
+        }
+        assert!(reg.count > 0, "shadow unmap of unmapped register p{}", r.preg);
+        reg.count -= 1;
+        if reg.count == 0 {
+            reg.kind = ZeroKind::Shadowed;
+        }
+    }
+
+    /// Unmaps on squash undo (the squashed instruction's own output
+    /// mapping, whether allocated or integrated). On reaching zero the
+    /// register becomes `0/T` (squashed) if its value was produced, `0/F`
+    /// (garbage) otherwise — the §2.2 deadlock-avoidance rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero.
+    pub fn unmap_squash(&mut self, r: PregRef) {
+        let reg = &mut self.regs[r.preg as usize];
+        if reg.pinned || reg.gen != r.gen {
+            return;
+        }
+        assert!(reg.count > 0, "squash unmap of unmapped register p{}", r.preg);
+        reg.count -= 1;
+        if reg.count == 0 {
+            reg.kind = if reg.written { ZeroKind::Squashed } else { ZeroKind::Garbage };
+        }
+    }
+
+    /// Snapshot of one register (for tests/diagnostics).
+    #[must_use]
+    pub fn snapshot(&self, preg: u16) -> RegSnapshot {
+        let r = &self.regs[preg as usize];
+        RegSnapshot { count: r.count, gen: r.gen, written: r.written, kind: r.kind }
+    }
+
+    /// Sum of all reference counts (for conservation checks).
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.regs.iter().map(|r| u64::from(r.count)).sum()
+    }
+
+    /// Integrations rejected because the counter was saturated.
+    #[must_use]
+    pub fn saturation_rejects(&self) -> u64 {
+        self.saturation_rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rv() -> RefVector {
+        RefVector::new(8, 4, 4)
+    }
+
+    #[test]
+    fn alloc_bumps_generation() {
+        let mut v = rv();
+        let a = v.alloc().unwrap();
+        assert_eq!(a.gen, 1);
+        assert_eq!(v.snapshot(a.preg).count, 1);
+        // Free it via squash (unwritten → garbage), realloc bumps again.
+        v.unmap_squash(a);
+        let b = v.alloc().unwrap();
+        // Circular scan moved on; eventually the same preg reallocates
+        // with gen 2 — force it by exhausting.
+        let _ = b;
+        for _ in 0..7 {
+            let _ = v.alloc();
+        }
+        assert!(v.alloc().is_none(), "all 8 allocated");
+    }
+
+    #[test]
+    fn generation_wraps() {
+        let mut v = RefVector::new(1, 2, 4); // single reg, 2-bit gen
+        let mut gens = Vec::new();
+        for _ in 0..6 {
+            let r = v.alloc().unwrap();
+            gens.push(r.gen);
+            v.unmap_squash(r);
+        }
+        assert_eq!(gens, vec![1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn stale_reference_ineligible() {
+        let mut v = rv();
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        v.unmap_squash(a); // 0/T squashed
+        assert!(v.eligible_general(a));
+        // Reallocate the same preg (exhaust others first).
+        let mut realloc = None;
+        for _ in 0..10 {
+            if let Some(b) = v.alloc() {
+                if b.preg == a.preg {
+                    realloc = Some(b);
+                    break;
+                }
+            }
+        }
+        let realloc = realloc.expect("preg reallocated");
+        assert_ne!(realloc.gen, a.gen);
+        assert!(!v.eligible_general(a), "old generation filtered");
+        assert!(v.eligible_general(realloc) || v.snapshot(realloc.preg).count > 0);
+    }
+
+    #[test]
+    fn two_zero_states() {
+        let mut v = rv();
+        // Executed then squashed → 0/T (squashed), eligible.
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        v.unmap_squash(a);
+        assert_eq!(v.snapshot(a.preg).kind, ZeroKind::Squashed);
+        assert!(v.eligible_general(a));
+        assert!(v.eligible_squash(a));
+        // Never executed, squashed → 0/F (garbage), not eligible.
+        let b = v.alloc().unwrap();
+        v.unmap_squash(b);
+        assert_eq!(v.snapshot(b.preg).kind, ZeroKind::Garbage);
+        assert!(!v.eligible_general(b));
+        assert!(!v.eligible_squash(b));
+    }
+
+    #[test]
+    fn shadowed_state_eligible_general_not_squash() {
+        let mut v = rv();
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        v.unmap_shadow(a); // architectural overwrite
+        assert_eq!(v.snapshot(a.preg).kind, ZeroKind::Shadowed);
+        assert!(v.eligible_general(a));
+        assert!(!v.eligible_squash(a), "squash reuse only reuses squashed registers");
+    }
+
+    #[test]
+    fn simultaneous_sharing() {
+        let mut v = rv();
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        assert!(v.eligible_general(a), "in-flight results are reusable");
+        assert_eq!(v.integrate(a), Some(2));
+        assert_eq!(v.integrate(a), Some(3));
+        assert_eq!(v.snapshot(a.preg).count, 3);
+        // Unmapping twice leaves the original mapping.
+        v.unmap_squash(a);
+        v.unmap_shadow(a);
+        assert_eq!(v.snapshot(a.preg).count, 1);
+    }
+
+    #[test]
+    fn saturation_rejects_integration() {
+        let mut v = RefVector::new(2, 4, 2); // 2-bit counters: max 3
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        assert_eq!(v.integrate(a), Some(2));
+        assert_eq!(v.integrate(a), Some(3));
+        assert!(!v.eligible_general(a), "saturated");
+        assert_eq!(v.integrate(a), None);
+        assert_eq!(v.saturation_rejects(), 1);
+    }
+
+    #[test]
+    fn pinned_never_allocated_or_unmapped() {
+        let mut v = rv();
+        let z = v.pin(0);
+        for _ in 0..7 {
+            let r = v.alloc().unwrap();
+            assert_ne!(r.preg, 0);
+            let _ = r;
+        }
+        assert!(v.alloc().is_none());
+        v.unmap_shadow(z); // no-op on pinned
+        assert_eq!(v.snapshot(0).count, 1);
+    }
+
+    #[test]
+    fn retirement_does_not_change_count() {
+        // §2.2: "the retirement of an instruction does not change the
+        // reference count of its output physical register." Only the
+        // *shadowed* register is decremented — modelled by the caller
+        // invoking unmap_shadow on the old mapping only.
+        let mut v = rv();
+        let out = v.alloc().unwrap();
+        let old = v.alloc().unwrap();
+        v.mark_written(out);
+        v.mark_written(old);
+        let before = v.snapshot(out.preg).count;
+        v.unmap_shadow(old);
+        assert_eq!(v.snapshot(out.preg).count, before);
+        assert_eq!(v.snapshot(old.preg).count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow unmap of unmapped")]
+    fn underflow_detected() {
+        let mut v = rv();
+        let a = v.alloc().unwrap();
+        v.mark_written(a);
+        v.unmap_shadow(a);
+        v.unmap_shadow(a); // underflow
+    }
+
+    proptest! {
+        /// Reference counts are conserved: after any interleaving of
+        /// alloc/integrate/unmap pairs, total count equals live mappings.
+        #[test]
+        fn count_conservation(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut v = RefVector::new(16, 4, 4);
+            let mut live: Vec<PregRef> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some(r) = v.alloc() {
+                            v.mark_written(r);
+                            live.push(r);
+                        }
+                    }
+                    1 => {
+                        if let Some(&r) = live.first() {
+                            if v.eligible_general(r) && v.integrate(r).is_some() {
+                                live.push(r);
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(r) = live.pop() {
+                            v.unmap_squash(r);
+                        }
+                    }
+                }
+                prop_assert_eq!(v.total_count(), live.len() as u64);
+            }
+        }
+
+        /// A garbage register is never integration-eligible, under either
+        /// reuse discipline.
+        #[test]
+        fn garbage_never_eligible(n in 1usize..10) {
+            let mut v = RefVector::new(16, 4, 4);
+            for _ in 0..n {
+                let r = v.alloc().unwrap();
+                v.unmap_squash(r); // never written
+                prop_assert!(!v.eligible_general(r));
+                prop_assert!(!v.eligible_squash(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! A small assembler with labels for building [`Program`]s.
+//!
+//! [`Asm`] is a non-consuming builder: emit instructions with the mnemonic
+//! methods, mark positions with [`Asm::label`], and resolve everything with
+//! [`Asm::assemble`]. Forward references are allowed.
+//!
+//! ```
+//! use rix_isa::{Asm, reg};
+//!
+//! let mut a = Asm::new();
+//! a.addq_i(reg::R1, reg::ZERO, 3);
+//! a.label("loop");
+//! a.subq_i(reg::R1, reg::R1, 1);
+//! a.bne(reg::R1, "loop");
+//! a.halt();
+//! let p = a.assemble()?;
+//! assert_eq!(p.fetch(2).unwrap().target, 1);
+//! # Ok::<(), rix_isa::AsmError>(())
+//! ```
+
+use crate::instr::Instr;
+use crate::opcode::Opcode;
+use crate::program::{DataSegment, Program};
+use crate::reg::LogReg;
+use crate::{DataAddr, InstAddr};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembler state: instructions emitted so far, label definitions, and
+/// pending fixups.
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, InstAddr>,
+    fixups: Vec<(usize, String)>,
+    data: Vec<DataSegment>,
+    entry: Option<String>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let here = self.instrs.len() as InstAddr;
+        if self.labels.insert(name.clone(), here).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+        self
+    }
+
+    /// The current position (address of the next emitted instruction).
+    #[must_use]
+    pub fn here(&self) -> InstAddr {
+        self.instrs.len() as InstAddr
+    }
+
+    /// Sets the entry point to a label (defaults to address 0).
+    pub fn entry(&mut self, label: impl Into<String>) -> &mut Self {
+        self.entry = Some(label.into());
+        self
+    }
+
+    /// Adds an initialised data segment.
+    pub fn data(&mut self, base: DataAddr, words: impl Into<Vec<u64>>) -> &mut Self {
+        self.data.push(DataSegment { base, words: words.into() });
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit_fixup(&mut self, i: Instr, label: impl Into<String>) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.into()));
+        self.instrs.push(i);
+        self
+    }
+
+    /// Resolves labels and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a branch references an
+    /// undefined label, and [`AsmError::DuplicateLabel`] if a label was
+    /// defined more than once.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if let Some(name) = &self.duplicate {
+            return Err(AsmError::DuplicateLabel(name.clone()));
+        }
+        let mut instrs = self.instrs.clone();
+        for (idx, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            instrs[*idx].target = target;
+        }
+        let entry = match &self.entry {
+            Some(label) => *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?,
+            None => 0,
+        };
+        Ok(Program::from_parts(instrs, entry, self.data.clone()))
+    }
+}
+
+macro_rules! alu_methods {
+    ($( $(#[$meta:meta])* ($rr:ident, $ri:ident, $op:ident) ),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$meta])*
+                pub fn $rr(&mut self, d: LogReg, a: LogReg, b: LogReg) -> &mut Self {
+                    self.emit(Instr::alu_rr(Opcode::$op, d, a, b))
+                }
+
+                /// Immediate form of the same operation.
+                pub fn $ri(&mut self, d: LogReg, a: LogReg, imm: i32) -> &mut Self {
+                    self.emit(Instr::alu_ri(Opcode::$op, d, a, imm))
+                }
+            )+
+        }
+    };
+}
+
+alu_methods! {
+    /// `addq d, a, b`
+    (addq, addq_i, Addq),
+    /// `subq d, a, b`
+    (subq, subq_i, Subq),
+    /// `mulq d, a, b` (complex integer)
+    (mulq, mulq_i, Mulq),
+    /// `and d, a, b`
+    (and_, and_i, And),
+    /// `or d, a, b`
+    (or_, or_i, Or),
+    /// `xor d, a, b`
+    (xor_, xor_i, Xor),
+    /// `sll d, a, b`
+    (sll, sll_i, Sll),
+    /// `srl d, a, b`
+    (srl, srl_i, Srl),
+    /// `sra d, a, b`
+    (sra, sra_i, Sra),
+    /// `cmpeq d, a, b`
+    (cmpeq, cmpeq_i, Cmpeq),
+    /// `cmplt d, a, b`
+    (cmplt, cmplt_i, Cmplt),
+    /// `cmple d, a, b`
+    (cmple, cmple_i, Cmple),
+    /// `cmpult d, a, b`
+    (cmpult, cmpult_i, Cmpult),
+    /// `addt d, a, b` (floating point)
+    (addt, addt_i, Addt),
+    /// `subt d, a, b` (floating point)
+    (subt, subt_i, Subt),
+    /// `mult d, a, b` (floating point)
+    (mult, mult_i, Mult),
+    /// `divt d, a, b` (floating point)
+    (divt, divt_i, Divt),
+}
+
+macro_rules! branch_methods {
+    ($( $(#[$meta:meta])* ($name:ident, $op:ident) ),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$meta])*
+                pub fn $name(&mut self, cond: LogReg, label: impl Into<String>) -> &mut Self {
+                    self.emit_fixup(Instr::cond_branch(Opcode::$op, cond, 0), label)
+                }
+            )+
+        }
+    };
+}
+
+branch_methods! {
+    /// Branch if `cond == 0`.
+    (beq, Beq),
+    /// Branch if `cond != 0`.
+    (bne, Bne),
+    /// Branch if `cond < 0` (signed).
+    (blt, Blt),
+    /// Branch if `cond >= 0` (signed).
+    (bge, Bge),
+    /// Branch if `cond > 0` (signed).
+    (bgt, Bgt),
+    /// Branch if `cond <= 0` (signed).
+    (ble, Ble),
+}
+
+impl Asm {
+    /// `lda d, imm(a)` — Alpha's load-address, an alias for `addq_i`. This
+    /// is the frame push/pop instruction reverse integration inverts.
+    pub fn lda(&mut self, d: LogReg, imm: i32, a: LogReg) -> &mut Self {
+        self.addq_i(d, a, imm)
+    }
+
+    /// `ldq d, disp(base)` — 64-bit load.
+    pub fn ldq(&mut self, d: LogReg, disp: i32, base: LogReg) -> &mut Self {
+        self.emit(Instr::load(Opcode::Ldq, d, base, disp))
+    }
+
+    /// `ldl d, disp(base)` — 32-bit sign-extending load.
+    pub fn ldl(&mut self, d: LogReg, disp: i32, base: LogReg) -> &mut Self {
+        self.emit(Instr::load(Opcode::Ldl, d, base, disp))
+    }
+
+    /// `stq data, disp(base)` — 64-bit store.
+    pub fn stq(&mut self, data: LogReg, disp: i32, base: LogReg) -> &mut Self {
+        self.emit(Instr::store(Opcode::Stq, data, base, disp))
+    }
+
+    /// `stl data, disp(base)` — 32-bit store.
+    pub fn stl(&mut self, data: LogReg, disp: i32, base: LogReg) -> &mut Self {
+        self.emit(Instr::store(Opcode::Stl, data, base, disp))
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: impl Into<String>) -> &mut Self {
+        self.emit_fixup(Instr::br(0), label)
+    }
+
+    /// Direct call to `label` (writes `ra`).
+    pub fn jsr(&mut self, label: impl Into<String>) -> &mut Self {
+        self.emit_fixup(Instr::jsr(0), label)
+    }
+
+    /// Indirect return through `ra`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::ret())
+    }
+
+    /// System call.
+    pub fn syscall(&mut self) -> &mut Self {
+        self.emit(Instr::syscall())
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::nop())
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::halt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        a.br("end"); // forward reference
+        a.label("top");
+        a.nop();
+        a.bne(reg::R1, "top"); // backward reference
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0).unwrap().target, 3);
+        assert_eq!(p.fetch(2).unwrap().target, 1);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new();
+        a.br("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("main");
+        a.halt();
+        a.entry("main");
+        assert_eq!(a.assemble().unwrap().entry(), 1);
+    }
+
+    #[test]
+    fn lda_is_addq_imm() {
+        let mut a = Asm::new();
+        a.lda(reg::SP, -32, reg::SP);
+        let p = a.assemble().unwrap();
+        let i = p.fetch(0).unwrap();
+        assert_eq!(i.op, Opcode::Addq);
+        assert_eq!(i.alu_imm(), Some(-32));
+    }
+
+    #[test]
+    fn save_restore_idiom() {
+        // The §2.4 working example: save, frame push, body, pop, restore.
+        let mut a = Asm::new();
+        a.stq(reg::T0, 8, reg::SP);
+        a.jsr("f");
+        a.halt();
+        a.label("f");
+        a.lda(reg::SP, -32, reg::SP);
+        a.stq(reg::S0, 4, reg::SP);
+        a.ldq(reg::S0, 4, reg::SP);
+        a.lda(reg::SP, 32, reg::SP);
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.fetch(1).unwrap().target, 3);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AsmError::UndefinedLabel("x".into()).to_string(),
+            "undefined label `x`"
+        );
+        assert_eq!(
+            AsmError::DuplicateLabel("y".into()).to_string(),
+            "duplicate label `y`"
+        );
+    }
+
+    #[test]
+    fn data_segments_pass_through() {
+        let mut a = Asm::new();
+        a.data(0x2000, vec![9, 8, 7]);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.data_segments()[0].base, 0x2000);
+        assert_eq!(p.data_segments()[0].words.len(), 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Dense 64-bit binary instruction encoding.
+//!
+//! The simulator operates on decoded [`Instr`] values, but the ISA defines
+//! a real machine encoding so programs have a concrete size (8 bytes per
+//! instruction — what the instruction cache model charges for a fetch) and
+//! so the decoded form can be validated by a lossless round-trip.
+//!
+//! Word layout (little-endian bit numbering):
+//!
+//! | bits   | field |
+//! |--------|-------|
+//! | 0–7    | opcode |
+//! | 8–15   | `dst` register (0xFF = none) |
+//! | 16–23  | `src1` register (0xFF = none) |
+//! | 24–31  | `src2`: register index, 0xFE = immediate form, 0xFF = none |
+//! | 32–63  | payload: ALU immediate, memory displacement, or branch target |
+
+use crate::instr::{Instr, Operand};
+use crate::opcode::Opcode;
+use crate::reg::LogReg;
+use std::error::Error;
+use std::fmt;
+
+const NONE: u8 = 0xff;
+const IMM: u8 = 0xfe;
+
+/// Bytes per encoded instruction.
+pub const INSTR_BYTES: u64 = 8;
+
+/// Error produced by [`encode`] / [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The opcode byte did not name a RIX opcode.
+    BadOpcode(u8),
+    /// A register field held an invalid index.
+    BadRegister(u8),
+    /// A branch target did not fit in the 32-bit payload.
+    TargetOverflow(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#x}"),
+            CodecError::BadRegister(b) => write!(f, "invalid register field {b:#x}"),
+            CodecError::TargetOverflow(t) => write!(f, "branch target {t} exceeds 32 bits"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Encodes an instruction into its 64-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`CodecError::TargetOverflow`] if a direct branch target does
+/// not fit in 32 bits.
+pub fn encode(i: Instr) -> Result<u64, CodecError> {
+    let payload: u32 = if i.op.is_control() && i.op != Opcode::Ret {
+        u32::try_from(i.target).map_err(|_| CodecError::TargetOverflow(i.target))?
+    } else if i.op.is_mem() {
+        i.disp as u32
+    } else {
+        match i.src2 {
+            Some(Operand::Imm(v)) => v as u32,
+            _ => 0,
+        }
+    };
+    let (src2, _imm_in_payload) = match i.src2 {
+        None => (NONE, false),
+        Some(Operand::Reg(r)) => (r.raw(), false),
+        Some(Operand::Imm(_)) => (IMM, true),
+    };
+    let word = u64::from(i.op.code())
+        | (u64::from(i.dst.map_or(NONE, LogReg::raw)) << 8)
+        | (u64::from(i.src1.map_or(NONE, LogReg::raw)) << 16)
+        | (u64::from(src2) << 24)
+        | (u64::from(payload) << 32);
+    Ok(word)
+}
+
+/// Decodes a 64-bit machine word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadOpcode`] or [`CodecError::BadRegister`] for
+/// malformed words.
+pub fn decode(word: u64) -> Result<Instr, CodecError> {
+    let op = Opcode::from_code((word & 0xff) as u8)
+        .ok_or(CodecError::BadOpcode((word & 0xff) as u8))?;
+    let reg_field = |b: u8| -> Result<Option<LogReg>, CodecError> {
+        if b == NONE {
+            Ok(None)
+        } else {
+            LogReg::try_new(b).map(Some).ok_or(CodecError::BadRegister(b))
+        }
+    };
+    let dst = reg_field((word >> 8) as u8)?;
+    let src1 = reg_field((word >> 16) as u8)?;
+    let src2_raw = (word >> 24) as u8;
+    let payload = (word >> 32) as u32;
+    let src2 = match src2_raw {
+        NONE => None,
+        IMM => Some(Operand::Imm(payload as i32)),
+        b => Some(Operand::Reg(
+            LogReg::try_new(b).ok_or(CodecError::BadRegister(b))?,
+        )),
+    };
+    let (disp, target) = if op.is_control() && op != Opcode::Ret {
+        (0, u64::from(payload))
+    } else if op.is_mem() {
+        (payload as i32, 0)
+    } else {
+        (0, 0)
+    };
+    Ok(Instr { op, dst, src1, src2, disp, target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    fn samples() -> Vec<Instr> {
+        vec![
+            Instr::alu_rr(Opcode::Addq, reg::R1, reg::R2, reg::R3),
+            Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, -32),
+            Instr::alu_ri(Opcode::Xor, reg::R4, reg::R5, 0x7fff_ffff),
+            Instr::alu_rr(Opcode::Mult, reg::F0, reg::F1, reg::F2),
+            Instr::load(Opcode::Ldq, reg::S0, reg::SP, 8),
+            Instr::load(Opcode::Ldl, reg::R1, reg::R2, -4),
+            Instr::store(Opcode::Stq, reg::T0, reg::SP, 16),
+            Instr::cond_branch(Opcode::Bne, reg::R1, 12345),
+            Instr::br(7),
+            Instr::jsr(42),
+            Instr::ret(),
+            Instr::syscall(),
+            Instr::nop(),
+            Instr::halt(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_samples() {
+        for i in samples() {
+            let w = encode(i).unwrap();
+            assert_eq!(decode(w).unwrap(), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(0xff), Err(CodecError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // addq with dst field 0x90 (>= 64, not NONE/IMM).
+        let w = u64::from(Opcode::Addq.code()) | (0x90u64 << 8);
+        assert_eq!(decode(w), Err(CodecError::BadRegister(0x90)));
+    }
+
+    #[test]
+    fn target_overflow_rejected() {
+        let i = Instr::br(u64::from(u32::MAX) + 1);
+        assert_eq!(encode(i), Err(CodecError::TargetOverflow(1 << 32)));
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        let i = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, i32::MIN);
+        assert_eq!(decode(encode(i).unwrap()).unwrap(), i);
+        let i = Instr::load(Opcode::Ldq, reg::R1, reg::R2, i32::MIN);
+        assert_eq!(decode(encode(i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::BadOpcode(0xff).to_string().contains("0xff"));
+        assert!(CodecError::TargetOverflow(5).to_string().contains('5'));
+    }
+}

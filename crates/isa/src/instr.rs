@@ -1,0 +1,385 @@
+//! The decoded instruction form.
+
+use crate::opcode::{ExecClass, Opcode};
+use crate::reg::LogReg;
+use crate::InstAddr;
+use std::fmt;
+
+/// The second ALU operand: a register or a sign-extended immediate.
+///
+/// RIX mirrors Alpha's literal form: every integer ALU opcode exists in a
+/// register/register and a register/immediate variant. The immediate
+/// variant of `addq` doubles as Alpha's `lda` (load address), which is the
+/// instruction the paper's reverse-integration extension inverts for
+/// stack-pointer pushes and pops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(LogReg),
+    /// Sign-extended immediate operand.
+    Imm(i32),
+}
+
+/// A decoded RIX instruction.
+///
+/// Operand roles by class:
+///
+/// | class         | `dst`      | `src1`     | `src2`        | `imm`       | `target` |
+/// |---------------|------------|------------|---------------|-------------|----------|
+/// | ALU reg form  | result     | operand a  | `Reg` operand | —           | —        |
+/// | ALU imm form  | result     | operand a  | `Imm` operand | (in `src2`) | —        |
+/// | load          | result     | base       | —             | disp        | —        |
+/// | store         | —          | base       | `Reg` data    | disp        | —        |
+/// | cond branch   | —          | condition  | —             | —           | yes      |
+/// | `br`          | —          | —          | —             | —           | yes      |
+/// | `jsr`         | `ra`       | —          | —             | —           | yes      |
+/// | `ret`         | —          | `ra`       | —             | —           | —        |
+///
+/// Use the constructors ([`Instr::alu_rr`], [`Instr::load`], …) rather than
+/// building the struct by hand; they enforce the role table above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the opcode writes one.
+    pub dst: Option<LogReg>,
+    /// First source register (ALU operand a, memory base, branch condition).
+    pub src1: Option<LogReg>,
+    /// Second operand (ALU operand b or store data).
+    pub src2: Option<Operand>,
+    /// Displacement for loads and stores (byte offset from base).
+    pub disp: i32,
+    /// Direct branch/call target (instruction address).
+    pub target: InstAddr,
+}
+
+impl Instr {
+    /// Register/register ALU instruction: `op dst, a, b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not an ALU opcode.
+    #[must_use]
+    pub fn alu_rr(op: Opcode, dst: LogReg, a: LogReg, b: LogReg) -> Self {
+        assert!(is_alu(op), "{op} is not an ALU opcode");
+        Self {
+            op,
+            dst: Some(dst),
+            src1: Some(a),
+            src2: Some(Operand::Reg(b)),
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// Register/immediate ALU instruction: `op dst, a, #imm`.
+    ///
+    /// `Instr::alu_ri(Opcode::Addq, sp, sp, -32)` is Alpha's
+    /// `lda sp, -32(sp)` — the stack-frame push that reverse integration
+    /// pairs with the matching pop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not an ALU opcode.
+    #[must_use]
+    pub fn alu_ri(op: Opcode, dst: LogReg, a: LogReg, imm: i32) -> Self {
+        assert!(is_alu(op), "{op} is not an ALU opcode");
+        Self {
+            op,
+            dst: Some(dst),
+            src1: Some(a),
+            src2: Some(Operand::Imm(imm)),
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// Load instruction: `op dst, disp(base)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a load opcode.
+    #[must_use]
+    pub fn load(op: Opcode, dst: LogReg, base: LogReg, disp: i32) -> Self {
+        assert!(op.is_load(), "{op} is not a load");
+        Self {
+            op,
+            dst: Some(dst),
+            src1: Some(base),
+            src2: None,
+            disp,
+            target: 0,
+        }
+    }
+
+    /// Store instruction: `op data, disp(base)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a store opcode.
+    #[must_use]
+    pub fn store(op: Opcode, data: LogReg, base: LogReg, disp: i32) -> Self {
+        assert!(op.is_store(), "{op} is not a store");
+        Self {
+            op,
+            dst: None,
+            src1: Some(base),
+            src2: Some(Operand::Reg(data)),
+            disp,
+            target: 0,
+        }
+    }
+
+    /// Conditional branch: `op cond, target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a conditional branch.
+    #[must_use]
+    pub fn cond_branch(op: Opcode, cond: LogReg, target: InstAddr) -> Self {
+        assert!(op.is_cond_branch(), "{op} is not a conditional branch");
+        Self {
+            op,
+            dst: None,
+            src1: Some(cond),
+            src2: None,
+            disp: 0,
+            target,
+        }
+    }
+
+    /// Unconditional direct branch to `target`.
+    #[must_use]
+    pub fn br(target: InstAddr) -> Self {
+        Self {
+            op: Opcode::Br,
+            dst: None,
+            src1: None,
+            src2: None,
+            disp: 0,
+            target,
+        }
+    }
+
+    /// Direct call to `target`, writing the return address to `ra`.
+    #[must_use]
+    pub fn jsr(target: InstAddr) -> Self {
+        Self {
+            op: Opcode::Jsr,
+            dst: Some(crate::reg::RA),
+            src1: None,
+            src2: None,
+            disp: 0,
+            target,
+        }
+    }
+
+    /// Indirect return through `ra`.
+    #[must_use]
+    pub fn ret() -> Self {
+        Self {
+            op: Opcode::Ret,
+            dst: None,
+            src1: Some(crate::reg::RA),
+            src2: None,
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// System call (executes at retirement, never integrated).
+    #[must_use]
+    pub fn syscall() -> Self {
+        Self::bare(Opcode::Syscall)
+    }
+
+    /// No-op.
+    #[must_use]
+    pub fn nop() -> Self {
+        Self::bare(Opcode::Nop)
+    }
+
+    /// Machine halt.
+    #[must_use]
+    pub fn halt() -> Self {
+        Self::bare(Opcode::Halt)
+    }
+
+    fn bare(op: Opcode) -> Self {
+        Self {
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            disp: 0,
+            target: 0,
+        }
+    }
+
+    /// The second source *register*, if any (reg-form ALU operand b or
+    /// store data).
+    #[must_use]
+    pub fn src2_reg(self) -> Option<LogReg> {
+        match self.src2 {
+            Some(Operand::Reg(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The immediate operand, if this is an immediate-form ALU instruction.
+    #[must_use]
+    pub fn alu_imm(self) -> Option<i32> {
+        match self.src2 {
+            Some(Operand::Imm(i)) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The immediate the integration table tags and indexes with (§2.3):
+    /// the ALU immediate, or the displacement for memory operations.
+    ///
+    /// Register-form ALU instructions report 0 and are distinguished from
+    /// `op rd, ra, #0` by [`Instr::has_immediate`].
+    #[must_use]
+    pub fn it_imm(self) -> i32 {
+        match self.src2 {
+            Some(Operand::Imm(i)) => i,
+            _ if self.op.is_mem() => self.disp,
+            _ => 0,
+        }
+    }
+
+    /// Whether the instruction carries an immediate/displacement field.
+    #[must_use]
+    pub fn has_immediate(self) -> bool {
+        matches!(self.src2, Some(Operand::Imm(_))) || self.op.is_mem()
+    }
+
+    /// The execution class of the opcode (convenience forward).
+    #[must_use]
+    pub fn exec_class(self) -> ExecClass {
+        self.op.exec_class()
+    }
+
+    /// The store-data register for store instructions.
+    #[must_use]
+    pub fn store_data_reg(self) -> Option<LogReg> {
+        if self.op.is_store() {
+            self.src2_reg()
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ExecClass::*;
+        let m = self.op.mnemonic();
+        match self.exec_class() {
+            SimpleInt | Complex => match (self.dst, self.src1, self.src2) {
+                (Some(d), Some(a), Some(Operand::Reg(b))) => write!(f, "{m} {d}, {a}, {b}"),
+                (Some(d), Some(a), Some(Operand::Imm(i))) => write!(f, "{m} {d}, {a}, #{i}"),
+                _ => write!(f, "{m} <malformed>"),
+            },
+            Load => match (self.dst, self.src1) {
+                (Some(d), Some(b)) => write!(f, "{m} {d}, {}({b})", self.disp),
+                _ => write!(f, "{m} <malformed>"),
+            },
+            Store => match (self.src2_reg(), self.src1) {
+                (Some(d), Some(b)) => write!(f, "{m} {d}, {}({b})", self.disp),
+                _ => write!(f, "{m} <malformed>"),
+            },
+            CondBranch => match self.src1 {
+                Some(c) => write!(f, "{m} {c}, @{}", self.target),
+                None => write!(f, "{m} <malformed>"),
+            },
+            DirectJump => write!(f, "{m} @{}", self.target),
+            IndirectJump | Syscall | Nop => write!(f, "{m}"),
+        }
+    }
+}
+
+fn is_alu(op: Opcode) -> bool {
+    matches!(op.exec_class(), ExecClass::SimpleInt | ExecClass::Complex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn constructors_fill_roles() {
+        let i = Instr::alu_rr(Opcode::Addq, reg::R1, reg::R2, reg::R3);
+        assert_eq!(i.dst, Some(reg::R1));
+        assert_eq!(i.src1, Some(reg::R2));
+        assert_eq!(i.src2_reg(), Some(reg::R3));
+        assert!(!i.has_immediate());
+
+        let i = Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, -32);
+        assert_eq!(i.alu_imm(), Some(-32));
+        assert_eq!(i.it_imm(), -32);
+        assert!(i.has_immediate());
+
+        let i = Instr::load(Opcode::Ldq, reg::S0, reg::SP, 8);
+        assert_eq!(i.it_imm(), 8);
+        assert_eq!(i.dst, Some(reg::S0));
+        assert!(i.has_immediate());
+
+        let i = Instr::store(Opcode::Stq, reg::S0, reg::SP, 8);
+        assert_eq!(i.store_data_reg(), Some(reg::S0));
+        assert_eq!(i.src1, Some(reg::SP));
+        assert_eq!(i.dst, None);
+    }
+
+    #[test]
+    fn jsr_writes_ra() {
+        let i = Instr::jsr(100);
+        assert_eq!(i.dst, Some(reg::RA));
+        assert_eq!(i.target, 100);
+    }
+
+    #[test]
+    fn ret_reads_ra() {
+        let i = Instr::ret();
+        assert_eq!(i.src1, Some(reg::RA));
+        assert_eq!(i.dst, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ALU opcode")]
+    fn alu_rr_rejects_loads() {
+        let _ = Instr::alu_rr(Opcode::Ldq, reg::R1, reg::R2, reg::R3);
+    }
+
+    #[test]
+    fn reg_form_and_imm0_are_distinct() {
+        let rr = Instr::alu_rr(Opcode::Addq, reg::R1, reg::R2, reg::ZERO);
+        let ri = Instr::alu_ri(Opcode::Addq, reg::R1, reg::R2, 0);
+        assert_ne!(rr, ri);
+        assert!(!rr.has_immediate());
+        assert!(ri.has_immediate());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instr::alu_ri(Opcode::Addq, reg::SP, reg::SP, -32).to_string(),
+            "addq sp, sp, #-32"
+        );
+        assert_eq!(
+            Instr::load(Opcode::Ldq, reg::S0, reg::SP, 8).to_string(),
+            "ldq r9, 8(sp)"
+        );
+        assert_eq!(
+            Instr::store(Opcode::Stq, reg::S0, reg::SP, 8).to_string(),
+            "stq r9, 8(sp)"
+        );
+        assert_eq!(
+            Instr::cond_branch(Opcode::Bne, reg::R1, 7).to_string(),
+            "bne r1, @7"
+        );
+        assert_eq!(Instr::ret().to_string(), "ret");
+    }
+}

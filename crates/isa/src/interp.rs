@@ -1,0 +1,231 @@
+//! A simple in-order reference interpreter.
+//!
+//! [`Interp`] executes a [`Program`] functionally, one instruction at a
+//! time, with no microarchitecture at all. The simulator's test suite
+//! cross-validates the out-of-order core against it: whatever speculation,
+//! integration, or mis-integration happened along the way, the retired
+//! architectural state must match this interpreter exactly.
+
+use crate::instr::Operand;
+use crate::opcode::{ExecClass, Opcode};
+use crate::program::Program;
+use crate::reg::{LogReg, NUM_LOG_REGS, SP};
+use crate::{semantics, InstAddr};
+use std::collections::HashMap;
+
+/// Why the interpreter stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Executed a `halt`.
+    Halted,
+    /// Reached the step limit.
+    StepLimit,
+    /// Fell off the end of the program.
+    FellOffProgram,
+}
+
+/// The reference interpreter.
+#[derive(Clone, Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    pc: InstAddr,
+    regs: [u64; NUM_LOG_REGS],
+    mem: HashMap<u64, u64>,
+    steps: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with the stack pointer initialised to
+    /// `stack_top` and memory seeded from the program's data segments.
+    #[must_use]
+    pub fn new(program: &'p Program, stack_top: u64) -> Self {
+        let mut regs = [0u64; NUM_LOG_REGS];
+        regs[SP.index()] = stack_top;
+        let mut mem = HashMap::new();
+        for seg in program.data_segments() {
+            for (i, &w) in seg.words.iter().enumerate() {
+                mem.insert(seg.base + 8 * i as u64, w);
+            }
+        }
+        Self { program, pc: program.entry(), regs, mem, steps: 0 }
+    }
+
+    /// Current register value.
+    #[must_use]
+    pub fn reg(&self, r: LogReg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Current memory word (zero when untouched).
+    #[must_use]
+    pub fn mem_word(&self, addr: u64) -> u64 {
+        *self.mem.get(&(addr & !7)).unwrap_or(&0)
+    }
+
+    /// Instructions executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> InstAddr {
+        self.pc
+    }
+
+    fn read(&self, r: LogReg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn write(&mut self, r: LogReg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Runs up to `max_steps` instructions.
+    pub fn run(&mut self, max_steps: u64) -> StopReason {
+        for _ in 0..max_steps {
+            let Some(i) = self.program.fetch(self.pc) else {
+                return StopReason::FellOffProgram;
+            };
+            self.steps += 1;
+            let mut next = self.pc + 1;
+            match i.exec_class() {
+                ExecClass::SimpleInt | ExecClass::Complex => {
+                    let a = self.read(i.src1.expect("ALU src1"));
+                    let b = match i.src2 {
+                        Some(Operand::Reg(r)) => self.read(r),
+                        Some(Operand::Imm(imm)) => imm as i64 as u64,
+                        None => 0,
+                    };
+                    self.write(i.dst.expect("ALU dst"), semantics::alu(i.op, a, b));
+                }
+                ExecClass::Load => {
+                    let base = self.read(i.src1.expect("load base"));
+                    let ea = semantics::effective_addr(i.op, base, i.disp);
+                    let word = self.mem_word(ea);
+                    self.write(
+                        i.dst.expect("load dst"),
+                        semantics::load_from_word(i.op, ea, word),
+                    );
+                }
+                ExecClass::Store => {
+                    let base = self.read(i.src1.expect("store base"));
+                    let data = self.read(i.src2_reg().expect("store data"));
+                    let ea = semantics::effective_addr(i.op, base, i.disp);
+                    let word = self.mem_word(ea);
+                    self.mem
+                        .insert(ea & !7, semantics::merge_store(i.op, ea, word, data));
+                }
+                ExecClass::CondBranch => {
+                    let c = self.read(i.src1.expect("branch cond"));
+                    if semantics::branch_taken(i.op, c) {
+                        next = i.target;
+                    }
+                }
+                ExecClass::DirectJump => {
+                    if i.op == Opcode::Jsr {
+                        self.write(i.dst.expect("jsr writes ra"), self.pc + 1);
+                    }
+                    next = i.target;
+                }
+                ExecClass::IndirectJump => {
+                    next = self.read(i.src1.expect("ret reads ra"));
+                }
+                ExecClass::Syscall | ExecClass::Nop => {}
+            }
+            if i.op == Opcode::Halt {
+                return StopReason::Halted;
+            }
+            self.pc = next;
+        }
+        StopReason::StepLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg;
+
+    #[test]
+    fn loop_sum() {
+        // sum = 1 + 2 + ... + 5 = 15
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 5); // i
+        a.addq_i(reg::R2, reg::ZERO, 0); // sum
+        a.label("loop");
+        a.addq(reg::R2, reg::R2, reg::R1);
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut interp = Interp::new(&p, 0x1000);
+        assert_eq!(interp.run(1000), StopReason::Halted);
+        assert_eq!(interp.reg(reg::R2), 15);
+    }
+
+    #[test]
+    fn call_return_and_stack() {
+        let mut a = Asm::new();
+        a.addq_i(reg::T0, reg::ZERO, 42);
+        a.jsr("f");
+        a.halt();
+        a.label("f");
+        a.lda(reg::SP, -16, reg::SP);
+        a.stq(reg::T0, 8, reg::SP);
+        a.addq_i(reg::T0, reg::ZERO, 0); // clobber
+        a.ldq(reg::T0, 8, reg::SP);
+        a.lda(reg::SP, 16, reg::SP);
+        a.ret();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p, 0x8000);
+        assert_eq!(i.run(100), StopReason::Halted);
+        assert_eq!(i.reg(reg::T0), 42, "restored across the call");
+        assert_eq!(i.reg(reg::SP), 0x8000, "stack balanced");
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut a = Asm::new();
+        a.data(0x2000, vec![7]);
+        a.ldq(reg::R1, 0, reg::R2); // r2 = 0 → loads word at 0 (0)
+        a.addq_i(reg::R2, reg::ZERO, 0x2000);
+        a.ldq(reg::R1, 0, reg::R2);
+        a.addq_i(reg::R3, reg::R1, 1);
+        a.stq(reg::R3, 8, reg::R2);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p, 0x8000);
+        assert_eq!(i.run(100), StopReason::Halted);
+        assert_eq!(i.reg(reg::R1), 7);
+        assert_eq!(i.mem_word(0x2008), 8);
+    }
+
+    #[test]
+    fn fell_off_program() {
+        let mut a = Asm::new();
+        a.nop();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p, 0);
+        assert_eq!(i.run(10), StopReason::FellOffProgram);
+    }
+
+    #[test]
+    fn step_limit() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.br("spin");
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p, 0);
+        assert_eq!(i.run(10), StopReason::StepLimit);
+        assert_eq!(i.steps(), 10);
+    }
+}

@@ -1,0 +1,395 @@
+//! Opcodes and their static properties.
+//!
+//! Every opcode carries the static attributes the pipeline and the
+//! integration machinery need: its execution class (which issue port it
+//! uses), execution latency, whether it produces a register value, whether
+//! it is *integration eligible*, and — for reverse integration — its
+//! inverse opcode.
+//!
+//! The integration-eligibility rules follow §2.1 of the paper: system
+//! calls, stores, and direct jumps are never integrated (system calls
+//! execute at retirement, store execution is useful because it enables
+//! load bypassing, and direct jumps execute for free at decode).
+
+use std::fmt;
+
+/// The execution class of an instruction, which determines the issue port
+/// it contends for and its scheduling priority.
+///
+/// The modelled machine issues up to 2 [`SimpleInt`](ExecClass::SimpleInt),
+/// 2 [`Complex`](ExecClass::Complex) (floating-point or complex-integer),
+/// 1 [`Load`](ExecClass::Load) and 1 [`Store`](ExecClass::Store) per cycle
+/// (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU operations.
+    SimpleInt,
+    /// Complex integer (multiply) and floating-point operations.
+    Complex,
+    /// Loads (issue on the load port, 1/cycle).
+    Load,
+    /// Stores (issue on the store port, 1/cycle).
+    Store,
+    /// Conditional branches (use a simple-int port, scheduling priority).
+    CondBranch,
+    /// Direct jumps and calls: resolved for free at decode, never issued.
+    DirectJump,
+    /// Indirect jumps (returns): need an issue slot to read the target.
+    IndirectJump,
+    /// System calls: expanded by the OS and executed at retirement.
+    Syscall,
+    /// No-ops and `halt`.
+    Nop,
+}
+
+macro_rules! opcodes {
+    ($( $(#[$meta:meta])* $name:ident = $code:expr ),+ $(,)?) => {
+        /// A RIX machine operation.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $( $(#[$meta])* $name = $code ),+
+        }
+
+        impl Opcode {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[ $(Opcode::$name),+ ];
+
+            /// Decodes an opcode from its binary code.
+            #[must_use]
+            pub fn from_code(code: u8) -> Option<Self> {
+                match code {
+                    $( $code => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    /// 64-bit add: `rd = ra + rb`.
+    Addq = 0,
+    /// 64-bit subtract: `rd = ra - rb`.
+    Subq = 1,
+    /// 64-bit multiply (complex integer): `rd = ra * rb`.
+    Mulq = 2,
+    /// Bitwise and.
+    And = 3,
+    /// Bitwise or.
+    Or = 4,
+    /// Bitwise xor.
+    Xor = 5,
+    /// Logical shift left (shift amount mod 64).
+    Sll = 6,
+    /// Logical shift right.
+    Srl = 7,
+    /// Arithmetic shift right.
+    Sra = 8,
+    /// Compare equal: `rd = (ra == rb) as u64`.
+    Cmpeq = 9,
+    /// Compare signed less-than.
+    Cmplt = 10,
+    /// Compare signed less-or-equal.
+    Cmple = 11,
+    /// Compare unsigned less-than.
+    Cmpult = 12,
+    /// Floating-point add (`rd = ra + rb`, IEEE f64).
+    Addt = 16,
+    /// Floating-point subtract.
+    Subt = 17,
+    /// Floating-point multiply.
+    Mult = 18,
+    /// Floating-point divide.
+    Divt = 19,
+    /// Load 64-bit: `rd = mem[ra + imm]`.
+    Ldq = 24,
+    /// Load 32-bit sign-extended: `rd = sext(mem32[ra + imm])`.
+    Ldl = 25,
+    /// Store 64-bit: `mem[ra + imm] = rb`.
+    Stq = 26,
+    /// Store 32-bit: `mem32[ra + imm] = rb as u32`.
+    Stl = 27,
+    /// Unconditional direct branch to `target`.
+    Br = 32,
+    /// Direct call: `ra := pc + 1`, jump to `target`.
+    Jsr = 33,
+    /// Indirect return: jump to the address in `ra` (source register).
+    Ret = 34,
+    /// Branch if `ra == 0`.
+    Beq = 35,
+    /// Branch if `ra != 0`.
+    Bne = 36,
+    /// Branch if `ra < 0` (signed).
+    Blt = 37,
+    /// Branch if `ra >= 0` (signed).
+    Bge = 38,
+    /// Branch if `ra > 0` (signed).
+    Bgt = 39,
+    /// Branch if `ra <= 0` (signed).
+    Ble = 40,
+    /// System call (executes at retirement; never integrated).
+    Syscall = 48,
+    /// No operation.
+    Nop = 49,
+    /// Stop the machine (used to terminate programs).
+    Halt = 50,
+}
+
+impl Opcode {
+    /// The binary code of this opcode.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The execution class (issue port) of this opcode.
+    #[must_use]
+    pub fn exec_class(self) -> ExecClass {
+        use Opcode::*;
+        match self {
+            Addq | Subq | And | Or | Xor | Sll | Srl | Sra | Cmpeq | Cmplt | Cmple | Cmpult => {
+                ExecClass::SimpleInt
+            }
+            Mulq | Addt | Subt | Mult | Divt => ExecClass::Complex,
+            Ldq | Ldl => ExecClass::Load,
+            Stq | Stl => ExecClass::Store,
+            Beq | Bne | Blt | Bge | Bgt | Ble => ExecClass::CondBranch,
+            Br | Jsr => ExecClass::DirectJump,
+            Ret => ExecClass::IndirectJump,
+            Syscall => ExecClass::Syscall,
+            Nop | Halt => ExecClass::Nop,
+        }
+    }
+
+    /// Execution latency in cycles, measured from execute start to result.
+    ///
+    /// Loads report only the execute (address-generation) cycle; cache
+    /// access latency is added by the memory system.
+    #[must_use]
+    pub fn latency(self) -> u64 {
+        use Opcode::*;
+        match self {
+            Mulq => 4,
+            Addt | Subt | Mult => 4,
+            Divt => 12,
+            _ => 1,
+        }
+    }
+
+    /// Whether the opcode writes a destination register.
+    #[must_use]
+    pub fn writes_reg(self) -> bool {
+        use Opcode::*;
+        !matches!(
+            self,
+            Stq | Stl | Br | Ret | Beq | Bne | Blt | Bge | Bgt | Ble | Syscall | Nop | Halt
+        )
+    }
+
+    /// Whether the opcode is a load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self.exec_class(), ExecClass::Load)
+    }
+
+    /// Whether the opcode is a store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self.exec_class(), ExecClass::Store)
+    }
+
+    /// Whether the opcode is a memory operation (load or store).
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether the opcode is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self.exec_class(), ExecClass::CondBranch)
+    }
+
+    /// Whether the opcode transfers control (any branch, jump, call, return).
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self.exec_class(),
+            ExecClass::CondBranch | ExecClass::DirectJump | ExecClass::IndirectJump
+        )
+    }
+
+    /// Whether the opcode is floating-point.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        matches!(self, Opcode::Addt | Opcode::Subt | Opcode::Mult | Opcode::Divt)
+    }
+
+    /// Whether instances of this opcode may integrate older results (§2.1).
+    ///
+    /// Stores, direct jumps and system calls are excluded by design;
+    /// indirect jumps carry no reusable register result; `nop`/`halt` have
+    /// nothing to reuse. Everything else — ALU operations, loads, and
+    /// conditional branches — is integration eligible.
+    #[must_use]
+    pub fn is_integrable(self) -> bool {
+        matches!(
+            self.exec_class(),
+            ExecClass::SimpleInt
+                | ExecClass::Complex
+                | ExecClass::Load
+                | ExecClass::CondBranch
+        )
+    }
+
+    /// The inverse opcode for reverse integration (§2.4), if one exists.
+    ///
+    /// Renaming a store creates an IT entry for the complementary load;
+    /// renaming an immediate add (Alpha `lda`) creates an entry for the add
+    /// of the negated immediate. `Addq`/`Subq` are self-inverse through
+    /// immediate negation; a store's inverse is the same-width load.
+    #[must_use]
+    pub fn inverse(self) -> Option<Opcode> {
+        use Opcode::*;
+        match self {
+            Stq => Some(Ldq),
+            Stl => Some(Ldl),
+            Addq => Some(Addq),
+            Subq => Some(Subq),
+            _ => None,
+        }
+    }
+
+    /// Memory access size in bytes for loads and stores, otherwise 0.
+    #[must_use]
+    pub fn mem_bytes(self) -> u64 {
+        use Opcode::*;
+        match self {
+            Ldq | Stq => 8,
+            Ldl | Stl => 4,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic, as printed by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Addq => "addq",
+            Subq => "subq",
+            Mulq => "mulq",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Cmpeq => "cmpeq",
+            Cmplt => "cmplt",
+            Cmple => "cmple",
+            Cmpult => "cmpult",
+            Addt => "addt",
+            Subt => "subt",
+            Mult => "mult",
+            Divt => "divt",
+            Ldq => "ldq",
+            Ldl => "ldl",
+            Stq => "stq",
+            Stl => "stl",
+            Br => "br",
+            Jsr => "jsr",
+            Ret => "ret",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bgt => "bgt",
+            Ble => "ble",
+            Syscall => "syscall",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_all() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn from_code_rejects_gaps() {
+        assert_eq!(Opcode::from_code(13), None);
+        assert_eq!(Opcode::from_code(255), None);
+    }
+
+    #[test]
+    fn integration_eligibility_follows_paper() {
+        assert!(Opcode::Addq.is_integrable());
+        assert!(Opcode::Ldq.is_integrable());
+        assert!(Opcode::Beq.is_integrable());
+        assert!(Opcode::Addt.is_integrable());
+        // §2.1: system calls, stores and direct jumps are not integrated.
+        assert!(!Opcode::Stq.is_integrable());
+        assert!(!Opcode::Br.is_integrable());
+        assert!(!Opcode::Jsr.is_integrable());
+        assert!(!Opcode::Syscall.is_integrable());
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(Opcode::Stq.inverse(), Some(Opcode::Ldq));
+        assert_eq!(Opcode::Stl.inverse(), Some(Opcode::Ldl));
+        assert_eq!(Opcode::Addq.inverse(), Some(Opcode::Addq));
+        assert_eq!(Opcode::Ldq.inverse(), None);
+        assert_eq!(Opcode::Beq.inverse(), None);
+    }
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(Opcode::Addq.exec_class(), ExecClass::SimpleInt);
+        assert_eq!(Opcode::Mulq.exec_class(), ExecClass::Complex);
+        assert_eq!(Opcode::Divt.exec_class(), ExecClass::Complex);
+        assert_eq!(Opcode::Ldq.exec_class(), ExecClass::Load);
+        assert_eq!(Opcode::Stl.exec_class(), ExecClass::Store);
+        assert_eq!(Opcode::Ret.exec_class(), ExecClass::IndirectJump);
+    }
+
+    #[test]
+    fn writes_reg() {
+        assert!(Opcode::Addq.writes_reg());
+        assert!(Opcode::Ldq.writes_reg());
+        assert!(Opcode::Jsr.writes_reg()); // writes the return address
+        assert!(!Opcode::Stq.writes_reg());
+        assert!(!Opcode::Beq.writes_reg());
+        assert!(!Opcode::Ret.writes_reg());
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(Opcode::Addq.latency(), 1);
+        assert_eq!(Opcode::Mulq.latency(), 4);
+        assert_eq!(Opcode::Divt.latency(), 12);
+    }
+
+    #[test]
+    fn mem_sizes() {
+        assert_eq!(Opcode::Ldq.mem_bytes(), 8);
+        assert_eq!(Opcode::Stl.mem_bytes(), 4);
+        assert_eq!(Opcode::Addq.mem_bytes(), 0);
+    }
+}

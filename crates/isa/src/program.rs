@@ -1,0 +1,140 @@
+//! Assembled programs: instruction memory plus initial data image.
+
+use crate::instr::Instr;
+use crate::{DataAddr, InstAddr};
+
+/// An initialised region of data memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Byte address of the first word (8-byte aligned).
+    pub base: DataAddr,
+    /// Consecutive 64-bit words starting at `base`.
+    pub words: Vec<u64>,
+}
+
+/// An executable RIX program: a flat instruction memory (word-indexed PCs)
+/// and the initial contents of data memory.
+///
+/// Fetching an address outside the instruction memory returns `None`; the
+/// front end treats that as a fetch stall, which is how the simulator
+/// models running off the end of a mis-speculated path.
+///
+/// ```
+/// use rix_isa::{Asm, reg};
+/// let mut a = Asm::new();
+/// a.addq_i(reg::R1, reg::ZERO, 1);
+/// a.halt();
+/// let p = a.assemble()?;
+/// assert!(p.fetch(0).is_some());
+/// assert!(p.fetch(10).is_none());
+/// # Ok::<(), rix_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    entry: InstAddr,
+    data: Vec<DataSegment>,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// Most callers should use [`crate::Asm`] instead.
+    #[must_use]
+    pub fn from_parts(instrs: Vec<Instr>, entry: InstAddr, data: Vec<DataSegment>) -> Self {
+        Self { instrs, entry, data }
+    }
+
+    /// Fetches the instruction at `pc`, or `None` when `pc` is outside the
+    /// program.
+    #[must_use]
+    pub fn fetch(&self, pc: InstAddr) -> Option<Instr> {
+        self.instrs.get(usize::try_from(pc).ok()?).copied()
+    }
+
+    /// The program's entry point.
+    #[must_use]
+    pub fn entry(&self) -> InstAddr {
+        self.entry
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The static instruction stream.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The initial data image.
+    #[must_use]
+    pub fn data_segments(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// Disassembles the whole program, one instruction per line.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{pc:6}: {i}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::reg;
+
+    fn tiny() -> Program {
+        Program::from_parts(
+            vec![
+                Instr::alu_ri(Opcode::Addq, reg::R1, reg::ZERO, 5),
+                Instr::halt(),
+            ],
+            0,
+            vec![DataSegment { base: 0x1000, words: vec![1, 2, 3] }],
+        )
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = tiny();
+        assert_eq!(p.fetch(0).unwrap().op, Opcode::Addq);
+        assert_eq!(p.fetch(1).unwrap().op, Opcode::Halt);
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.fetch(u64::MAX), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.data_segments().len(), 1);
+        assert_eq!(p.data_segments()[0].words, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let d = tiny().disassemble();
+        assert!(d.contains("addq r1, zero, #5"));
+        assert!(d.contains("halt"));
+        assert_eq!(d.lines().count(), 2);
+    }
+}

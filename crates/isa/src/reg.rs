@@ -1,0 +1,229 @@
+//! Logical (architectural) register names.
+//!
+//! RIX has 64 logical registers renamed as a single flat space: indices
+//! 0–31 are the integer registers `r0`–`r31`, indices 32–63 the
+//! floating-point registers `f0`–`f31`. Two registers are special:
+//!
+//! * [`ZERO`] (`r31`) always reads as zero and writes to it are discarded,
+//!   exactly as on Alpha;
+//! * [`FZERO`] (`f31`) is the floating-point zero register.
+//!
+//! The software conventions the workload generators follow (and that
+//! reverse integration exploits) mirror the Alpha calling standard:
+//! [`SP`] (`r30`) is the stack pointer and [`RA`] (`r26`) the return
+//! address register.
+
+use std::fmt;
+
+/// Number of logical registers visible to the renamer (32 int + 32 fp).
+pub const NUM_LOG_REGS: usize = 64;
+
+/// A logical (architectural) register.
+///
+/// `LogReg` is a validated newtype: construct one with [`LogReg::new`]
+/// (panics on out-of-range indices) or [`LogReg::try_new`].
+///
+/// ```
+/// use rix_isa::LogReg;
+/// let r = LogReg::new(4);
+/// assert_eq!(r.index(), 4);
+/// assert!(r.is_int());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogReg(u8);
+
+impl LogReg {
+    /// Creates a register from its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LOG_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        Self::try_new(index).expect("logical register index out of range")
+    }
+
+    /// Creates a register from its flat index, returning `None` when the
+    /// index is out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        (usize::from(index) < NUM_LOG_REGS).then_some(Self(index))
+    }
+
+    /// Integer register `rN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn int(n: u8) -> Self {
+        assert!(n < 32, "integer register index out of range");
+        Self(n)
+    }
+
+    /// Floating-point register `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn fp(n: u8) -> Self {
+        assert!(n < 32, "fp register index out of range");
+        Self(32 + n)
+    }
+
+    /// The flat index (0–63) of this register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The flat index as a `u8`.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is one of the integer registers `r0`–`r31`.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// Whether this is one of the floating-point registers `f0`–`f31`.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Whether this register is a hardwired zero ([`ZERO`] or [`FZERO`]).
+    ///
+    /// Zero registers are never renamed: reads return the constant zero
+    /// physical register and writes are discarded.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == ZERO || self == FZERO
+    }
+}
+
+impl fmt::Debug for LogReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for LogReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SP => write!(f, "sp"),
+            RA => write!(f, "ra"),
+            ZERO => write!(f, "zero"),
+            r if r.is_int() => write!(f, "r{}", r.0),
+            r => write!(f, "f{}", r.0 - 32),
+        }
+    }
+}
+
+/// The hardwired integer zero register (`r31`).
+pub const ZERO: LogReg = LogReg(31);
+/// The hardwired floating-point zero register (`f31`).
+pub const FZERO: LogReg = LogReg(63);
+/// The stack pointer (`r30`) — the base register of register saves,
+/// restores, and frame pushes/pops targeted by reverse integration.
+pub const SP: LogReg = LogReg(30);
+/// The return-address register (`r26`), written by `jsr`.
+pub const RA: LogReg = LogReg(26);
+/// Frame pointer by convention (`r15`).
+pub const FP: LogReg = LogReg(15);
+/// Conventional first function-argument register (`r16`).
+pub const A0: LogReg = LogReg(16);
+/// Conventional second function-argument register (`r17`).
+pub const A1: LogReg = LogReg(17);
+/// Conventional third function-argument register (`r18`).
+pub const A2: LogReg = LogReg(18);
+/// Conventional return-value register (`r0`).
+pub const V0: LogReg = LogReg(0);
+/// Caller-saved temporaries `t0`–`t7` (`r1`–`r8`).
+pub const T0: LogReg = LogReg(1);
+/// Caller-saved temporary `t1`.
+pub const T1: LogReg = LogReg(2);
+/// Caller-saved temporary `t2`.
+pub const T2: LogReg = LogReg(3);
+/// Caller-saved temporary `t3`.
+pub const T3: LogReg = LogReg(4);
+/// Caller-saved temporary `t4`.
+pub const T4: LogReg = LogReg(5);
+/// Caller-saved temporary `t5`.
+pub const T5: LogReg = LogReg(6);
+/// Callee-saved registers `s0`–`s5` (`r9`–`r14`).
+pub const S0: LogReg = LogReg(9);
+/// Callee-saved register `s1`.
+pub const S1: LogReg = LogReg(10);
+/// Callee-saved register `s2`.
+pub const S2: LogReg = LogReg(11);
+/// Callee-saved register `s3`.
+pub const S3: LogReg = LogReg(12);
+/// Callee-saved register `s4`.
+pub const S4: LogReg = LogReg(13);
+/// General registers for the examples: `r1`..`r8` aliases.
+pub const R1: LogReg = LogReg(1);
+/// General register alias `r2`.
+pub const R2: LogReg = LogReg(2);
+/// General register alias `r3`.
+pub const R3: LogReg = LogReg(3);
+/// General register alias `r4`.
+pub const R4: LogReg = LogReg(4);
+/// General register alias `r5`.
+pub const R5: LogReg = LogReg(5);
+/// General register alias `r6`.
+pub const R6: LogReg = LogReg(6);
+/// Floating-point scratch registers for the examples.
+pub const F0: LogReg = LogReg(32);
+/// Floating-point scratch register `f1`.
+pub const F1: LogReg = LogReg(33);
+/// Floating-point scratch register `f2`.
+pub const F2: LogReg = LogReg(34);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_ranges() {
+        assert!(LogReg::int(0).is_int());
+        assert!(!LogReg::int(0).is_fp());
+        assert!(LogReg::fp(0).is_fp());
+        assert_eq!(LogReg::fp(0).index(), 32);
+        assert_eq!(LogReg::fp(31).index(), 63);
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(ZERO.is_zero());
+        assert!(FZERO.is_zero());
+        assert!(!SP.is_zero());
+        assert!(!RA.is_zero());
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(LogReg::try_new(63).is_some());
+        assert!(LogReg::try_new(64).is_none());
+        assert!(LogReg::try_new(255).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = LogReg::new(64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SP.to_string(), "sp");
+        assert_eq!(RA.to_string(), "ra");
+        assert_eq!(ZERO.to_string(), "zero");
+        assert_eq!(LogReg::int(5).to_string(), "r5");
+        assert_eq!(LogReg::fp(3).to_string(), "f3");
+    }
+}

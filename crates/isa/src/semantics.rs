@@ -1,0 +1,237 @@
+//! Pure functional semantics of RIX operations.
+//!
+//! These functions are the single source of truth for instruction
+//! behaviour. The out-of-order core uses them when executing on physical
+//! register values, and the DIVA checker uses the *same* functions on
+//! architectural values just before retirement — so a value mismatch at
+//! DIVA can only come from mis-speculation or mis-integration, never from
+//! divergent semantics.
+//!
+//! Data memory is modelled as an array of naturally-aligned 64-bit words;
+//! 32-bit accesses read/write the low or high half of the containing word.
+
+use crate::opcode::Opcode;
+use crate::DataAddr;
+
+/// Evaluates an ALU operation on resolved 64-bit operand values.
+///
+/// Floating-point opcodes interpret operand bits as IEEE `f64` and return
+/// the result bits, so evaluation stays deterministic and representable in
+/// plain `u64` physical registers.
+///
+/// # Panics
+///
+/// Panics if `op` is not an ALU opcode.
+#[must_use]
+pub fn alu(op: Opcode, a: u64, b: u64) -> u64 {
+    use Opcode::*;
+    match op {
+        Addq => a.wrapping_add(b),
+        Subq => a.wrapping_sub(b),
+        Mulq => a.wrapping_mul(b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Sll => a.wrapping_shl((b & 63) as u32),
+        Srl => a.wrapping_shr((b & 63) as u32),
+        Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Cmpeq => u64::from(a == b),
+        Cmplt => u64::from((a as i64) < (b as i64)),
+        Cmple => u64::from((a as i64) <= (b as i64)),
+        Cmpult => u64::from(a < b),
+        Addt => f64_op(a, b, |x, y| x + y),
+        Subt => f64_op(a, b, |x, y| x - y),
+        Mult => f64_op(a, b, |x, y| x * y),
+        Divt => f64_op(a, b, |x, y| x / y),
+        _ => panic!("{op} is not an ALU opcode"),
+    }
+}
+
+fn f64_op(a: u64, b: u64, f: impl Fn(f64, f64) -> f64) -> u64 {
+    let r = f(f64::from_bits(a), f64::from_bits(b));
+    // Canonicalise NaNs so reuse comparisons are bit-stable.
+    if r.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        r.to_bits()
+    }
+}
+
+/// Evaluates a conditional branch condition on the resolved source value.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+#[must_use]
+pub fn branch_taken(op: Opcode, cond: u64) -> bool {
+    use Opcode::*;
+    let s = cond as i64;
+    match op {
+        Beq => cond == 0,
+        Bne => cond != 0,
+        Blt => s < 0,
+        Bge => s >= 0,
+        Bgt => s > 0,
+        Ble => s <= 0,
+        _ => panic!("{op} is not a conditional branch"),
+    }
+}
+
+/// Computes a memory effective address: `base + disp`, aligned down to the
+/// access size (RIX requires natural alignment; the workload generators
+/// only emit aligned accesses, and alignment-masking keeps wrong-path
+/// garbage addresses harmless).
+#[must_use]
+pub fn effective_addr(op: Opcode, base: u64, disp: i32) -> DataAddr {
+    let raw = base.wrapping_add(disp as i64 as u64);
+    raw & !(op.mem_bytes().max(1) - 1)
+}
+
+/// Extracts a load result from the naturally-aligned 64-bit word containing
+/// `addr`. 32-bit loads sign-extend.
+#[must_use]
+pub fn load_from_word(op: Opcode, addr: DataAddr, word: u64) -> u64 {
+    match op.mem_bytes() {
+        8 => word,
+        4 => {
+            let shift = (addr & 4) * 8;
+            let half = (word >> shift) as u32;
+            half as i32 as i64 as u64
+        }
+        _ => panic!("{op} is not a load/store"),
+    }
+}
+
+/// Merges store data into the naturally-aligned 64-bit word containing
+/// `addr`, returning the updated word.
+#[must_use]
+pub fn merge_store(op: Opcode, addr: DataAddr, word: u64, data: u64) -> u64 {
+    match op.mem_bytes() {
+        8 => data,
+        4 => {
+            let shift = (addr & 4) * 8;
+            let mask = 0xffff_ffffu64 << shift;
+            (word & !mask) | ((data & 0xffff_ffff) << shift)
+        }
+        _ => panic!("{op} is not a load/store"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_alu() {
+        assert_eq!(alu(Opcode::Addq, 2, 3), 5);
+        assert_eq!(alu(Opcode::Subq, 2, 3), u64::MAX); // wraps
+        assert_eq!(alu(Opcode::Mulq, 7, 6), 42);
+        assert_eq!(alu(Opcode::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu(Opcode::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu(Opcode::Sll, 1, 8), 256);
+        assert_eq!(alu(Opcode::Srl, 256, 8), 1);
+        assert_eq!(alu(Opcode::Sra, (-256i64) as u64, 8), (-1i64) as u64);
+    }
+
+    #[test]
+    fn compares() {
+        assert_eq!(alu(Opcode::Cmpeq, 4, 4), 1);
+        assert_eq!(alu(Opcode::Cmpeq, 4, 5), 0);
+        assert_eq!(alu(Opcode::Cmplt, (-1i64) as u64, 0), 1);
+        assert_eq!(alu(Opcode::Cmpult, (-1i64) as u64, 0), 0);
+        assert_eq!(alu(Opcode::Cmple, 3, 3), 1);
+    }
+
+    #[test]
+    fn fp_alu_is_bit_deterministic() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(alu(Opcode::Addt, a, b), 3.75f64.to_bits());
+        assert_eq!(alu(Opcode::Mult, a, b), 3.375f64.to_bits());
+        // NaN canonicalisation: 0/0 compares bit-equal across evaluations.
+        let nan1 = alu(Opcode::Divt, 0, 0);
+        let nan2 = alu(Opcode::Divt, 0, 0);
+        assert_eq!(nan1, nan2);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Opcode::Beq, 0));
+        assert!(!branch_taken(Opcode::Beq, 1));
+        assert!(branch_taken(Opcode::Bne, 5));
+        assert!(branch_taken(Opcode::Blt, (-3i64) as u64));
+        assert!(branch_taken(Opcode::Bge, 0));
+        assert!(branch_taken(Opcode::Bgt, 1));
+        assert!(!branch_taken(Opcode::Bgt, 0));
+        assert!(branch_taken(Opcode::Ble, 0));
+    }
+
+    #[test]
+    fn effective_addresses_align() {
+        assert_eq!(effective_addr(Opcode::Ldq, 0x1000, 8), 0x1008);
+        assert_eq!(effective_addr(Opcode::Ldq, 0x1003, 0), 0x1000);
+        assert_eq!(effective_addr(Opcode::Ldl, 0x1000, 4), 0x1004);
+        assert_eq!(effective_addr(Opcode::Ldq, 0x10, -16), 0x0);
+    }
+
+    #[test]
+    fn word_subaccess() {
+        let word = 0x1111_2222_3333_4444u64;
+        assert_eq!(load_from_word(Opcode::Ldq, 0x1000, word), word);
+        assert_eq!(load_from_word(Opcode::Ldl, 0x1000, word), 0x3333_4444);
+        // High half, sign-extended.
+        assert_eq!(
+            load_from_word(Opcode::Ldl, 0x1004, 0xffff_ffff_0000_0000),
+            u64::MAX
+        );
+        let merged = merge_store(Opcode::Stl, 0x1004, word, 0xdead_beef);
+        assert_eq!(merged, 0xdead_beef_3333_4444);
+        assert_eq!(merge_store(Opcode::Stq, 0x1000, word, 7), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn store_then_load_roundtrip_64(addr in any::<u64>(), word in any::<u64>(), data in any::<u64>()) {
+            let addr = addr & !7;
+            let merged = merge_store(Opcode::Stq, addr, word, data);
+            prop_assert_eq!(load_from_word(Opcode::Ldq, addr, merged), data);
+        }
+
+        #[test]
+        fn store_then_load_roundtrip_32(addr in any::<u64>(), word in any::<u64>(), data in any::<u32>()) {
+            let addr = addr & !3;
+            let merged = merge_store(Opcode::Stl, addr, word, u64::from(data));
+            let loaded = load_from_word(Opcode::Ldl, addr, merged);
+            prop_assert_eq!(loaded as u32, data);
+            // Sign extension holds.
+            prop_assert_eq!(loaded, data as i32 as i64 as u64);
+        }
+
+        #[test]
+        fn stl_preserves_other_half(addr in any::<u64>(), word in any::<u64>(), data in any::<u32>()) {
+            let addr = addr & !3;
+            let merged = merge_store(Opcode::Stl, addr, word, u64::from(data));
+            let other = addr ^ 4;
+            prop_assert_eq!(
+                load_from_word(Opcode::Ldl, other, merged),
+                load_from_word(Opcode::Ldl, other, word)
+            );
+        }
+
+        #[test]
+        fn cmp_results_are_boolean(a in any::<u64>(), b in any::<u64>()) {
+            for op in [Opcode::Cmpeq, Opcode::Cmplt, Opcode::Cmple, Opcode::Cmpult] {
+                prop_assert!(alu(op, a, b) <= 1);
+            }
+        }
+
+        #[test]
+        fn addq_subq_inverse(a in any::<u64>(), b in any::<u64>()) {
+            // The algebraic fact reverse integration relies on (§2.4):
+            // add and subtract of the same operand are inverses.
+            prop_assert_eq!(alu(Opcode::Subq, alu(Opcode::Addq, a, b), b), a);
+        }
+    }
+}

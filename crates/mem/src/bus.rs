@@ -1,0 +1,137 @@
+//! Cycle-level bus occupancy.
+//!
+//! The paper models two buses at the cycle level (§3.1): a 32-byte
+//! backside bus clocked at processor frequency between L1 and L2, and a
+//! 32-byte memory bus at one-quarter processor frequency between L2 and
+//! main memory. [`Bus`] tracks when the wire is next free and serialises
+//! transfers.
+
+use crate::Cycle;
+
+/// A shared transfer resource with width and a clock divisor.
+#[derive(Clone, Debug)]
+pub struct Bus {
+    width_bytes: u64,
+    period: Cycle,
+    next_free: Cycle,
+    busy_cycles: u64,
+    transfers: u64,
+}
+
+impl Bus {
+    /// Creates a bus `width_bytes` wide whose clock runs at
+    /// `1/period` of the core clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or period is zero.
+    #[must_use]
+    pub fn new(width_bytes: u64, period: Cycle) -> Self {
+        assert!(width_bytes > 0 && period > 0, "bus width and period must be non-zero");
+        Self { width_bytes, period, next_free: 0, busy_cycles: 0, transfers: 0 }
+    }
+
+    /// The paper's backside (L1↔L2) bus: 32 bytes at core frequency.
+    #[must_use]
+    pub fn backside() -> Self {
+        Self::new(32, 1)
+    }
+
+    /// The paper's memory (L2↔DRAM) bus: 32 bytes at quarter frequency.
+    #[must_use]
+    pub fn memory() -> Self {
+        Self::new(32, 4)
+    }
+
+    /// Core cycles needed to move `bytes` across this bus.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
+        bytes.div_ceil(self.width_bytes).max(1) * self.period
+    }
+
+    /// Reserves the bus for a `bytes`-long transfer requested at `now`.
+    ///
+    /// Returns the cycle at which the transfer *completes*. Requests are
+    /// serialised in arrival order.
+    pub fn acquire(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let start = self.next_free.max(now);
+        let dur = self.transfer_cycles(bytes);
+        self.next_free = start + dur;
+        self.busy_cycles += dur;
+        self.transfers += 1;
+        self.next_free
+    }
+
+    /// The first cycle at which a new transfer could start.
+    #[must_use]
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Total cycles the bus has been occupied.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of transfers performed.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycle_math() {
+        let backside = Bus::backside();
+        assert_eq!(backside.transfer_cycles(32), 1);
+        assert_eq!(backside.transfer_cycles(64), 2);
+        let membus = Bus::memory();
+        assert_eq!(membus.transfer_cycles(32), 4);
+        assert_eq!(membus.transfer_cycles(64), 8);
+    }
+
+    #[test]
+    fn serialises_contending_transfers() {
+        let mut b = Bus::backside();
+        let t1 = b.acquire(10, 32);
+        let t2 = b.acquire(10, 32); // queued behind t1
+        assert_eq!(t1, 11);
+        assert_eq!(t2, 12);
+    }
+
+    #[test]
+    fn idle_bus_starts_immediately() {
+        let mut b = Bus::memory();
+        let done = b.acquire(100, 64);
+        assert_eq!(done, 108);
+        // After a long gap a new transfer starts at `now`.
+        let done2 = b.acquire(1000, 32);
+        assert_eq!(done2, 1004);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = Bus::backside();
+        b.acquire(0, 32);
+        b.acquire(0, 64);
+        assert_eq!(b.transfers(), 2);
+        assert_eq!(b.busy_cycles(), 3);
+    }
+
+    #[test]
+    fn zero_byte_transfer_takes_one_slot() {
+        let mut b = Bus::backside();
+        assert_eq!(b.acquire(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        let _ = Bus::new(0, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! The data cache is non-blocking with 16 MSHRs (§3.1): up to 16 distinct
+//! line misses may be outstanding, and accesses to a line that already has
+//! an MSHR merge with it (returning the in-flight fill's completion time
+//! instead of issuing a second request). When all MSHRs are busy, a new
+//! miss must wait for the earliest one to retire.
+
+use crate::Cycle;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    line_addr: u64,
+    ready_at: Cycle,
+}
+
+/// A file of miss-status holding registers.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    merges: u64,
+    allocation_stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        Self { entries: Vec::new(), capacity, merges: 0, allocation_stalls: 0 }
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.ready_at > now);
+    }
+
+    /// Checks whether a miss to `line_addr` at `now` merges with an
+    /// outstanding fill; returns the fill's completion time if so.
+    pub fn merge(&mut self, now: Cycle, line_addr: u64) -> Option<Cycle> {
+        self.expire(now);
+        let hit = self
+            .entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.ready_at);
+        if hit.is_some() {
+            self.merges += 1;
+        }
+        hit
+    }
+
+    /// The earliest cycle at which a *new* miss can allocate an MSHR.
+    ///
+    /// Equal to `now` when a register is free; otherwise the completion
+    /// time of the earliest outstanding fill.
+    pub fn allocate_at(&mut self, now: Cycle) -> Cycle {
+        self.expire(now);
+        if self.entries.len() < self.capacity {
+            now
+        } else {
+            self.allocation_stalls += 1;
+            self.entries
+                .iter()
+                .map(|e| e.ready_at)
+                .min()
+                .expect("file is full, so non-empty")
+        }
+    }
+
+    /// Records an in-flight fill of `line_addr` completing at `ready_at`.
+    ///
+    /// Callers must have consulted [`MshrFile::allocate_at`]; if the file
+    /// is still full the oldest entry is displaced (it completes earliest,
+    /// so by construction `ready_at >= its completion`).
+    pub fn insert(&mut self, line_addr: u64, ready_at: Cycle) {
+        if self.entries.len() >= self.capacity {
+            if let Some((idx, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.ready_at)
+            {
+                self.entries.swap_remove(idx);
+            }
+        }
+        self.entries.push(Entry { line_addr, ready_at });
+    }
+
+    /// Number of currently outstanding misses at `now`.
+    pub fn outstanding(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Number of merged (piggy-backed) misses.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of misses that had to wait for a free register.
+    #[must_use]
+    pub fn allocation_stalls(&self) -> u64 {
+        self.allocation_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_inflight_completion() {
+        let mut m = MshrFile::new(4);
+        m.insert(0x100, 50);
+        assert_eq!(m.merge(10, 0x100), Some(50));
+        assert_eq!(m.merge(10, 0x200), None);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = MshrFile::new(4);
+        m.insert(0x100, 50);
+        assert_eq!(m.merge(50, 0x100), None); // completed at 50
+        assert_eq!(m.outstanding(50), 0);
+    }
+
+    #[test]
+    fn full_file_delays_allocation() {
+        let mut m = MshrFile::new(2);
+        m.insert(0x100, 40);
+        m.insert(0x200, 60);
+        assert_eq!(m.allocate_at(10), 40); // wait for the earliest fill
+        assert_eq!(m.allocation_stalls(), 1);
+        assert_eq!(m.allocate_at(45), 45); // one register now free
+    }
+
+    #[test]
+    fn insert_when_full_displaces_earliest() {
+        let mut m = MshrFile::new(2);
+        m.insert(0x100, 40);
+        m.insert(0x200, 60);
+        m.insert(0x300, 80);
+        assert_eq!(m.outstanding(0), 2);
+        assert_eq!(m.merge(0, 0x100), None); // displaced
+        assert_eq!(m.merge(0, 0x300), Some(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

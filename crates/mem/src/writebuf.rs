@@ -1,0 +1,107 @@
+//! The retirement write buffer.
+//!
+//! Retired stores drain to the data cache through a 16-entry write buffer
+//! (§3.1). Retirement never waits for the cache — it only stalls when the
+//! buffer itself is full. Each entry occupies its slot until the store's
+//! cache write completes.
+
+use crate::Cycle;
+
+/// A bounded buffer of in-flight retired stores.
+#[derive(Clone, Debug)]
+pub struct WriteBuffer {
+    drains_at: Vec<Cycle>,
+    capacity: usize,
+    full_stalls: u64,
+    stores: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a write buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        Self { drains_at: Vec::new(), capacity, full_stalls: 0, stores: 0 }
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        self.drains_at.retain(|&t| t > now);
+    }
+
+    /// Whether a retiring store can enter the buffer at `now`.
+    pub fn can_accept(&mut self, now: Cycle) -> bool {
+        self.expire(now);
+        let ok = self.drains_at.len() < self.capacity;
+        if !ok {
+            self.full_stalls += 1;
+        }
+        ok
+    }
+
+    /// Records a store that will complete its cache write at `drains_at`.
+    pub fn push(&mut self, drains_at: Cycle) {
+        self.stores += 1;
+        self.drains_at.push(drains_at);
+    }
+
+    /// Entries occupied at `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.drains_at.len()
+    }
+
+    /// Number of times a store found the buffer full.
+    #[must_use]
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Total stores buffered.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_full() {
+        let mut wb = WriteBuffer::new(2);
+        assert!(wb.can_accept(0));
+        wb.push(100);
+        assert!(wb.can_accept(0));
+        wb.push(100);
+        assert!(!wb.can_accept(0));
+        assert_eq!(wb.full_stalls(), 1);
+    }
+
+    #[test]
+    fn entries_drain() {
+        let mut wb = WriteBuffer::new(1);
+        wb.push(50);
+        assert!(!wb.can_accept(10));
+        assert!(wb.can_accept(50)); // drained at 50
+        assert_eq!(wb.occupancy(50), 0);
+    }
+
+    #[test]
+    fn counts_stores() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(1);
+        wb.push(2);
+        assert_eq!(wb.stores(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = WriteBuffer::new(0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Core and simulator configuration.
+//!
+//! Defaults reproduce §3.1 of the paper: a 4-way superscalar,
+//! dynamically scheduled processor with a 13-stage pipeline (3 fetch,
+//! 1 decode, 1 rename, 2 schedule, 2 register read, 1 execute,
+//! 1 writeback, 1 DIVA, 1 retire), at most 128 instructions and 64 memory
+//! operations in flight, and a 40-entry reservation-station scheduler
+//! issuing up to 2 simple-integer, 2 complex/FP, 1 load and 1 store per
+//! cycle. The §3.5 reduced-complexity design points (`RS`, `IW`, `IW+RS`)
+//! are provided as presets.
+
+use rix_integration::IntegrationConfig;
+use rix_mem::MemConfig;
+
+/// Per-cycle issue limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IssueConfig {
+    /// Total instructions selected per cycle.
+    pub width: usize,
+    /// Simple-integer slots (ALU ops, branches, returns).
+    pub simple: usize,
+    /// Complex-integer / floating-point slots.
+    pub complex: usize,
+    /// Load-port slots.
+    pub load: usize,
+    /// Store-port slots.
+    pub store: usize,
+    /// When true, loads and stores share a single memory port (the §3.5
+    /// `IW` configuration).
+    pub shared_ldst: bool,
+}
+
+impl IssueConfig {
+    /// The base machine: 4-way issue, 2+2+1+1 ports.
+    #[must_use]
+    pub fn base() -> Self {
+        Self { width: 4, simple: 2, complex: 2, load: 1, store: 1, shared_ldst: false }
+    }
+
+    /// The §3.5 `IW` point: 3-way issue with a single shared load/store
+    /// port.
+    #[must_use]
+    pub fn reduced() -> Self {
+        Self { width: 3, simple: 2, complex: 2, load: 1, store: 1, shared_ldst: true }
+    }
+}
+
+impl Default for IssueConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+/// Out-of-order core geometry and pipeline depths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed per cycle.
+    pub rename_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer entries (max instructions in flight).
+    pub rob_entries: usize,
+    /// Max memory operations in flight.
+    pub lsq_entries: usize,
+    /// Reservation stations.
+    pub rs_entries: usize,
+    /// Issue ports.
+    pub issue: IssueConfig,
+    /// Fetch + decode depth: cycles from fetch to rename availability.
+    pub front_delay: u64,
+    /// Schedule depth: cycles from rename to earliest select.
+    pub sched_delay: u64,
+    /// Register-read depth: cycles from select to execute.
+    pub regread_delay: u64,
+    /// Writeback + DIVA depth: cycles from completion to retirement
+    /// eligibility.
+    pub diva_delay: u64,
+    /// Fetch-queue (decoupling buffer) depth.
+    pub fetch_queue: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            fetch_width: 4,
+            rename_width: 4,
+            retire_width: 4,
+            rob_entries: 128,
+            lsq_entries: 64,
+            rs_entries: 40,
+            issue: IssueConfig::base(),
+            front_delay: 4,   // 3 fetch + 1 decode
+            sched_delay: 2,   // 2 schedule stages
+            regread_delay: 2, // 2 register-read stages
+            diva_delay: 2,    // writeback + DIVA
+            fetch_queue: 16,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The §3.5 `RS` point: reservation stations halved (40 → 20).
+    #[must_use]
+    pub fn rs20() -> Self {
+        Self { rs_entries: 20, ..Self::default() }
+    }
+
+    /// The §3.5 `IW` point: 3-way issue, single load/store port.
+    #[must_use]
+    pub fn iw3() -> Self {
+        Self { issue: IssueConfig::reduced(), ..Self::default() }
+    }
+
+    /// The §3.5 `IW+RS` point: both reductions combined.
+    #[must_use]
+    pub fn iw3_rs20() -> Self {
+        Self { rs_entries: 20, issue: IssueConfig::reduced(), ..Self::default() }
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Core geometry.
+    pub core: CoreConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Integration machinery (set `enabled: false` for the baseline).
+    pub integration: IntegrationConfig,
+    /// Physical register file size (paper: 1K).
+    pub num_pregs: usize,
+    /// Initial stack-pointer value.
+    pub stack_top: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+            integration: IntegrationConfig::default(),
+            num_pregs: 1024,
+            stack_top: 0x0800_0000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The no-integration baseline processor.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self { integration: IntegrationConfig::disabled(), ..Self::default() }
+    }
+
+    /// Replaces the integration configuration.
+    #[must_use]
+    pub fn with_integration(self, integration: IntegrationConfig) -> Self {
+        Self { integration, ..self }
+    }
+
+    /// Replaces the core configuration.
+    #[must_use]
+    pub fn with_core(self, core: CoreConfig) -> Self {
+        Self { core, ..self }
+    }
+
+    /// Physical register file size override (the 4K-IT point of Figure 6
+    /// also uses 4K registers).
+    #[must_use]
+    pub fn with_pregs(self, num_pregs: usize) -> Self {
+        Self { num_pregs, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = CoreConfig::default();
+        assert_eq!(c.rename_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lsq_entries, 64);
+        assert_eq!(c.rs_entries, 40);
+        assert_eq!(c.issue.width, 4);
+        // 3 fetch + 1 decode + 1 rename + 2 sched + 2 read + 1 exec
+        // + 1 WB + 1 DIVA + 1 retire = 13 stages.
+        assert_eq!(c.front_delay + 1 + c.sched_delay + c.regread_delay + 1 + c.diva_delay + 1, 13);
+    }
+
+    #[test]
+    fn fig7_presets() {
+        assert_eq!(CoreConfig::rs20().rs_entries, 20);
+        assert_eq!(CoreConfig::iw3().issue.width, 3);
+        assert!(CoreConfig::iw3().issue.shared_ldst);
+        let both = CoreConfig::iw3_rs20();
+        assert_eq!(both.rs_entries, 20);
+        assert_eq!(both.issue.width, 3);
+    }
+
+    #[test]
+    fn baseline_disables_integration() {
+        assert!(!SimConfig::baseline().integration.enabled);
+        assert!(SimConfig::default().integration.enabled);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::default().with_pregs(4096).with_core(CoreConfig::rs20());
+        assert_eq!(c.num_pregs, 4096);
+        assert_eq!(c.core.rs_entries, 20);
+    }
+}

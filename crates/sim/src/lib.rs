@@ -1,0 +1,48 @@
+//! # rix-sim: the out-of-order core
+//!
+//! A cycle-level, execute-driven simulator of the paper's machine (§3.1):
+//! 4-way superscalar, 13-stage pipeline, 128-instruction window, 40
+//! reservation stations with typed issue ports, speculative wrong-path
+//! execution after branch mispredictions, speculative load issue with a
+//! collision history table, a DIVA checker that functionally re-executes
+//! every instruction in order just before retirement, and — the point of
+//! it all — **register integration** in the rename stage, wired to the
+//! machinery in [`rix_integration`].
+//!
+//! The public surface is small:
+//!
+//! * [`SimConfig`] / [`CoreConfig`] / [`IssueConfig`] — machine
+//!   configuration with presets for every design point in the paper's
+//!   evaluation,
+//! * [`Simulator`] — drives a [`rix_isa::Program`],
+//! * [`RunResult`] / [`SimStats`] — everything Figures 4–7 need.
+//!
+//! ```
+//! use rix_sim::{SimConfig, Simulator};
+//! use rix_isa::{Asm, reg};
+//!
+//! // r3 = 5 * 4 computed by a loop; check both timing and architecture.
+//! let mut a = Asm::new();
+//! a.addq_i(reg::R1, reg::ZERO, 5);
+//! a.addq_i(reg::R3, reg::ZERO, 0);
+//! a.label("loop");
+//! a.addq_i(reg::R3, reg::R3, 4);
+//! a.subq_i(reg::R1, reg::R1, 1);
+//! a.bne(reg::R1, "loop");
+//! a.halt();
+//! let p = a.assemble()?;
+//! let sim = Simulator::new(&p, SimConfig::baseline());
+//! let r = sim.run(1_000);
+//! assert!(r.halted);
+//! # Ok::<(), rix_isa::AsmError>(())
+//! ```
+
+pub mod config;
+pub mod lsq;
+pub mod pipeline;
+pub mod stats;
+
+pub use config::{CoreConfig, IssueConfig, SimConfig};
+pub use lsq::{Cht, StoreQueue};
+pub use pipeline::Simulator;
+pub use stats::{RunResult, SimStats};

@@ -1,0 +1,324 @@
+//! Load/store queue machinery: the store queue and the collision history
+//! table.
+//!
+//! Loads issue speculatively in the presence of older stores with
+//! unresolved addresses (§3.1). The [`StoreQueue`] tracks in-flight
+//! stores' addresses and data for store-to-load forwarding and for
+//! detecting memory-order violations when a store's address resolves.
+//! A 256-entry direct-mapped [`Cht`] (collision history table) learns
+//! from past violations and stalls the corresponding loads until all
+//! older store addresses are known.
+//!
+//! Conflict detection is word-granular: two accesses conflict when they
+//! touch the same naturally-aligned 8-byte word. This is conservative for
+//! mixed 32/64-bit accesses (a false conflict costs an unnecessary
+//! squash, never a wrong value — DIVA backstops everything anyway).
+
+use rix_integration::PregRef;
+use rix_isa::{semantics, Opcode};
+use std::collections::VecDeque;
+
+/// One in-flight store.
+#[derive(Clone, Copy, Debug)]
+pub struct SqEntry {
+    /// Dynamic sequence number (rename order).
+    pub seq: u64,
+    /// Store opcode (width).
+    pub op: Opcode,
+    /// Effective (access-aligned) address, once address generation
+    /// completes.
+    pub addr: Option<u64>,
+    /// The renamed data register.
+    pub data_preg: PregRef,
+    /// The store data value, once available.
+    pub data: Option<u64>,
+}
+
+impl SqEntry {
+    /// The aligned 8-byte word this store writes, if its address is
+    /// resolved.
+    #[must_use]
+    pub fn word_addr(&self) -> Option<u64> {
+        self.addr.map(|a| a & !7)
+    }
+}
+
+/// The in-flight store queue, in rename order.
+#[derive(Clone, Debug, Default)]
+pub struct StoreQueue {
+    entries: VecDeque<SqEntry>,
+}
+
+impl StoreQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight stores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a renamed store.
+    pub fn push(&mut self, seq: u64, op: Opcode, data_preg: PregRef) {
+        debug_assert!(self.entries.back().is_none_or(|e| e.seq < seq));
+        self.entries.push_back(SqEntry { seq, op, addr: None, data_preg, data: None });
+    }
+
+    fn find_mut(&mut self, seq: u64) -> Option<&mut SqEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Records the resolved address of store `seq`.
+    pub fn set_addr(&mut self, seq: u64, addr: u64) {
+        if let Some(e) = self.find_mut(seq) {
+            e.addr = Some(addr);
+        }
+    }
+
+    /// Records the data value of store `seq`.
+    pub fn set_data(&mut self, seq: u64, data: u64) {
+        if let Some(e) = self.find_mut(seq) {
+            e.data = Some(data);
+        }
+    }
+
+    /// Pops the oldest store (must be `seq`) at retirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is missing or has a different sequence number —
+    /// stores must retire in order.
+    pub fn pop_retire(&mut self, seq: u64) -> SqEntry {
+        let head = self.entries.pop_front().expect("retiring store not in queue");
+        assert_eq!(head.seq, seq, "stores retire in order");
+        head
+    }
+
+    /// Drops all stores younger than `after_seq` (squash).
+    pub fn squash_younger(&mut self, after_seq: u64) {
+        while self.entries.back().is_some_and(|e| e.seq > after_seq) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Whether every store older than `seq` has a resolved address (the
+    /// CHT-stall release condition).
+    #[must_use]
+    pub fn all_older_resolved(&self, seq: u64) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .all(|e| e.addr.is_some())
+    }
+
+    /// The youngest store older than `seq` writing the same word, if any.
+    #[must_use]
+    pub fn youngest_older_match(&self, seq: u64, word_addr: u64) -> Option<&SqEntry> {
+        let mut found = None;
+        for e in self.entries.iter().take_while(|e| e.seq < seq) {
+            if e.word_addr() == Some(word_addr) {
+                found = Some(e);
+            }
+        }
+        found
+    }
+
+    /// Builds the speculative memory word a load at `seq` observes:
+    /// `arch_word` overlaid, in age order, with every older resolved
+    /// store to the same word whose data is available.
+    ///
+    /// Returns the word and the sequence number of the youngest
+    /// contributing store (the load's forwarding source, used for
+    /// violation detection).
+    #[must_use]
+    pub fn spec_word(&self, seq: u64, word_addr: u64, arch_word: u64) -> (u64, Option<u64>) {
+        let mut word = arch_word;
+        let mut newest = None;
+        for e in self.entries.iter().take_while(|e| e.seq < seq) {
+            if e.word_addr() == Some(word_addr) {
+                if let (Some(addr), Some(data)) = (e.addr, e.data) {
+                    word = semantics::merge_store(e.op, addr, word, data);
+                    newest = Some(e.seq);
+                }
+            }
+        }
+        (word, newest)
+    }
+
+    /// Iterates over in-flight stores, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SqEntry> {
+        self.entries.iter()
+    }
+
+    /// Fills in data for stores whose value has become available:
+    /// `read(preg)` returns the value once the register is ready.
+    pub fn fill_data(&mut self, mut read: impl FnMut(PregRef) -> Option<u64>) {
+        for e in &mut self.entries {
+            if e.data.is_none() {
+                e.data = read(e.data_preg);
+            }
+        }
+    }
+}
+
+/// The collision history table: a direct-mapped, PC-indexed table of
+/// "this load has collided with a store" bits.
+#[derive(Clone, Debug)]
+pub struct Cht {
+    bits: Vec<bool>,
+    trainings: u64,
+}
+
+impl Cht {
+    /// Creates a CHT with `entries` slots (paper: 256, direct-mapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "CHT size must be a power of two");
+        Self { bits: vec![false; entries], trainings: 0 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.bits.len() - 1)
+    }
+
+    /// Whether the load at `pc` should wait for older store addresses.
+    #[must_use]
+    pub fn predicts_conflict(&self, pc: u64) -> bool {
+        self.bits[self.index(pc)]
+    }
+
+    /// Records a violation by the load at `pc`.
+    pub fn train(&mut self, pc: u64) {
+        let idx = self.index(pc);
+        self.bits[idx] = true;
+        self.trainings += 1;
+    }
+
+    /// Number of violations recorded.
+    #[must_use]
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preg(n: u16) -> PregRef {
+        PregRef::new(n, 1)
+    }
+
+    #[test]
+    fn forwarding_prefers_youngest_older() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(5, Opcode::Stq, preg(2));
+        sq.push(9, Opcode::Stq, preg(3));
+        sq.set_addr(1, 0x100);
+        sq.set_addr(5, 0x100);
+        sq.set_addr(9, 0x100);
+        // A load at seq 7 sees store 5, not 9 (younger) or 1 (older).
+        let m = sq.youngest_older_match(7, 0x100).unwrap();
+        assert_eq!(m.seq, 5);
+        // A load at seq 20 sees store 9.
+        assert_eq!(sq.youngest_older_match(20, 0x100).unwrap().seq, 9);
+        // Different word: no match.
+        assert!(sq.youngest_older_match(20, 0x108).is_none());
+    }
+
+    #[test]
+    fn spec_word_overlays_in_age_order() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(2, Opcode::Stl, preg(2));
+        sq.set_addr(1, 0x100);
+        sq.set_data(1, 0xaaaa_bbbb_cccc_dddd);
+        sq.set_addr(2, 0x104); // high half of the same word
+        sq.set_data(2, 0x1111_2222);
+        let (word, newest) = sq.spec_word(10, 0x100, 0);
+        assert_eq!(word, 0x1111_2222_cccc_dddd);
+        assert_eq!(newest, Some(2));
+        // A load between the stores sees only store 1.
+        let (word, newest) = sq.spec_word(2, 0x100, 0);
+        assert_eq!(word, 0xaaaa_bbbb_cccc_dddd);
+        assert_eq!(newest, Some(1));
+    }
+
+    #[test]
+    fn spec_word_skips_dataless_stores() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.set_addr(1, 0x100); // address known, data not
+        let (word, newest) = sq.spec_word(5, 0x100, 42);
+        assert_eq!(word, 42);
+        assert_eq!(newest, None);
+    }
+
+    #[test]
+    fn all_older_resolved() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(5, Opcode::Stq, preg(2));
+        assert!(!sq.all_older_resolved(10));
+        sq.set_addr(1, 0x100);
+        assert!(sq.all_older_resolved(3), "only store 1 is older than 3");
+        assert!(!sq.all_older_resolved(10));
+        sq.set_addr(5, 0x200);
+        assert!(sq.all_older_resolved(10));
+    }
+
+    #[test]
+    fn retire_and_squash() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(5, Opcode::Stq, preg(2));
+        sq.push(9, Opcode::Stq, preg(3));
+        sq.squash_younger(5);
+        assert_eq!(sq.len(), 2);
+        let e = sq.pop_retire(1);
+        assert_eq!(e.seq, 1);
+        assert_eq!(sq.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retire in order")]
+    fn out_of_order_retire_detected() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(2, Opcode::Stq, preg(2));
+        let _ = sq.pop_retire(2);
+    }
+
+    #[test]
+    fn cht_learns() {
+        let mut c = Cht::new(256);
+        assert!(!c.predicts_conflict(0x30));
+        c.train(0x30);
+        assert!(c.predicts_conflict(0x30));
+        // Direct-mapped aliasing: pc + 256 shares the slot.
+        assert!(c.predicts_conflict(0x30 + 256));
+        assert!(!c.predicts_conflict(0x31));
+        assert_eq!(c.trainings(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cht_size_checked() {
+        let _ = Cht::new(100);
+    }
+}

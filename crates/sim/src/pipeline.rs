@@ -1,0 +1,1356 @@
+//! The out-of-order pipeline with register integration.
+//!
+//! [`Simulator`] models the paper's 13-stage, 4-way machine as five
+//! per-cycle steps processed oldest-first (retire/DIVA → complete →
+//! issue → rename/integrate → fetch). Wrong-path instructions are
+//! *really fetched and executed* — fetch follows the predicted stream
+//! through program memory — which is what makes squash reuse observable,
+//! and physical registers hold real values, so a mis-integration
+//! propagates a genuinely wrong value until the DIVA checker catches it
+//! at retirement and flushes.
+//!
+//! Timing model in brief:
+//!
+//! * fetch→rename takes `front_delay` (3 fetch + 1 decode) cycles; one
+//!   fetch group per I-cache line per cycle; taken branches end the group
+//!   (plus a decode bubble on a BTB miss),
+//! * rename→issue takes at least `sched_delay` cycles; operands arrive
+//!   through the bypass network, so a dependent may be *selected* once its
+//!   producer's result is within `regread_delay` cycles of arriving,
+//! * issue→result takes `regread_delay` + execution latency (loads add
+//!   1 AGEN cycle plus cache/forwarding latency),
+//! * completion→retirement takes `diva_delay` (writeback + DIVA) cycles,
+//! * squash recovery is monolithic: fetch restarts at the redirect the
+//!   cycle after next (§3.1: recovery modelled as occurring in one cycle).
+//!
+//! Integrating instructions bypass scheduling, register read and execute
+//! entirely: a value integration completes as soon as the shared physical
+//! register is ready; a branch integration resolves *at rename*.
+
+use crate::config::SimConfig;
+use crate::lsq::{Cht, StoreQueue};
+use crate::stats::{RunResult, SimStats};
+use rix_frontend::{FrontEnd, Prediction, SpecCheckpoint};
+use rix_integration::{
+    IntegrationKind, It, ItEntry, ItKey, ItOutput, Lisp, MapTable, PregRef, RefVector,
+    Suppression,
+};
+use rix_integration::{IntegrationEvent, IntegrationType, ResultStatus};
+use rix_isa::{semantics, ExecClass, InstAddr, Instr, Opcode, Operand, Program};
+use rix_mem::{Cycle, DataStore, MemSystem};
+use std::collections::VecDeque;
+
+const NO_CYCLE: Cycle = u64::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Waiting in a reservation station.
+    WaitRs,
+    /// Integrated; waiting for the shared register to become ready.
+    WaitInt,
+    /// Selected for execution; result arrives at `done_at`.
+    Issued,
+    /// Completed; eligible for DIVA + retirement.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Integrated {
+    entry: ItEntry,
+    event: IntegrationEvent,
+    key: ItKey,
+}
+
+#[derive(Clone, Debug)]
+struct DynInst {
+    seq: u64,
+    pc: InstAddr,
+    instr: Instr,
+    pred: Prediction,
+    fetch_cycle: Cycle,
+    state: State,
+    dst_log: Option<rix_isa::LogReg>,
+    dst_new: Option<PregRef>,
+    dst_old: Option<PregRef>,
+    /// `[src1, src2]` as renamed; for stores only `srcs[0]` (the base)
+    /// gates address generation.
+    srcs: [Option<PregRef>; 2],
+    it_key: Option<ItKey>,
+    integrated: Option<Integrated>,
+    holds_rs: bool,
+    holds_lsq: bool,
+    agen_at: Cycle,
+    done_at: Cycle,
+    eff_addr: Option<u64>,
+    forward_seq: Option<u64>,
+    outcome: Option<bool>,
+    actual_target: Option<InstAddr>,
+    resolved_misp: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    pc: InstAddr,
+    instr: Instr,
+    pred: Prediction,
+    fetch_cycle: Cycle,
+    ready_at: Cycle,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SquashReq {
+    /// Squash every instruction with `seq > after_seq`.
+    after_seq: u64,
+    redirect: InstAddr,
+    checkpoint: SpecCheckpoint,
+    corrected: Option<bool>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ViolationEvent {
+    fire_at: Cycle,
+    load_seq: u64,
+    store_seq: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RenameMemEntry {
+    seq: u64,
+    word_addr: u64,
+    word: u64,
+}
+
+struct PhysFile {
+    val: Vec<u64>,
+    ready_at: Vec<Cycle>,
+    producer_seq: Vec<u64>,
+}
+
+impl PhysFile {
+    fn new(n: usize) -> Self {
+        Self { val: vec![0; n], ready_at: vec![NO_CYCLE; n], producer_seq: vec![0; n] }
+    }
+}
+
+/// The cycle-level simulator.
+///
+/// ```
+/// use rix_sim::{SimConfig, Simulator};
+/// use rix_isa::{Asm, reg};
+///
+/// let mut a = Asm::new();
+/// a.addq_i(reg::R1, reg::ZERO, 10);
+/// a.label("loop");
+/// a.subq_i(reg::R1, reg::R1, 1);
+/// a.bne(reg::R1, "loop");
+/// a.halt();
+/// let p = a.assemble()?;
+/// let result = Simulator::new(&p, SimConfig::default()).run(100);
+/// assert!(result.halted);
+/// assert_eq!(result.stats.retired, 22); // 1 init + 10×(subq,bne) + halt
+/// # Ok::<(), rix_isa::AsmError>(())
+/// ```
+pub struct Simulator<'p> {
+    program: &'p Program,
+    cfg: SimConfig,
+    cycle: Cycle,
+    seq_next: u64,
+    // Front end.
+    frontend: FrontEnd,
+    fetch_pc: InstAddr,
+    fetch_queue: VecDeque<Fetched>,
+    fetch_blocked: bool,
+    fetch_resume_at: Cycle,
+    cur_line: Option<u64>,
+    line_avail: Cycle,
+    // Rename + integration.
+    map: MapTable,
+    refvec: RefVector,
+    it: It,
+    lisp: Lisp,
+    phys: PhysFile,
+    golden: Vec<u64>,
+    rename_mem: Vec<RenameMemEntry>,
+    // Windows.
+    rob: VecDeque<DynInst>,
+    rs_used: usize,
+    lsq_used: usize,
+    sq: StoreQueue,
+    cht: Cht,
+    events: Vec<ViolationEvent>,
+    // Architectural state.
+    arch_regs: [u64; rix_isa::reg::NUM_LOG_REGS],
+    arch_next_pc: InstAddr,
+    arch_mem: DataStore,
+    mem: MemSystem,
+    // Outcome.
+    stats: SimStats,
+    halted: bool,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator over `program` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_pregs` cannot cover the architectural registers
+    /// plus the in-flight window.
+    #[must_use]
+    pub fn new(program: &'p Program, cfg: SimConfig) -> Self {
+        assert!(
+            cfg.num_pregs >= rix_isa::reg::NUM_LOG_REGS + cfg.core.rob_entries + 8,
+            "physical register file too small for the window"
+        );
+        let ic = cfg.integration;
+        let mut refvec = RefVector::new(cfg.num_pregs, ic.gen_bits, ic.count_bits);
+        let mut phys = PhysFile::new(cfg.num_pregs);
+        let mut golden = vec![0u64; cfg.num_pregs];
+        let mut map = MapTable::new(PregRef::new(0, 0));
+        let mut arch_regs = [0u64; rix_isa::reg::NUM_LOG_REGS];
+        #[allow(clippy::needless_range_loop)] // index is also the register number
+        for i in 0..rix_isa::reg::NUM_LOG_REGS {
+            let log = rix_isa::LogReg::new(i as u8);
+            let r = refvec.alloc().expect("reset allocation");
+            refvec.mark_written(r);
+            let init = if log == rix_isa::reg::SP { cfg.stack_top } else { 0 };
+            phys.val[r.preg as usize] = init;
+            phys.ready_at[r.preg as usize] = 0;
+            golden[r.preg as usize] = init;
+            arch_regs[i] = init;
+            map.set(log, r);
+        }
+        let mut arch_mem = DataStore::new();
+        arch_mem.load_segments(program.data_segments());
+        let it_ways = ic.it_ways.min(ic.it_entries);
+        Self {
+            program,
+            cfg,
+            cycle: 0,
+            seq_next: 1,
+            frontend: FrontEnd::default(),
+            fetch_pc: program.entry(),
+            fetch_queue: VecDeque::new(),
+            fetch_blocked: false,
+            fetch_resume_at: 0,
+            cur_line: None,
+            line_avail: 0,
+            map,
+            refvec,
+            it: It::new(ic.it_entries, it_ways, ic.index),
+            lisp: Lisp::new(ic.lisp_entries, ic.lisp_ways),
+            phys,
+            golden,
+            rename_mem: Vec::new(),
+            rob: VecDeque::new(),
+            rs_used: 0,
+            lsq_used: 0,
+            sq: StoreQueue::new(),
+            cht: Cht::new(256),
+            events: Vec::new(),
+            arch_regs,
+            arch_next_pc: program.entry(),
+            arch_mem,
+            mem: MemSystem::new(cfg.mem),
+            stats: SimStats::default(),
+            halted: false,
+        }
+    }
+
+    /// Runs until `target_retired` instructions retire, the program
+    /// halts, or a safety cycle limit trips.
+    pub fn run(mut self, target_retired: u64) -> RunResult {
+        let limit = 100_000 + target_retired.saturating_mul(60);
+        while !self.halted && self.stats.retired < target_retired && self.cycle < limit {
+            self.step();
+        }
+        let timed_out = !self.halted && self.stats.retired < target_retired;
+        self.stats.cycles = self.cycle;
+        self.stats.mem = self.mem.stats();
+        RunResult { stats: self.stats, halted: self.halted, timed_out }
+    }
+
+    /// Advances the machine one cycle.
+    pub fn step(&mut self) {
+        self.do_retire();
+        if !self.halted {
+            self.do_complete();
+            self.do_issue();
+            self.do_rename();
+            self.do_fetch();
+        }
+        self.stats.rs_occupancy_sum += self.rs_used as u64;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    // ----- helpers -------------------------------------------------------
+
+    fn val(&self, r: PregRef) -> u64 {
+        self.phys.val[r.preg as usize]
+    }
+
+    fn src_ready(&self, r: PregRef) -> bool {
+        // Operands arrive through the bypass network: a consumer may be
+        // selected `regread_delay` cycles before the value lands.
+        self.phys.ready_at[r.preg as usize] <= self.cycle + self.cfg.core.regread_delay
+    }
+
+    fn map_src(&self, r: rix_isa::LogReg) -> PregRef {
+        self.map.get(r)
+    }
+
+    /// Locates `seq` in the ROB. Sequence numbers are strictly increasing
+    /// but *not* contiguous: a squash discards renamed numbers without
+    /// reusing them (global uniqueness keeps store-queue ordering,
+    /// forwarding comparisons and distance statistics sound), so this is
+    /// a binary search rather than front-offset arithmetic.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let idx = self.rob.partition_point(|d| d.seq < seq);
+        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+    }
+
+    fn golden_of(&self, r: PregRef) -> u64 {
+        self.golden[r.preg as usize]
+    }
+
+    fn rename_read_word(&self, seq: u64, word_addr: u64) -> u64 {
+        self.rename_mem
+            .iter()
+            .rev()
+            .find(|e| e.seq < seq && e.word_addr == word_addr)
+            .map_or_else(|| self.arch_mem.read_word(word_addr), |e| e.word)
+    }
+
+    /// Rename-time functional result on the golden value shadow (used by
+    /// oracle suppression and to seed each register's golden value).
+    fn rename_golden(&self, seq: u64, pc: InstAddr, instr: Instr) -> Option<u64> {
+        let g1 = instr.src1.map(|r| self.golden_of(self.map_src(r)));
+        match instr.exec_class() {
+            ExecClass::SimpleInt | ExecClass::Complex => {
+                let a = g1?;
+                let b = match instr.src2 {
+                    Some(Operand::Reg(r)) => self.golden_of(self.map_src(r)),
+                    Some(Operand::Imm(i)) => i as i64 as u64,
+                    None => return None,
+                };
+                Some(semantics::alu(instr.op, a, b))
+            }
+            ExecClass::Load => {
+                let ea = semantics::effective_addr(instr.op, g1?, instr.disp);
+                Some(semantics::load_from_word(
+                    instr.op,
+                    ea,
+                    self.rename_read_word(seq, ea & !7),
+                ))
+            }
+            ExecClass::DirectJump if instr.op == Opcode::Jsr => Some(pc + 1),
+            _ => None,
+        }
+    }
+
+    // ----- fetch ---------------------------------------------------------
+
+    fn icache_line(&self, pc: InstAddr) -> u64 {
+        pc * rix_isa::encode::INSTR_BYTES / self.cfg.mem.l1i.line_bytes
+    }
+
+    fn do_fetch(&mut self) {
+        if self.halted || self.fetch_blocked || self.cycle < self.fetch_resume_at {
+            return;
+        }
+        let start_line = self.icache_line(self.fetch_pc);
+        if self.cur_line != Some(start_line) {
+            let ready = self
+                .mem
+                .ifetch(self.cycle, self.fetch_pc * rix_isa::encode::INSTR_BYTES);
+            self.cur_line = Some(start_line);
+            // The hit latency is folded into the front-end depth; only
+            // extra miss cycles stall fetch.
+            self.line_avail = ready.saturating_sub(self.cfg.mem.l1i.hit_latency);
+        }
+        if self.line_avail > self.cycle {
+            return;
+        }
+        let mut count = 0;
+        while count < self.cfg.core.fetch_width
+            && self.fetch_queue.len() < self.cfg.core.fetch_queue
+        {
+            if self.icache_line(self.fetch_pc) != start_line {
+                self.cur_line = None; // next group starts a new line
+                break;
+            }
+            let Some(instr) = self.program.fetch(self.fetch_pc) else {
+                // Ran off the program (a wrong path, or the final halt
+                // already fetched): stall until a squash redirects us.
+                self.fetch_blocked = true;
+                break;
+            };
+            let pc = self.fetch_pc;
+            let btb_hit = self.frontend.btb_hit(pc);
+            let pred = self.frontend.predict(pc, instr);
+            self.fetch_queue.push_back(Fetched {
+                pc,
+                instr,
+                pred,
+                fetch_cycle: self.cycle,
+                ready_at: self.cycle + self.cfg.core.front_delay,
+            });
+            self.stats.fetched += 1;
+            count += 1;
+            if instr.op == Opcode::Halt {
+                self.fetch_blocked = true;
+                break;
+            }
+            if pred.next_pc != pc + 1 {
+                // Redirected fetch: group ends; a taken conditional
+                // branch missing in the BTB redirects at decode instead
+                // of fetch, costing one extra bubble.
+                self.fetch_pc = pred.next_pc;
+                self.cur_line = None;
+                let bubble = if instr.op.is_cond_branch() && !btb_hit { 2 } else { 1 };
+                self.fetch_resume_at = self.cycle + bubble;
+                break;
+            }
+            self.fetch_pc += 1;
+        }
+    }
+
+    // ----- rename + integration ------------------------------------------
+
+    fn do_rename(&mut self) {
+        for _ in 0..self.cfg.core.rename_width {
+            let Some(&f) = self.fetch_queue.front() else { return };
+            if f.ready_at > self.cycle {
+                return;
+            }
+            if self.rob.len() >= self.cfg.core.rob_entries {
+                self.stats.stalls_rob += 1;
+                return;
+            }
+            if !self.rename_one(f) {
+                return; // resource stall; retry next cycle
+            }
+            self.fetch_queue.pop_front();
+        }
+    }
+
+    /// Renames one instruction; returns `false` on a structural stall.
+    fn rename_one(&mut self, f: Fetched) -> bool {
+        let instr = f.instr;
+        let seq = self.seq_next;
+        let class = instr.exec_class();
+        let dst_log = instr.dst.filter(|d| !d.is_zero());
+
+        let src1 = instr.src1.map(|r| self.map_src(r));
+        let src2r = instr.src2_reg().map(|r| self.map_src(r));
+        let key = ItKey::new(f.pc, instr, f.pred.call_depth, src1, src2r);
+
+        let mut d = DynInst {
+            seq,
+            pc: f.pc,
+            instr,
+            pred: f.pred,
+            fetch_cycle: f.fetch_cycle,
+            state: State::Done,
+            dst_log,
+            dst_new: None,
+            dst_old: None,
+            srcs: [src1, src2r],
+            it_key: Some(key),
+            integrated: None,
+            holds_rs: false,
+            holds_lsq: false,
+            agen_at: NO_CYCLE,
+            done_at: self.cycle,
+            eff_addr: None,
+            forward_seq: None,
+            outcome: None,
+            actual_target: None,
+            resolved_misp: false,
+        };
+
+        // Value ops whose destination is a zero register degenerate to
+        // no-ops (writes to r31/f31 are discarded).
+        let effective_class = if dst_log.is_none()
+            && matches!(class, ExecClass::SimpleInt | ExecClass::Complex | ExecClass::Load)
+        {
+            ExecClass::Nop
+        } else {
+            class
+        };
+
+        match effective_class {
+            ExecClass::Nop | ExecClass::Syscall => { /* done at rename */ }
+            ExecClass::DirectJump => {
+                if instr.op == Opcode::Jsr {
+                    // The return address is produced for free at rename.
+                    let Some(ra) = self.refvec.alloc() else {
+                        self.stats.stalls_preg += 1;
+                        return false;
+                    };
+                    let dst = dst_log.expect("jsr writes ra");
+                    self.phys.val[ra.preg as usize] = f.pc + 1;
+                    self.phys.ready_at[ra.preg as usize] = self.cycle;
+                    self.phys.producer_seq[ra.preg as usize] = seq;
+                    self.golden[ra.preg as usize] = f.pc + 1;
+                    self.refvec.mark_written(ra);
+                    d.dst_new = Some(ra);
+                    d.dst_old = Some(self.map.set(dst, ra));
+                }
+            }
+            ExecClass::IndirectJump => {
+                if !self.take_rs() {
+                    return false;
+                }
+                d.holds_rs = true;
+                d.state = State::WaitRs;
+                d.done_at = NO_CYCLE;
+            }
+            ExecClass::CondBranch => {
+                if let Some(ig) = self.try_integrate(seq, &f, key, None) {
+                    let ItOutput::Branch(taken) = ig.entry.out else { unreachable!() };
+                    d.integrated = Some(ig);
+                    d.outcome = Some(taken);
+                    d.state = State::Done;
+                    d.done_at = self.cycle;
+                    if taken != f.pred.taken {
+                        // Fast resolution at rename: nothing younger has
+                        // renamed, so only the front end must recover.
+                        d.resolved_misp = true;
+                        let redirect = if taken { instr.target } else { f.pc + 1 };
+                        self.frontend.repair(f.pred.checkpoint, Some(taken));
+                        self.fetch_queue.clear();
+                        self.fetch_pc = redirect;
+                        self.fetch_blocked = false;
+                        self.cur_line = None;
+                        self.fetch_resume_at = self.cycle + 1;
+                        self.stats.squashes_branch += 1;
+                        self.finish_rename(d, f, seq);
+                        return true;
+                    }
+                } else {
+                    if !self.take_rs() {
+                        return false;
+                    }
+                    d.holds_rs = true;
+                    d.state = State::WaitRs;
+                    d.done_at = NO_CYCLE;
+                }
+            }
+            ExecClass::Store => {
+                if self.rs_used >= self.cfg.core.rs_entries {
+                    self.stats.stalls_rs += 1;
+                    return false;
+                }
+                if self.lsq_used >= self.cfg.core.lsq_entries {
+                    self.stats.stalls_lsq += 1;
+                    return false;
+                }
+                self.rs_used += 1;
+                self.lsq_used += 1;
+                d.holds_rs = true;
+                d.holds_lsq = true;
+                d.state = State::WaitRs;
+                d.done_at = NO_CYCLE;
+                let base = src1.expect("store has a base");
+                let data = src2r.expect("store has data");
+                self.sq.push(seq, instr.op, data);
+                if self.cfg.integration.enabled
+                    && rix_integration::it::wants_reverse_entry(self.cfg.integration.reverse, instr)
+                {
+                    self.it
+                        .insert_reverse_store(f.pc, instr, f.pred.call_depth, base, data, seq);
+                }
+                // Golden memory overlay for the rename-time shadow.
+                let g_base = self.golden_of(base);
+                let g_data = self.golden_of(data);
+                let ea = semantics::effective_addr(instr.op, g_base, instr.disp);
+                let word_addr = ea & !7;
+                let prev = self.rename_read_word(seq, word_addr);
+                let word = semantics::merge_store(instr.op, ea, prev, g_data);
+                self.rename_mem.push(RenameMemEntry { seq, word_addr, word });
+            }
+            ExecClass::SimpleInt | ExecClass::Complex | ExecClass::Load => {
+                let dst = dst_log.expect("value op has a destination");
+                if let Some(ig) = self.try_integrate(seq, &f, key, Some(dst)) {
+                    let ItOutput::Value(out) = ig.entry.out else { unreachable!() };
+                    d.dst_new = Some(out);
+                    d.dst_old = Some(self.map.set(dst, out));
+                    d.integrated = Some(ig);
+                    d.state = State::WaitInt;
+                    d.done_at = NO_CYCLE;
+                } else {
+                    if self.rs_used >= self.cfg.core.rs_entries {
+                        self.stats.stalls_rs += 1;
+                        return false;
+                    }
+                    if instr.op.is_load() && self.lsq_used >= self.cfg.core.lsq_entries {
+                        self.stats.stalls_lsq += 1;
+                        return false;
+                    }
+                    let Some(out) = self.refvec.alloc() else {
+                        self.stats.stalls_preg += 1;
+                        return false;
+                    };
+                    self.rs_used += 1;
+                    d.holds_rs = true;
+                    if instr.op.is_load() {
+                        self.lsq_used += 1;
+                        d.holds_lsq = true;
+                    }
+                    self.phys.ready_at[out.preg as usize] = NO_CYCLE;
+                    self.phys.producer_seq[out.preg as usize] = seq;
+                    if let Some(g) = self.rename_golden(seq, f.pc, instr) {
+                        self.golden[out.preg as usize] = g;
+                    }
+                    d.dst_new = Some(out);
+                    d.dst_old = Some(self.map.set(dst, out));
+                    d.state = State::WaitRs;
+                    d.done_at = NO_CYCLE;
+                    if self.cfg.integration.enabled && instr.op.is_integrable() {
+                        self.it.insert_direct(key, out, seq);
+                    }
+                    if self.cfg.integration.enabled
+                        && rix_integration::it::wants_reverse_entry(
+                            self.cfg.integration.reverse,
+                            instr,
+                        )
+                        && !instr.op.is_store()
+                    {
+                        // Reverse entry for an invertible add: the old
+                        // mapping of the source is the entry's output.
+                        let src = src1.expect("invertible add has a source");
+                        self.it
+                            .insert_reverse_add(f.pc, instr, f.pred.call_depth, src, out, seq);
+                    }
+                }
+            }
+        }
+        self.finish_rename(d, f, seq);
+        true
+    }
+
+    fn finish_rename(&mut self, d: DynInst, f: Fetched, seq: u64) {
+        let _ = f;
+        debug_assert!(
+            self.rob.back().is_none_or(|b| b.seq < seq),
+            "sequence numbers strictly increase"
+        );
+        self.rob.push_back(d);
+        self.seq_next = seq + 1;
+    }
+
+    fn take_rs(&mut self) -> bool {
+        if self.rs_used >= self.cfg.core.rs_entries {
+            self.stats.stalls_rs += 1;
+            return false;
+        }
+        self.rs_used += 1;
+        true
+    }
+
+    /// The integration test (§2.1) with all three extensions: looks up
+    /// the IT, applies suppression, checks register-state eligibility,
+    /// and on success increments the reference count.
+    fn try_integrate(
+        &mut self,
+        seq: u64,
+        f: &Fetched,
+        key: ItKey,
+        dst: Option<rix_isa::LogReg>,
+    ) -> Option<Integrated> {
+        let ic = self.cfg.integration;
+        if !ic.enabled || !f.instr.op.is_integrable() {
+            return None;
+        }
+        if f.instr.dst.is_some() && dst.is_none() {
+            return None;
+        }
+        let entry = self.it.lookup(key)?;
+        // Emulated integration pipelining (§3.3): a too-recent entry is
+        // not yet visible to the lookup stage. Entries created before a
+        // pipeline flush are always visible (the flush provides the
+        // separation), which is why squash reuse is impervious.
+        if ic.pipeline_depth > 0 && seq.saturating_sub(entry.creator_seq) < ic.pipeline_depth {
+            return None;
+        }
+        // Suppression.
+        match ic.suppression {
+            Suppression::Lisp => {
+                if f.instr.op.is_load() && self.lisp.suppress(f.pc) {
+                    self.stats.integration.suppressed += 1;
+                    return None;
+                }
+            }
+            Suppression::Oracle => {
+                let ok = match entry.out {
+                    ItOutput::Value(out) => {
+                        let mine = self.rename_golden(seq, f.pc, f.instr);
+                        // The shared register must be destined for my
+                        // value — and if it has already been written
+                        // (e.g. by a squashed wrong-path producer whose
+                        // memory-order speculation went wrong), the value
+                        // actually present must match too.
+                        mine == Some(self.golden_of(out))
+                            && (!self.refvec.written(out) || mine == Some(self.val(out)))
+                    }
+                    ItOutput::Branch(taken) => f
+                        .instr
+                        .src1
+                        .map(|r| {
+                            semantics::branch_taken(
+                                f.instr.op,
+                                self.golden_of(self.map_src(r)),
+                            ) == taken
+                        })
+                        .unwrap_or(false),
+                };
+                if !ok {
+                    self.stats.integration.suppressed += 1;
+                    return None;
+                }
+            }
+        }
+        match entry.out {
+            ItOutput::Value(out) => {
+                let eligible = if ic.general_reuse {
+                    self.refvec.eligible_general(out)
+                } else {
+                    self.refvec.eligible_squash(out)
+                };
+                if !eligible {
+                    return None;
+                }
+                let refcount = self.refvec.integrate(out)?;
+                let status = if refcount == 1 {
+                    ResultStatus::ShadowSquash
+                } else {
+                    let producer = self.phys.producer_seq[out.preg as usize];
+                    match self.rob_index(producer).map(|i| self.rob[i].state) {
+                        Some(State::WaitRs) | Some(State::WaitInt) => ResultStatus::Rename,
+                        Some(State::Issued) | Some(State::Done) => ResultStatus::Issue,
+                        None => ResultStatus::Retire,
+                    }
+                };
+                Some(Integrated {
+                    entry,
+                    key,
+                    event: IntegrationEvent {
+                        kind: if entry.reverse {
+                            IntegrationKind::Reverse
+                        } else {
+                            IntegrationKind::Direct
+                        },
+                        itype: IntegrationType::classify(f.instr),
+                        distance: seq.saturating_sub(entry.creator_seq),
+                        status,
+                        refcount,
+                    },
+                })
+            }
+            ItOutput::Branch(_) => Some(Integrated {
+                entry,
+                key,
+                event: IntegrationEvent {
+                    kind: if entry.reverse {
+                        IntegrationKind::Reverse
+                    } else {
+                        IntegrationKind::Direct
+                    },
+                    itype: IntegrationType::classify(f.instr),
+                    distance: seq.saturating_sub(entry.creator_seq),
+                    status: ResultStatus::Retire,
+                    refcount: 0,
+                },
+            }),
+        }
+    }
+
+    // ----- issue ----------------------------------------------------------
+
+    fn do_issue(&mut self) {
+        // Make completed store data visible to forwarding.
+        let cycle = self.cycle;
+        let phys_ready = &self.phys.ready_at;
+        let phys_val = &self.phys.val;
+        self.sq.fill_data(|p| {
+            (phys_ready[p.preg as usize] <= cycle).then(|| phys_val[p.preg as usize])
+        });
+
+        let issue = self.cfg.core.issue;
+        let mut total = issue.width;
+        let mut simple = issue.simple;
+        let mut complex = issue.complex;
+        let mut load = issue.load;
+        let mut store = issue.store;
+        let mut shared = if issue.shared_ldst { 1 } else { usize::MAX };
+
+        // Gather ready candidates with scheduling priority: loads,
+        // branches and FP first, age as tie-breaker (§3.1).
+        let mut cands: Vec<(u8, u64, usize)> = Vec::new();
+        for (idx, d) in self.rob.iter().enumerate() {
+            if d.state != State::WaitRs || !self.ready_to_issue(d) {
+                continue;
+            }
+            let rank = match d.instr.exec_class() {
+                ExecClass::Load | ExecClass::CondBranch | ExecClass::IndirectJump => 0,
+                ExecClass::Complex if d.instr.op.is_fp() => 0,
+                _ => 1,
+            };
+            cands.push((rank, d.seq, idx));
+        }
+        cands.sort_unstable();
+
+        for (_, _, idx) in cands {
+            if total == 0 {
+                break;
+            }
+            let class = self.rob[idx].instr.exec_class();
+            let port = match class {
+                ExecClass::SimpleInt | ExecClass::CondBranch | ExecClass::IndirectJump => {
+                    &mut simple
+                }
+                ExecClass::Complex => &mut complex,
+                ExecClass::Load => {
+                    if issue.shared_ldst {
+                        &mut shared
+                    } else {
+                        &mut load
+                    }
+                }
+                ExecClass::Store => {
+                    if issue.shared_ldst {
+                        &mut shared
+                    } else {
+                        &mut store
+                    }
+                }
+                _ => continue,
+            };
+            if *port == 0 {
+                continue;
+            }
+            *port -= 1;
+            total -= 1;
+            self.execute(idx);
+        }
+    }
+
+    fn ready_to_issue(&self, d: &DynInst) -> bool {
+        let class = d.instr.exec_class();
+        // Stores need only the base for address generation.
+        let needed: &[Option<PregRef>] = if class == ExecClass::Store {
+            &d.srcs[..1]
+        } else {
+            &d.srcs[..]
+        };
+        if !needed.iter().flatten().all(|&s| self.src_ready(s)) {
+            return false;
+        }
+        if class == ExecClass::Load {
+            if self.cht.predicts_conflict(d.pc) && !self.sq.all_older_resolved(d.seq) {
+                return false;
+            }
+            // If the youngest older same-word store has no data yet,
+            // wait for it (forwarding would stall anyway).
+            let base = d.srcs[0].expect("load has a base");
+            if self.phys.ready_at[base.preg as usize] <= self.cycle {
+                let addr =
+                    semantics::effective_addr(d.instr.op, self.val(base), d.instr.disp);
+                if let Some(e) = self.sq.youngest_older_match(d.seq, addr & !7) {
+                    if e.data.is_none() {
+                        return false;
+                    }
+                }
+            } else {
+                // Base arrives exactly at execute via bypass; defer the
+                // forwarding question one cycle rather than guess.
+                return false;
+            }
+        }
+        true
+    }
+
+    fn execute(&mut self, idx: usize) {
+        let t_exec = self.cycle + self.cfg.core.regread_delay;
+        self.stats.executed += 1;
+        let (instr, seq, srcs, dst_new) = {
+            let d = &mut self.rob[idx];
+            d.state = State::Issued;
+            d.holds_rs = false;
+            (d.instr, d.seq, d.srcs, d.dst_new)
+        };
+        self.rs_used -= 1;
+
+        match instr.exec_class() {
+            ExecClass::SimpleInt | ExecClass::Complex => {
+                let a = self.val(srcs[0].expect("ALU op has src1"));
+                let b = match instr.src2 {
+                    Some(Operand::Reg(_)) => self.val(srcs[1].expect("reg operand renamed")),
+                    Some(Operand::Imm(i)) => i as i64 as u64,
+                    None => 0,
+                };
+                let r = semantics::alu(instr.op, a, b);
+                let done = t_exec + instr.op.latency();
+                let out = dst_new.expect("ALU op has a destination");
+                self.rob[idx].done_at = done;
+                self.phys.val[out.preg as usize] = r;
+                self.phys.ready_at[out.preg as usize] = done;
+            }
+            ExecClass::CondBranch => {
+                let c = self.val(srcs[0].expect("branch has a condition"));
+                let d = &mut self.rob[idx];
+                d.outcome = Some(semantics::branch_taken(instr.op, c));
+                d.done_at = t_exec + 1;
+            }
+            ExecClass::IndirectJump => {
+                let t = self.val(srcs[0].expect("ret reads ra"));
+                let d = &mut self.rob[idx];
+                d.actual_target = Some(t);
+                d.done_at = t_exec + 1;
+            }
+            ExecClass::Load => {
+                let base = self.val(srcs[0].expect("load has a base"));
+                let addr = semantics::effective_addr(instr.op, base, instr.disp);
+                let agen = t_exec + 1;
+                self.stats.loads_executed += 1;
+                let word_addr = addr & !7;
+                let arch_word = self.arch_mem.read_word(word_addr);
+                let (word, fwd) = self.sq.spec_word(seq, word_addr, arch_word);
+                let value = semantics::load_from_word(instr.op, addr, word);
+                let done = if fwd.is_some() {
+                    agen + 2 // store-to-load forwarding takes 2 cycles
+                } else {
+                    self.mem.dload(agen, addr)
+                };
+                let d = &mut self.rob[idx];
+                d.agen_at = agen;
+                d.eff_addr = Some(addr);
+                d.forward_seq = fwd;
+                d.done_at = done;
+                let out = dst_new.expect("load has a destination");
+                self.phys.val[out.preg as usize] = value;
+                self.phys.ready_at[out.preg as usize] = done;
+            }
+            ExecClass::Store => {
+                let base = self.val(srcs[0].expect("store has a base"));
+                let addr = semantics::effective_addr(instr.op, base, instr.disp);
+                let agen = t_exec + 1;
+                let data_preg = srcs[1].expect("store has data");
+                let data_ready = self.phys.ready_at[data_preg.preg as usize];
+                {
+                    let d = &mut self.rob[idx];
+                    d.agen_at = agen;
+                    d.eff_addr = Some(addr);
+                    d.done_at =
+                        if data_ready == NO_CYCLE { NO_CYCLE } else { agen.max(data_ready) };
+                }
+                self.sq.set_addr(seq, addr);
+                // Memory-order violation check: any younger load that
+                // already obtained its value from an older source (or
+                // from memory) while touching this word mis-speculated.
+                let word_addr = addr & !7;
+                let mut victim: Option<u64> = None;
+                for y in self.rob.iter() {
+                    if y.seq <= seq || y.integrated.is_some() {
+                        continue;
+                    }
+                    if !matches!(y.state, State::Issued | State::Done) {
+                        continue;
+                    }
+                    if !y.instr.op.is_load() {
+                        continue;
+                    }
+                    if y.eff_addr.map(|a| a & !7) != Some(word_addr) {
+                        continue;
+                    }
+                    if y.forward_seq.is_none_or(|fs| fs < seq) {
+                        victim = Some(victim.map_or(y.seq, |v: u64| v.min(y.seq)));
+                    }
+                }
+                if let Some(load_seq) = victim {
+                    self.events.push(ViolationEvent {
+                        fire_at: agen,
+                        load_seq,
+                        store_seq: seq,
+                    });
+                }
+            }
+            _ => unreachable!("only scheduled classes execute"),
+        }
+    }
+
+    // ----- completion / resolution ----------------------------------------
+
+    fn do_complete(&mut self) {
+        // Fire due memory-order violation events (oldest load wins).
+        let cycle = self.cycle;
+        let mut due: Vec<ViolationEvent> = Vec::new();
+        self.events.retain(|e| {
+            if e.fire_at <= cycle {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable_by_key(|e| e.load_seq);
+        for ev in due {
+            let Some(idx) = self.rob_index(ev.load_seq) else { continue };
+            let d = &self.rob[idx];
+            if !d.instr.op.is_load() {
+                continue;
+            }
+            self.cht.train(d.pc);
+            self.stats.squashes_memorder += 1;
+            let req = SquashReq {
+                after_seq: ev.load_seq - 1,
+                redirect: d.pc,
+                checkpoint: d.pred.checkpoint,
+                corrected: None,
+            };
+            self.squash(req);
+        }
+
+        // Completions and branch resolution.
+        let mut squash_req: Option<SquashReq> = None;
+        for idx in 0..self.rob.len() {
+            let d = &self.rob[idx];
+            match d.state {
+                State::WaitInt => {
+                    if let Some(ig) = &d.integrated {
+                        if let ItOutput::Value(out) = ig.entry.out {
+                            if self.phys.ready_at[out.preg as usize] <= self.cycle {
+                                let d = &mut self.rob[idx];
+                                d.done_at = self.cycle;
+                                d.state = State::Done;
+                            }
+                        }
+                    }
+                }
+                State::Issued => {
+                    // Stores waiting on data learn their completion time
+                    // as soon as the producer has scheduled it.
+                    if d.instr.op.is_store() && d.done_at == NO_CYCLE {
+                        let data = d.srcs[1].expect("store has data");
+                        let ready = self.phys.ready_at[data.preg as usize];
+                        if ready != NO_CYCLE {
+                            let agen = d.agen_at;
+                            self.rob[idx].done_at = agen.max(ready);
+                        }
+                    }
+                    let d = &self.rob[idx];
+                    if d.done_at <= self.cycle {
+                        let seq = d.seq;
+                        let instr = d.instr;
+                        let outcome = d.outcome;
+                        let actual_target = d.actual_target;
+                        let pred = d.pred;
+                        let pc = d.pc;
+                        let key = d.it_key;
+                        {
+                            let d = &mut self.rob[idx];
+                            d.state = State::Done;
+                        }
+                        if let Some(out) = self.rob[idx].dst_new {
+                            self.refvec.mark_written(out);
+                        }
+                        match instr.exec_class() {
+                            ExecClass::CondBranch => {
+                                let taken = outcome.expect("resolved branch");
+                                if self.cfg.integration.enabled {
+                                    if let Some(key) = key {
+                                        self.it.insert_branch(key, taken, seq);
+                                    }
+                                }
+                                if taken != pred.taken && !self.rob[idx].resolved_misp {
+                                    self.rob[idx].resolved_misp = true;
+                                    let redirect =
+                                        if taken { instr.target } else { pc + 1 };
+                                    let req = SquashReq {
+                                        after_seq: seq,
+                                        redirect,
+                                        checkpoint: pred.checkpoint,
+                                        corrected: Some(taken),
+                                    };
+                                    if squash_req.is_none_or(|r| seq < r.after_seq) {
+                                        squash_req = Some(req);
+                                    }
+                                }
+                            }
+                            ExecClass::IndirectJump => {
+                                let target = actual_target.expect("resolved ret");
+                                if target != pred.next_pc && !self.rob[idx].resolved_misp {
+                                    self.rob[idx].resolved_misp = true;
+                                    let req = SquashReq {
+                                        after_seq: seq,
+                                        redirect: target,
+                                        checkpoint: pred.post_checkpoint,
+                                        corrected: None,
+                                    };
+                                    if squash_req.is_none_or(|r| seq < r.after_seq) {
+                                        squash_req = Some(req);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(req) = squash_req {
+            self.stats.squashes_branch += 1;
+            self.squash(req);
+        }
+    }
+
+    // ----- squash ----------------------------------------------------------
+
+    fn squash(&mut self, req: SquashReq) {
+        while self.rob.back().is_some_and(|d| d.seq > req.after_seq) {
+            let d = self.rob.pop_back().expect("checked non-empty");
+            if let Some(dst) = d.dst_log {
+                let old = d.dst_old.expect("renamed dst recorded its old mapping");
+                self.map.set(dst, old);
+                let new = d.dst_new.expect("renamed dst allocated or integrated");
+                self.refvec.unmap_squash(new);
+            }
+            if d.holds_rs {
+                self.rs_used -= 1;
+            }
+            if d.holds_lsq {
+                self.lsq_used -= 1;
+            }
+        }
+        self.sq.squash_younger(req.after_seq);
+        self.rename_mem.retain(|e| e.seq <= req.after_seq);
+        self.events
+            .retain(|e| e.load_seq <= req.after_seq && e.store_seq <= req.after_seq);
+        self.frontend.repair(req.checkpoint, req.corrected);
+        self.fetch_queue.clear();
+        self.fetch_pc = req.redirect;
+        self.fetch_blocked = false;
+        self.cur_line = None;
+        // Monolithic one-cycle recovery (§3.1), then the redirect.
+        self.fetch_resume_at = self.cycle + 2;
+    }
+
+    // ----- retire / DIVA ----------------------------------------------------
+
+    fn do_retire(&mut self) {
+        for _ in 0..self.cfg.core.retire_width {
+            let Some(head) = self.rob.front() else { return };
+            if head.state != State::Done
+                || self.cycle < head.done_at.saturating_add(self.cfg.core.diva_delay)
+            {
+                return;
+            }
+            if !self.retire_head() {
+                return;
+            }
+            if self.halted {
+                return;
+            }
+        }
+    }
+
+    /// DIVA-checks and retires the ROB head. Returns `false` when
+    /// retirement must stall (write buffer) or the head was flushed.
+    fn retire_head(&mut self) -> bool {
+        let head = self.rob.front().expect("caller checked");
+        let instr = head.instr;
+        let pc = head.pc;
+        let seq = head.seq;
+
+        // DIVA verifies the retirement PC chain before anything else: a
+        // retiring instruction must be the architectural successor of the
+        // previous one. A mismatch is repaired like any other DIVA fault:
+        // flush and refetch from the correct PC.
+        if pc != self.arch_next_pc {
+            let redirect = self.arch_next_pc;
+            let checkpoint = head.pred.checkpoint;
+            self.stats.squashes_diva += 1;
+            self.squash(SquashReq { after_seq: seq - 1, redirect, checkpoint, corrected: None });
+            return false;
+        }
+
+        // --- DIVA: in-order functional re-execution on architectural state.
+        let g1 = instr.src1.map(|r| self.arch_regs[r.index()]);
+        let gop2 = match instr.src2 {
+            Some(Operand::Reg(r)) => Some(self.arch_regs[r.index()]),
+            Some(Operand::Imm(i)) => Some(i as i64 as u64),
+            None => None,
+        };
+        let mut golden_value: Option<u64> = None;
+        let mut golden_ea: Option<u64> = None;
+        let mut golden_taken: Option<bool> = None;
+        match instr.exec_class() {
+            ExecClass::SimpleInt | ExecClass::Complex => {
+                golden_value = Some(semantics::alu(
+                    instr.op,
+                    g1.expect("ALU src"),
+                    gop2.expect("ALU operand"),
+                ));
+            }
+            ExecClass::Load => {
+                let ea = semantics::effective_addr(instr.op, g1.expect("base"), instr.disp);
+                golden_ea = Some(ea);
+                golden_value = Some(self.arch_mem.load(instr.op, ea));
+            }
+            ExecClass::Store => {
+                golden_ea = Some(semantics::effective_addr(
+                    instr.op,
+                    g1.expect("base"),
+                    instr.disp,
+                ));
+            }
+            ExecClass::CondBranch => {
+                golden_taken = Some(semantics::branch_taken(instr.op, g1.expect("cond")));
+            }
+            ExecClass::DirectJump if instr.op == Opcode::Jsr => {
+                golden_value = Some(pc + 1);
+            }
+            _ => {}
+        }
+
+        let fault = match instr.exec_class() {
+            ExecClass::SimpleInt | ExecClass::Complex | ExecClass::Load => {
+                let out = head.dst_new.expect("value op has dst");
+                Some(self.val(out)) != golden_value
+            }
+            ExecClass::Store => head.eff_addr != golden_ea,
+            ExecClass::CondBranch => head.outcome != golden_taken,
+            ExecClass::IndirectJump => head.actual_target != g1,
+            _ => false,
+        };
+
+        if fault {
+            let integrated = head.integrated.is_some();
+            self.stats.squashes_diva += 1;
+            if integrated {
+                self.stats.integration.mis_integrations += 1;
+                if instr.op.is_load() {
+                    self.stats.integration.load_mis_integrations += 1;
+                    if self.cfg.integration.suppression == Suppression::Lisp {
+                        self.lisp.train(pc);
+                    }
+                } else {
+                    self.stats.integration.register_mis_integrations += 1;
+                }
+                let ig = head.integrated.as_ref().expect("checked");
+                let (key, out) = (ig.key, ig.entry.out);
+                self.it.invalidate(key, out);
+            } else if instr.op.is_load() {
+                // A late memory-order slip: train the CHT so the refetch
+                // does not repeat it.
+                self.cht.train(pc);
+            }
+            let req = SquashReq {
+                after_seq: seq - 1, // flush includes the offender
+                redirect: pc,
+                checkpoint: head.pred.checkpoint,
+                corrected: None,
+            };
+            self.squash(req);
+            return false;
+        }
+
+        // --- Stores drain through the write buffer.
+        if instr.op.is_store() {
+            let ea = golden_ea.expect("store ea");
+            if self.mem.retire_store(self.cycle, ea).is_none() {
+                self.stats.stalls_writebuf += 1;
+                return false;
+            }
+            let data = gop2.expect("store data");
+            self.arch_mem.store(instr.op, ea, data);
+            let _ = self.sq.pop_retire(seq);
+            self.rename_mem.retain(|e| e.seq != seq);
+        }
+
+        let head = self.rob.front().expect("still present");
+        // --- Architectural register update.
+        if let Some(dst) = head.dst_log {
+            self.arch_regs[dst.index()] =
+                golden_value.expect("dst implies a value-producing op");
+        }
+        // --- Branch bookkeeping.
+        if instr.op.is_cond_branch() {
+            self.stats.cond_branches_retired += 1;
+            let taken = golden_taken.expect("cond branch");
+            self.frontend.resolve_cond(pc, head.pred.checkpoint, taken);
+            if taken != head.pred.taken {
+                self.stats.branch_mispredicts += 1;
+                self.stats.resolution_latency_sum +=
+                    head.done_at.saturating_sub(head.fetch_cycle);
+            }
+        }
+        // --- Reference-count shadow decrement (§2.2: retiring an
+        // instruction decrements the *shadowed* register, never its own).
+        if let Some(old) = head.dst_old {
+            self.refvec.unmap_shadow(old);
+        }
+        if head.holds_lsq {
+            self.lsq_used -= 1;
+        }
+        // --- Integration accounting happens at retirement (§3.2).
+        if let Some(ig) = &head.integrated {
+            self.stats.integration.record(ig.event);
+        }
+        // Advance the architectural PC chain.
+        self.arch_next_pc = match instr.exec_class() {
+            ExecClass::CondBranch if golden_taken == Some(true) => instr.target,
+            ExecClass::DirectJump => instr.target,
+            ExecClass::IndirectJump => g1.expect("ret reads ra"),
+            _ => pc + 1,
+        };
+        self.stats.retired += 1;
+        self.stats.integration.retired += 1;
+        if instr.op.is_load() {
+            self.stats.loads_retired += 1;
+        }
+        if instr.op.is_store() {
+            self.stats.stores_retired += 1;
+        }
+        if instr.op == Opcode::Halt {
+            self.halted = true;
+        }
+        self.rob.pop_front();
+        true
+    }
+
+    // ----- introspection (tests/diagnostics) -------------------------------
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Architectural register value (for tests).
+    #[must_use]
+    pub fn arch_reg(&self, r: rix_isa::LogReg) -> u64 {
+        self.arch_regs[r.index()]
+    }
+
+    /// Architectural memory word (for tests).
+    #[must_use]
+    pub fn arch_mem_word(&self, addr: u64) -> u64 {
+        self.arch_mem.read_word(addr)
+    }
+
+    /// Whether the program has halted.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation statistics.
+
+use rix_integration::IntegrationStats;
+use rix_mem::MemSystemStats;
+
+/// Everything the evaluation section measures, accumulated over a run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Elapsed machine cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions that issued to the execution engine (integrating
+    /// instructions bypass it and are not counted).
+    pub executed: u64,
+    /// Loads that executed (accessed the cache/store queue).
+    pub loads_executed: u64,
+    /// Loads retired (integrated or not).
+    pub loads_retired: u64,
+    /// Stores retired.
+    pub stores_retired: u64,
+    /// Integration accounting (Figures 4 and 5).
+    pub integration: IntegrationStats,
+    /// Conditional branches retired.
+    pub cond_branches_retired: u64,
+    /// Retired conditional branches that were mispredicted.
+    pub branch_mispredicts: u64,
+    /// Sum over retired mispredicted branches of (resolution cycle −
+    /// prediction cycle); the paper's mis-prediction resolution latency.
+    pub resolution_latency_sum: u64,
+    /// Squashes triggered by branch/return mispredictions.
+    pub squashes_branch: u64,
+    /// Full squashes triggered by memory-order violations.
+    pub squashes_memorder: u64,
+    /// Flushes triggered by DIVA (mis-integration recovery).
+    pub squashes_diva: u64,
+    /// Per-cycle sum of busy reservation stations (for the §3.5 occupancy
+    /// figure).
+    pub rs_occupancy_sum: u64,
+    /// Per-cycle sum of ROB occupancy.
+    pub rob_occupancy_sum: u64,
+    /// Rename stalls: no free physical register.
+    pub stalls_preg: u64,
+    /// Rename stalls: ROB full.
+    pub stalls_rob: u64,
+    /// Rename stalls: no reservation station.
+    pub stalls_rs: u64,
+    /// Rename stalls: memory-op window full.
+    pub stalls_lsq: u64,
+    /// Retirement stalls: write buffer full.
+    pub stalls_writebuf: u64,
+    /// Memory hierarchy counters.
+    pub mem: MemSystemStats,
+}
+
+impl SimStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average busy reservation stations per cycle.
+    #[must_use]
+    pub fn avg_rs_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rs_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average mis-prediction resolution latency in cycles.
+    #[must_use]
+    pub fn branch_resolution_latency(&self) -> f64 {
+        if self.branch_mispredicts == 0 {
+            0.0
+        } else {
+            self.resolution_latency_sum as f64 / self.branch_mispredicts as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches_retired == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.cond_branches_retired as f64
+        }
+    }
+
+    /// Fraction of retired loads that executed (1 − load integration
+    /// rate; §3.5 reports a 27% reduction in executed loads).
+    #[must_use]
+    pub fn load_execution_fraction(&self) -> f64 {
+        if self.loads_retired == 0 {
+            0.0
+        } else {
+            self.loads_executed as f64 / self.loads_retired as f64
+        }
+    }
+}
+
+/// The outcome of [`crate::Simulator::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Accumulated statistics.
+    pub stats: SimStats,
+    /// Whether the program executed a `halt`.
+    pub halted: bool,
+    /// Whether the run hit the cycle safety limit before retiring the
+    /// requested instruction count (indicates a deadlock or runaway).
+    pub timed_out: bool,
+}
+
+impl RunResult {
+    /// Retired IPC.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats { cycles: 100, retired: 150, ..SimStats::default() };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        s.rs_occupancy_sum = 3100;
+        assert!((s.avg_rs_occupancy() - 31.0).abs() < 1e-12);
+        s.branch_mispredicts = 4;
+        s.resolution_latency_sum = 104;
+        assert!((s.branch_resolution_latency() - 26.0).abs() < 1e-12);
+        s.cond_branches_retired = 40;
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        s.loads_retired = 100;
+        s.loads_executed = 73;
+        assert!((s.load_execution_fraction() - 0.73).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.avg_rs_occupancy(), 0.0);
+        assert_eq!(s.branch_resolution_latency(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.load_execution_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,521 @@
+//! The program generator.
+//!
+//! Turns a [`Spec`] into a runnable [`Program`] with a fixed overall
+//! shape: an initialisation block, an effectively-endless outer loop
+//! (the measurement interval), a set of callable functions with
+//! ABI-conformant prologues/epilogues, and an initialised data image.
+//!
+//! Register plan (stable registers are written once in init and never
+//! again — their physical registers survive the whole run, which is what
+//! makes repeated computations on them integration candidates):
+//!
+//! | registers | role |
+//! |-----------|------|
+//! | `r0`      | running checksum / return value |
+//! | `r1`      | xorshift RNG state (data-dependent branch source) |
+//! | `r2`      | outer loop counter |
+//! | `r3`–`r8`, `r22` | scratch |
+//! | `s0`–`s5` (`r9`–`r14`) | callee-saved locals (save/restore fodder) |
+//! | `r15`     | stable base of array region A (read-only first page) |
+//! | `r27`, `r28` | extra rotating accumulators |
+//! | `r19`     | stable base of array region B (read/write) |
+//! | `r20`     | pointer-chase cursor |
+//! | `r21`     | array walk cursor |
+//! | `r23`–`r25` | stable derived constants |
+
+use crate::spec::Spec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rix_isa::{reg, Asm, LogReg, Program};
+
+/// Base address of the read-mostly array region A.
+pub const BASE_A: u64 = 0x0010_0000;
+/// Base address of the read/write array region B.
+pub const BASE_B: u64 = 0x0100_0000;
+/// Base address of the pointer-chase node arena.
+pub const CHASE_BASE: u64 = 0x0200_0000;
+
+const R0: LogReg = reg::V0;
+const RNG: LogReg = reg::R1;
+const OUTER: LogReg = reg::R2;
+const T3: LogReg = reg::R3;
+const T4: LogReg = reg::R4;
+const T5: LogReg = reg::R5;
+const T6: LogReg = reg::R6;
+const T7: LogReg = LogReg::int(7);
+const T8: LogReg = LogReg::int(8);
+const T22: LogReg = LogReg::int(22);
+const BASEA: LogReg = reg::FP; // r15
+const BASEB: LogReg = LogReg::int(19);
+const CHASE: LogReg = LogReg::int(20);
+const WALK: LogReg = LogReg::int(21);
+const STABLE: [LogReg; 3] = [LogReg::int(23), LogReg::int(24), LogReg::int(25)];
+/// Rotating accumulators: using several keeps the checksum from
+/// serialising every operation behind one register chain.
+const ACCS: [LogReg; 3] = [reg::V0, LogReg::int(27), LogReg::int(28)];
+
+/// Deterministically generates the program for `spec` from `seed`.
+#[must_use]
+pub fn build_program(spec: &Spec, seed: u64) -> Program {
+    Gen::new(spec, seed).build()
+}
+
+struct Gen<'s> {
+    spec: &'s Spec,
+    rng: StdRng,
+    a: Asm,
+    label_n: usize,
+    acc_n: usize,
+}
+
+impl<'s> Gen<'s> {
+    fn new(spec: &'s Spec, seed: u64) -> Self {
+        Self { spec, rng: StdRng::seed_from_u64(seed), a: Asm::new(), label_n: 0, acc_n: 0 }
+    }
+
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label_n += 1;
+        format!("{tag}_{}", self.label_n)
+    }
+
+    /// The next accumulator, round-robin.
+    fn acc(&mut self) -> LogReg {
+        self.acc_n += 1;
+        ACCS[self.acc_n % ACCS.len()]
+    }
+
+    /// `acc += r` into a rotating accumulator.
+    fn accumulate(&mut self, r: LogReg) {
+        let acc = self.acc();
+        self.a.addq(acc, acc, r);
+    }
+
+    /// Number of root (depth-1) functions: the rest chain below them.
+    fn roots(&self) -> usize {
+        (self.spec.num_funcs / self.spec.nest_depth.max(1)).max(1)
+    }
+
+    /// An 8-byte-aligned displacement into the read-only first page of
+    /// region A, drawn from the spec's immediate-diversity pool.
+    fn ro_offset(&mut self) -> i32 {
+        let pool = self.spec.imm_pool();
+        let i = self.rng.random_range(0..pool.len());
+        pool[i]
+    }
+
+    /// An ALU immediate. Compiled code draws constants from a huge space;
+    /// only the low-diversity (call-poor) programs concentrate on a few
+    /// values, which is what makes their opcode-indexed IT sets alias.
+    fn alu_imm(&mut self) -> i32 {
+        match self.spec.imm_diversity {
+            crate::spec::ImmDiversity::Low => {
+                let pool = self.spec.imm_pool();
+                pool[self.rng.random_range(0..pool.len())]
+            }
+            crate::spec::ImmDiversity::High => self.rng.random_range(1..4096),
+        }
+    }
+
+    fn build(mut self) -> Program {
+        self.emit_init();
+        self.emit_outer_loop();
+        for f in 0..self.spec.num_funcs {
+            self.emit_function(f);
+        }
+        if self.spec.recursion.is_some() {
+            self.emit_recursive();
+        }
+        self.emit_data();
+        self.a.assemble().expect("generated labels are consistent")
+    }
+
+    fn emit_init(&mut self) {
+        let s = self.spec;
+        let a = &mut self.a;
+        a.addq_i(R0, reg::ZERO, 0);
+        a.addq_i(RNG, reg::ZERO, (0x0025_450d ^ (s.num_funcs as i32) << 4) | 1);
+        // Region bases are built with shifts so they exceed the 16-bit
+        // immediate range idiomatically.
+        a.addq_i(T3, reg::ZERO, 1);
+        a.sll_i(BASEA, T3, 20); // 0x0010_0000
+        a.sll_i(BASEB, T3, 24); // 0x0100_0000
+        a.sll_i(CHASE, T3, 25); // 0x0200_0000
+        a.addq_i(WALK, BASEA, 4096); // walks start past the read-only page
+        // Stable derived constants.
+        a.addq_i(STABLE[0], BASEA, 96);
+        a.xor_i(STABLE[1], BASEB, 0x155);
+        a.addq(STABLE[2], STABLE[0], STABLE[1]);
+        // Callee-saved locals the functions will save/clobber/restore.
+        for (i, &sr) in [reg::S0, reg::S1, reg::S2, reg::S3, reg::S4].iter().enumerate() {
+            a.addq_i(sr, reg::ZERO, 11 * (i as i32 + 1));
+        }
+        a.addq_i(OUTER, reg::ZERO, i32::MAX); // effectively endless
+        a.label("outer");
+    }
+
+    fn emit_outer_loop(&mut self) {
+        let s = *self.spec;
+        // Aliasing ops: same opcode/immediate, distinct stable inputs,
+        // at call depth 0. Reusable every iteration, but under opcode
+        // indexing they all contend for one IT set.
+        let alias_dsts = [T3, T4, T5, T6, T7, T8];
+        for i in 0..s.aliasing_ops {
+            let src = [BASEA, BASEB, STABLE[0], STABLE[1], STABLE[2], WALK][i % 6];
+            let dst = alias_dsts[i % alias_dsts.len()];
+            if i < 6 {
+                self.a.addq_i(dst, src, 1);
+            } else {
+                self.a.xor_i(dst, src, 9);
+            }
+            self.accumulate(dst);
+        }
+        // Call block: sites share a few root functions (helpers are
+        // called many times per iteration, like real call-intensive
+        // code), and functions chain in a tree below the roots so every
+        // function runs at one stable call depth — the dominant-call-path
+        // structure that makes call-depth indexing effective (§2.3).
+        let roots = self.roots();
+        for c in 0..s.calls_per_iter {
+            if s.num_funcs > 0 {
+                self.emit_call_site(&format!("fn_{}", c % roots), 1);
+            }
+        }
+        if let Some(depth) = s.recursion {
+            self.a.addq_i(reg::A0, reg::ZERO, depth as i32);
+            self.emit_call_site("fn_rec", 1);
+        }
+        // Inline kernel for the call-poor programs.
+        self.emit_body(false);
+        if s.pointer_chase {
+            self.emit_chase();
+        }
+        self.emit_rng_step();
+        self.a.subq_i(OUTER, OUTER, 1);
+        self.a.bne(OUTER, "outer");
+        self.a.halt();
+    }
+
+    /// A call with the caller-save idiom around it: `stq t, off(sp)` …
+    /// `jsr` … `ldq t, off(sp)` — the §2.4 caller-saved bypassing case.
+    /// `slot_base` is the first free 8-byte stack slot at the call site
+    /// (above the enclosing frame's own save area).
+    fn emit_call_site(&mut self, target: &str, slot_base: i32) {
+        let s = *self.spec;
+        let saved = [T7, T8, T22];
+        let n = s.caller_saves.min(saved.len());
+        for (i, &t) in saved.iter().take(n).enumerate() {
+            self.a.stq(t, 8 * (slot_base + i as i32), reg::SP);
+        }
+        self.a.jsr(target);
+        for (i, &t) in saved.iter().take(n).enumerate() {
+            self.a.ldq(t, 8 * (slot_base + i as i32), reg::SP);
+        }
+        for &t in saved.iter().take(n) {
+            self.accumulate(t);
+        }
+    }
+
+    /// Function `fn_i`: ABI prologue (frame push + callee saves), a body,
+    /// an optional nested call to `fn_{i+1}`, epilogue (restores + frame
+    /// pop + ret).
+    fn emit_function(&mut self, idx: usize) {
+        let s = *self.spec;
+        let saves = s.saves_per_func.min(5);
+        // Tree call structure below the roots: fn_i calls fn_{i + roots};
+        // each function therefore runs at the fixed depth 1 + i/roots.
+        let roots = self.roots();
+        let child = idx + roots;
+        let my_depth = 1 + idx / roots;
+        let calls_next = child < s.num_funcs && my_depth < s.nest_depth;
+        // Frame: ra slot + callee saves + caller-save slots for our own
+        // call sites (kept disjoint so restores restore what was saved).
+        let caller_slots = if calls_next { s.caller_saves as i32 } else { 0 };
+        let frame = 8 * (1 + saves as i32 + caller_slots + 1);
+        let save_regs = [reg::S0, reg::S1, reg::S2, reg::S3, reg::S4];
+
+        self.a.label(format!("fn_{idx}"));
+        self.a.lda(reg::SP, -frame, reg::SP);
+        self.a.stq(reg::RA, 0, reg::SP);
+        for (i, &sr) in save_regs.iter().take(saves).enumerate() {
+            self.a.stq(sr, 8 * (i as i32 + 1), reg::SP);
+        }
+        // Clobber the saved registers (so restores are semantically
+        // necessary) with function-local computation.
+        for (i, &sr) in save_regs.iter().take(saves).enumerate() {
+            self.a.addq_i(sr, STABLE[i % 3], 7 * (idx as i32 + 1));
+            self.accumulate(sr);
+        }
+        self.emit_body(true);
+        if calls_next {
+            self.emit_call_site(&format!("fn_{child}"), 1 + saves as i32);
+        }
+        // Epilogue: the restores reverse-integrate against the saves.
+        for (i, &sr) in save_regs.iter().take(saves).enumerate() {
+            self.a.ldq(sr, 8 * (i as i32 + 1), reg::SP);
+        }
+        self.a.ldq(reg::RA, 0, reg::SP);
+        self.a.lda(reg::SP, frame, reg::SP);
+        self.a.ret();
+    }
+
+    /// Bounded recursion (crafty's search-tree shape): saves `ra` and the
+    /// depth argument each level, recurses, restores — the recursive
+    /// save/restore chain §4 notes integration handles correctly.
+    fn emit_recursive(&mut self) {
+        self.a.label("fn_rec");
+        self.a.lda(reg::SP, -16, reg::SP);
+        self.a.stq(reg::RA, 0, reg::SP);
+        self.a.stq(reg::A0, 8, reg::SP);
+        self.a.beq(reg::A0, "rec_base");
+        self.a.subq_i(reg::A0, reg::A0, 1);
+        self.a.jsr("fn_rec");
+        self.a.ldq(reg::A0, 8, reg::SP);
+        self.a.addq(R0, R0, reg::A0);
+        self.a.label("rec_base");
+        self.a.ldq(reg::RA, 0, reg::SP);
+        self.a.lda(reg::SP, 16, reg::SP);
+        self.a.ret();
+    }
+
+    /// One body block: invariant chains, twin operations, redundant
+    /// loads, an inner loop walking an array, hammocks, conflict pairs
+    /// and FP work, mixed per the spec.
+    fn emit_body(&mut self, in_function: bool) {
+        let s = *self.spec;
+        // Un-hoisted loop-invariant chain on stable inputs: re-executed
+        // with identical physical inputs every visit (general reuse).
+        let mut chain = T7;
+        for i in 0..s.invariants {
+            let base = STABLE[i % 3];
+            let imm = self.alu_imm();
+            if i == 0 {
+                self.a.addq_i(chain, base, imm);
+            } else {
+                let next = if chain == T7 { T8 } else { T7 };
+                self.a.xor_i(next, chain, imm);
+                self.accumulate(next);
+                chain = next;
+            }
+        }
+        // Twin static instructions: identical shape at three PCs — only
+        // opcode indexing lets the later copies integrate the first
+        // (§2.3). Real analogues: repeated field-offset or constant
+        // computations the compiler did not CSE across blocks.
+        for i in 0..s.twin_ops {
+            let imm = self.alu_imm();
+            let base = STABLE[i % 3];
+            self.a.addq_i(T5, base, imm);
+            self.accumulate(T5);
+            self.a.addq_i(T6, base, imm); // twin of the instruction above
+            self.accumulate(T6);
+            self.a.addq_i(T5, base, imm); // triplet
+            self.accumulate(T5);
+        }
+        // Redundant loads from the read-only page of region A: repeated
+        // instances produce load reuse without conflict hazards.
+        for _ in 0..s.redundant_loads {
+            let off = self.ro_offset();
+            self.a.ldq(T4, off, BASEA);
+            self.accumulate(T4);
+        }
+        // Reusable dependent load chains: an address computation feeding
+        // a load feeding the next address — the "collapsing reused
+        // dependence chains" effect. Fully integration-eligible, and a
+        // long serial latency when executed.
+        for _ in 0..s.chain_loads {
+            let first = self.ro_offset();
+            self.a.ldq(T4, first, BASEA);
+            for _ in 0..2 {
+                self.a.and_i(T5, T4, 4088); // mask into the read-only page
+                self.a.addq(T6, T5, BASEA);
+                self.a.ldq(T4, 0, T6);
+            }
+            self.accumulate(T4);
+        }
+        // Inner loop: strided walk with per-iteration invariants. The
+        // walk restarts at a random offset inside the footprint each
+        // visit and advances with a single-cycle recurrence, like a
+        // compiled array loop.
+        if s.inner_trip > 0 {
+            let top = self.fresh("inner");
+            let mask = (s.footprint_words * 8 - 8) as i32;
+            self.a.and_i(T6, RNG, mask);
+            self.a.addq(WALK, BASEA, T6);
+            self.a.addq_i(WALK, WALK, 4096); // stay past the read-only page
+            self.a.addq_i(T3, reg::ZERO, s.inner_trip as i32);
+            // Walk-load displacements mimic compiled field offsets:
+            // diverse 8-byte-aligned values, fixed per static site.
+            let walk_disps: Vec<i32> =
+                (0..s.walk_loads).map(|_| 8 * self.rng.random_range(0..64)).collect();
+            let store_disps: Vec<i32> =
+                (0..s.stores_per_body).map(|_| 8 * self.rng.random_range(0..32)).collect();
+            self.a.label(top.clone());
+            for &disp in &walk_disps {
+                self.a.ldq(T4, disp, WALK);
+                self.accumulate(T4);
+            }
+            for &disp in &store_disps {
+                // Stores land in region B, away from the loads.
+                self.a.stq(R0, disp, BASEB);
+            }
+            // Un-hoisted invariant inside the inner loop.
+            let imm = self.alu_imm();
+            self.a.addq_i(T5, STABLE[0], imm);
+            self.accumulate(T5);
+            // Advance the walk cursor (single-cycle recurrence).
+            self.a.addq_i(WALK, WALK, (s.stride * 8) as i32);
+            self.a.subq_i(T3, T3, 1);
+            self.a.bne(T3, top);
+        }
+        // Reconvergent hammocks on RNG bits: mispredictions whose
+        // squashed join-side instructions feed squash reuse.
+        for h in 0..s.hammocks {
+            let arm = self.fresh("arm");
+            let join = self.fresh("join");
+            let (imm_a, imm_b, imm_j) = (self.alu_imm(), self.alu_imm(), self.alu_imm());
+            self.a.and_i(T4, RNG, s.hammock_mask as i32);
+            self.a.beq(T4, arm.clone());
+            self.a.addq_i(T5, STABLE[1], imm_a);
+            self.a.br(join.clone());
+            self.a.label(arm);
+            self.a.addq_i(T5, STABLE[2], imm_b);
+            self.a.label(join);
+            // Join-side code shared by both paths (squash-reuse fodder).
+            self.accumulate(T5);
+            self.a.xor_i(T6, T5, imm_j);
+            self.accumulate(T6);
+            self.emit_rng_step();
+            let _ = h;
+        }
+        // Conflict pairs: a store followed by a load of the same address
+        // whose value changes every visit — load mis-integration fodder.
+        for c in 0..s.conflict_pairs {
+            let off = 8 * (c as i32 + 64);
+            self.a.stq(R0, off, BASEB);
+            self.a.ldq(T4, off, BASEB);
+            self.accumulate(T4);
+        }
+        // Floating-point work on the read-only page.
+        for f in 0..s.fp_ops {
+            let off = 8 * (f as i32 % 8);
+            self.a.ldq(reg::F0, off, BASEA);
+            self.a.addt(reg::F1, reg::F0, reg::F0);
+            self.a.mult(reg::F2, reg::F1, reg::F0);
+        }
+        let _ = in_function;
+    }
+
+    /// A few steps of dependent pointer chasing (mcf's dominant pattern).
+    fn emit_chase(&mut self) {
+        for _ in 0..4 {
+            self.a.ldq(CHASE, 0, CHASE); // next = node.next
+            self.a.ldq(T4, 8, CHASE); // value
+            self.accumulate(T4);
+        }
+    }
+
+    /// One xorshift64 step on the RNG register.
+    fn emit_rng_step(&mut self) {
+        self.a.sll_i(T22, RNG, 13);
+        self.a.xor_(RNG, RNG, T22);
+        self.a.srl_i(T22, RNG, 7);
+        self.a.xor_(RNG, RNG, T22);
+        self.a.sll_i(T22, RNG, 17);
+        self.a.xor_(RNG, RNG, T22);
+    }
+
+    fn emit_data(&mut self) {
+        let s = *self.spec;
+        // Read-only page of region A: small constants the redundant
+        // loads and FP ops consume.
+        let ro: Vec<u64> = (0..512u64).map(|i| (i * 0x9e37_79b9) ^ 0x5bd1_e995).collect();
+        self.a.data(BASE_A, ro);
+        if s.pointer_chase {
+            // A single random cycle over the node arena: node i holds
+            // [next_ptr, value]. Sattolo's algorithm yields one cycle so
+            // the chase never gets stuck in a short loop.
+            let n = s.chase_nodes as usize;
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = self.rng.random_range(0..i);
+                perm.swap(i, j);
+            }
+            let mut words = vec![0u64; n * 2];
+            for i in 0..n {
+                words[i * 2] = CHASE_BASE + (perm[i] as u64) * 16;
+                words[i * 2 + 1] = (i as u64).wrapping_mul(0x1234_5677) & 0xffff;
+            }
+            self.a.data(CHASE_BASE, words);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use rix_isa::interp::{Interp, StopReason};
+
+    #[test]
+    fn every_benchmark_assembles() {
+        for b in spec::all() {
+            let p = b.build(1);
+            assert!(p.len() > 50, "{} too small ({})", b.name, p.len());
+            assert!(p.len() < 8192, "{} exceeds the I-cache working set", b.name);
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs_on_the_interpreter() {
+        for b in spec::all() {
+            let p = b.build(1);
+            let mut i = Interp::new(&p, 0x0800_0000);
+            let stop = i.run(50_000);
+            assert_eq!(stop, StopReason::StepLimit, "{} must keep running", b.name);
+            assert_eq!(i.reg(reg::SP) , 0x0800_0000 - sp_offset_ok(&mut i), "{}", b.name);
+        }
+    }
+
+    // The stack pointer is either balanced (between calls) or inside a
+    // frame (mid-call); accept any value above a sane floor.
+    fn sp_offset_ok(i: &mut Interp) -> u64 {
+        let sp = i.reg(reg::SP);
+        assert!(sp <= 0x0800_0000 && sp > 0x0700_0000, "stack sane: {sp:#x}");
+        0x0800_0000 - sp
+    }
+
+    #[test]
+    fn chase_cycle_is_complete() {
+        let b = crate::by_name("mcf").unwrap();
+        let p = b.build(3);
+        let seg = p
+            .data_segments()
+            .iter()
+            .find(|s| s.base == CHASE_BASE)
+            .expect("mcf has a chase arena");
+        let n = seg.words.len() / 2;
+        // Follow next pointers: must visit all n nodes before returning.
+        let mut seen = vec![false; n];
+        let mut cur = 0usize;
+        for _ in 0..n {
+            assert!(!seen[cur], "premature cycle");
+            seen[cur] = true;
+            let next = seg.words[cur * 2];
+            cur = ((next - CHASE_BASE) / 16) as usize;
+        }
+        assert_eq!(cur, 0, "single full cycle");
+    }
+
+    #[test]
+    fn checksums_differ_across_benchmarks() {
+        // Distinct specs must generate behaviourally distinct programs.
+        let mut sums = std::collections::HashSet::new();
+        for b in spec::all() {
+            let p = b.build(1);
+            let mut i = Interp::new(&p, 0x0800_0000);
+            i.run(20_000);
+            sums.insert((i.reg(R0), i.steps(), p.len()));
+        }
+        assert!(sums.len() >= 14, "benchmarks are distinct: {}", sums.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! # rix-workloads: synthetic SPEC2000 integer stand-ins
+//!
+//! The paper evaluates on the SPEC2000 integer benchmarks compiled for
+//! Alpha EV6. Those binaries (and their inputs) are not redistributable,
+//! so this crate provides **16 synthetic RIX-ISA kernels**, one per
+//! benchmark point the paper reports (`bzip2` … `vpr.r`), generated from
+//! seeded parameter sets that encode what the paper says about each
+//! program's behaviour:
+//!
+//! * **call intensity and depth** — drives opcode/call-depth indexing and
+//!   reverse integration (crafty, eon, gap, gcc, perl, vortex),
+//! * **save/restore density** — register fills and restores are the
+//!   reverse-integration target (§2.4),
+//! * **un-hoisted loop invariants and program-constant computation** —
+//!   the general-reuse fodder named in §2.2,
+//! * **twin static instructions** within one function — what opcode
+//!   indexing integrates that PC indexing cannot (§2.3: crafty, perl.s,
+//!   vortex gain ~10%),
+//! * **aliasing same-shape operations at shallow call depth** — what
+//!   makes opcode indexing *lose* integrations in call-poor programs
+//!   (§3.2: gzip, vpr.r, and to a lesser degree bzip2, parser),
+//! * **branch entropy** — reconvergent hammocks with data-dependent
+//!   conditions feed squash reuse,
+//! * **memory footprint and pointer chasing** — mcf's cache-miss-bound
+//!   behaviour limits its relative speedup,
+//! * **load/store density** — eon's 45% memory-operation mix is why it is
+//!   hit hardest by losing a memory port (§3.5).
+//!
+//! Each benchmark is deterministic given its seed; the integration rate
+//! of a synthetic kernel, like that of a real program, is "a pure
+//! function of the program and the integration configuration" (§3.2).
+//!
+//! ```
+//! use rix_workloads::{all_benchmarks, by_name};
+//!
+//! assert_eq!(all_benchmarks().len(), 16);
+//! let vortex = by_name("vortex").expect("known benchmark");
+//! let program = vortex.build(7);
+//! assert!(program.len() > 100);
+//! ```
+
+pub mod gen;
+pub mod spec;
+
+pub use gen::build_program;
+pub use spec::Spec;
+
+use rix_isa::Program;
+
+/// A named benchmark: a parameter set plus its provenance notes.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// The SPEC2000 point this kernel stands in for (e.g. `"eon.k"`).
+    pub name: &'static str,
+    /// What the paper says about this program, i.e. what the parameters
+    /// encode.
+    pub notes: &'static str,
+    /// Generator parameters.
+    pub spec: Spec,
+}
+
+impl Benchmark {
+    /// Generates the program deterministically from `seed`.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Program {
+        build_program(&self.spec, seed)
+    }
+}
+
+/// All 16 benchmark points, in the paper's figure order.
+#[must_use]
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    spec::all()
+}
+
+/// Looks up a benchmark by name (`"gcc"`, `"vpr.r"`, …).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    spec::all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_points() {
+        let names: Vec<_> = all_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bzip2", "crafty", "eon.c", "eon.k", "eon.r", "gap", "gcc", "gzip", "mcf",
+                "parser", "perl.d", "perl.s", "twolf", "vortex", "vpr.p", "vpr.r",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = by_name("gcc").unwrap();
+        assert_eq!(b.build(3), b.build(3));
+        assert_ne!(b.build(3), b.build(4), "seed changes the program");
+    }
+}

@@ -1,0 +1,69 @@
+//! Speculative memory bypassing via reverse integration — the paper's
+//! §2.4 working example (Figure 3), as a runnable program.
+//!
+//! A caller saves `t0`, the callee opens a stack frame and saves `s0`;
+//! both registers are clobbered and later restored. With reverse
+//! integration the restores (`ldq`) and the frame pop (`lda sp, +F(sp)`)
+//! never execute: they re-map to the physical registers the saves and
+//! the frame push used — speculative memory bypassing for free.
+//!
+//! ```sh
+//! cargo run --release --example memory_bypassing
+//! ```
+
+use rix::prelude::*;
+use rix::isa::reg;
+
+fn program() -> Program {
+    let mut a = Asm::new();
+    // Set up values that must survive the call.
+    a.addq_i(reg::T1, reg::ZERO, 111); // t1 is caller-saved (alias r2)
+    a.addq_i(reg::S0, reg::ZERO, 222); // s0 is callee-saved
+    a.addq_i(reg::R4, reg::ZERO, 400); // loop counter
+    a.label("loop");
+    // --- caller side: save t1, call, restore t1 (Figure 3, I#1/I#8) ---
+    a.stq(reg::T1, 8, reg::SP);
+    a.jsr("function");
+    a.ldq(reg::T1, 8, reg::SP); // ← reverse-integrates the save's data
+    a.addq(reg::V0, reg::V0, reg::T1);
+    a.subq_i(reg::R4, reg::R4, 1);
+    a.bne(reg::R4, "loop");
+    a.halt();
+    // --- callee: open frame, save s0, clobber it, restore, close ------
+    a.label("function");
+    a.lda(reg::SP, -32, reg::SP); // frame push    (Figure 3, I#3)
+    a.stq(reg::S0, 4, reg::SP); //  callee save    (Figure 3, I#4)
+    a.addq_i(reg::S0, reg::ZERO, 9); // overwrite s0
+    a.mulq(reg::S0, reg::S0, reg::S0);
+    a.ldq(reg::S0, 4, reg::SP); //  restore        (Figure 3, I#5) ← bypassed
+    a.lda(reg::SP, 32, reg::SP); // frame pop      (Figure 3, I#6) ← bypassed
+    a.ret();
+    a.assemble().expect("example assembles")
+}
+
+fn main() {
+    let p = program();
+    println!("{}", p.disassemble());
+
+    for (name, cfg) in [
+        ("without reverse integration", IntegrationConfig::plus_opcode()),
+        ("with reverse integration   ", IntegrationConfig::plus_reverse()),
+    ] {
+        let r = Simulator::new(&p, SimConfig::default().with_integration(cfg)).run(50_000);
+        let s = &r.stats;
+        println!(
+            "{name}: IPC {:.3} | integration rate {:5.1}% (reverse {:4.1}%) | \
+             stack loads executed {}/{}",
+            r.ipc(),
+            s.integration.rate() * 100.0,
+            s.integration.reverse_rate() * 100.0,
+            s.loads_executed,
+            s.loads_retired,
+        );
+    }
+    println!(
+        "\nThe reverse rows show the restores and frame pops re-mapping to the\n\
+         saved physical registers instead of executing — §2.4's free\n\
+         implementation of speculative memory bypassing."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run one benchmark on the baseline machine and on the full
+//! register-integration machine, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rix::prelude::*;
+
+fn main() {
+    // A call-intensive workload: the kind of program the paper's
+    // extensions target (save/restore traffic, repeated helper calls).
+    let bench = by_name("vortex").expect("vortex is a known benchmark");
+    println!("workload: {} — {}", bench.name, bench.notes);
+    let program = bench.build(7);
+    println!("static instructions: {}\n", program.len());
+
+    let budget = 100_000;
+
+    // Baseline: conventional pointer-based renaming, no integration.
+    let base = Simulator::new(&program, SimConfig::baseline()).run(budget);
+
+    // The paper's headline configuration: general reuse + opcode/call-
+    // depth indexing + reverse integration, 1K-entry 4-way IT, LISP.
+    let full = Simulator::new(&program, SimConfig::default()).run(budget);
+
+    let s = &full.stats;
+    println!("baseline IPC           : {:.3}", base.ipc());
+    println!("integration IPC        : {:.3}", full.ipc());
+    println!(
+        "speedup                : {:+.1}%",
+        (full.ipc() / base.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "integration rate       : {:.1}% of retired instructions",
+        s.integration.rate() * 100.0
+    );
+    println!(
+        "  direct / reverse     : {:.1}% / {:.1}%",
+        s.integration.direct_rate() * 100.0,
+        s.integration.reverse_rate() * 100.0
+    );
+    println!(
+        "loads that executed    : {:.1}% (the rest bypassed the cache)",
+        s.load_execution_fraction() * 100.0
+    );
+    println!(
+        "mis-integrations       : {:.0} per million retired",
+        s.integration.mis_per_million()
+    );
+    println!(
+        "branch resolution      : {:.1} cycles (baseline {:.1})",
+        s.branch_resolution_latency(),
+        base.stats.branch_resolution_latency()
+    );
+    println!(
+        "reservation occupancy  : {:.1} (baseline {:.1})",
+        s.avg_rs_occupancy(),
+        base.stats.avg_rs_occupancy()
+    );
+}

@@ -1,0 +1,52 @@
+//! # rix — register integration, three ways
+//!
+//! `rix` reproduces *"Three Extensions to Register Integration"* (Amir
+//! Roth, Anne Bracy, Vlad Petric; U. Penn MS-CIS-02-22, 2002): a
+//! cycle-level 4-way superscalar out-of-order simulator whose register
+//! renamer implements **register integration** — instruction reuse via
+//! physical register sharing — together with the paper's three extensions:
+//!
+//! 1. **general reuse** through physical-register reference counting,
+//! 2. **opcode/immediate/call-depth integration-table indexing**, and
+//! 3. **reverse integration**, which turns stack saves/restores into free
+//!    speculative memory bypassing.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`isa`] — the RIX instruction set and assembler,
+//! * [`mem`] — the cache/TLB/bus memory hierarchy,
+//! * [`frontend`] — branch prediction and fetch,
+//! * [`integration`] — the integration table, reference-count vector, LISP,
+//! * [`sim`] — the out-of-order pipeline with DIVA verification,
+//! * [`workloads`] — synthetic SPEC2000int-like benchmark programs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! // A stack-heavy workload and two machines: baseline and full integration.
+//! let program = rix::workloads::by_name("vortex").expect("known workload").build(7);
+//! let base = SimConfig::baseline();
+//! let full = SimConfig::default(); // +general +opcode +reverse
+//!
+//! let r0 = Simulator::new(&program, base).run(20_000);
+//! let r1 = Simulator::new(&program, full).run(20_000);
+//! assert!(r1.stats.integration.rate() > 0.05, "integration fires");
+//! assert!(r1.ipc() > r0.ipc(), "integration speeds the machine up");
+//! ```
+
+pub use rix_frontend as frontend;
+pub use rix_integration as integration;
+pub use rix_isa as isa;
+pub use rix_mem as mem;
+pub use rix_sim as sim;
+pub use rix_workloads as workloads;
+
+/// Commonly used items, re-exported for examples and tests.
+pub mod prelude {
+    pub use rix_integration::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
+    pub use rix_isa::{reg, Asm, Instr, Opcode, Program};
+    pub use rix_sim::{RunResult, SimConfig, Simulator};
+    pub use rix_workloads::{all_benchmarks, by_name, Benchmark};
+}

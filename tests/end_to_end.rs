@@ -1,0 +1,107 @@
+//! Cross-crate end-to-end tests: every benchmark workload runs on the
+//! full simulator, and the retired architectural state always equals the
+//! reference interpreter's at the same instruction count — regardless of
+//! speculation, integration, or mis-integration recovery along the way.
+
+use rix::isa::interp::Interp;
+use rix::isa::{reg, LogReg};
+use rix::prelude::*;
+
+const STACK_TOP: u64 = 0x0800_0000;
+const BUDGET: u64 = 6_000;
+
+/// Steps the simulator to at least `BUDGET` retired instructions, then
+/// checks every integer register against the interpreter run to exactly
+/// the same retirement count.
+fn check_benchmark(bench: &Benchmark, cfg: SimConfig) {
+    let program = bench.build(7);
+    let mut sim = rix::sim::Simulator::new(&program, cfg);
+    let limit = 100_000 + BUDGET * 60;
+    while sim.stats().retired < BUDGET && sim.cycle() < limit && !sim.halted() {
+        sim.step();
+    }
+    assert!(
+        sim.stats().retired >= BUDGET,
+        "{}: simulator stalled at {} retired",
+        bench.name,
+        sim.stats().retired
+    );
+    let retired = sim.stats().retired;
+    let mut interp = Interp::new(&program, STACK_TOP);
+    interp.run(retired);
+    assert_eq!(interp.steps(), retired, "{}: reference kept pace", bench.name);
+    for i in 0..32 {
+        let r = LogReg::int(i);
+        assert_eq!(
+            sim.arch_reg(r),
+            interp.reg(r),
+            "{}: register {r} diverged after {retired} instructions",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_baseline() {
+    for b in all_benchmarks() {
+        check_benchmark(&b, SimConfig::baseline());
+    }
+}
+
+#[test]
+fn all_benchmarks_full_integration() {
+    for b in all_benchmarks() {
+        check_benchmark(&b, SimConfig::default());
+    }
+}
+
+#[test]
+fn all_benchmarks_oracle() {
+    for b in all_benchmarks() {
+        check_benchmark(&b, SimConfig::default().with_integration(
+            IntegrationConfig::plus_reverse().with_oracle(),
+        ));
+    }
+}
+
+#[test]
+fn all_benchmarks_squash_only() {
+    for b in all_benchmarks() {
+        check_benchmark(&b, SimConfig::default().with_integration(
+            IntegrationConfig::squash_reuse(),
+        ));
+    }
+}
+
+#[test]
+fn reduced_cores_stay_correct() {
+    for core in [rix::sim::CoreConfig::rs20(), rix::sim::CoreConfig::iw3_rs20()] {
+        for name in ["vortex", "gzip", "mcf"] {
+            let b = by_name(name).expect("known benchmark");
+            check_benchmark(&b, SimConfig::default().with_core(core));
+        }
+    }
+}
+
+#[test]
+fn tiny_and_direct_mapped_its_stay_correct() {
+    for (entries, ways) in [(64, 1), (1024, 1), (64, 64)] {
+        let ic = IntegrationConfig::plus_reverse().with_it_geometry(entries, ways);
+        let b = by_name("vortex").expect("known benchmark");
+        check_benchmark(&b, SimConfig::default().with_integration(ic));
+    }
+}
+
+#[test]
+fn stack_pointer_stays_sane_under_reverse_integration() {
+    // Reverse integration constantly re-maps sp; after any prefix the
+    // architectural sp must still sit inside the stack region.
+    let b = by_name("vortex").expect("known benchmark");
+    let program = b.build(7);
+    let mut sim = rix::sim::Simulator::new(&program, SimConfig::default());
+    for _ in 0..30_000 {
+        sim.step();
+    }
+    let sp = sim.arch_reg(reg::SP);
+    assert!(sp <= STACK_TOP && sp > STACK_TOP - 0x10_000, "sp = {sp:#x}");
+}

@@ -1,0 +1,224 @@
+//! Reproduction-shape tests: the qualitative claims of the paper's
+//! evaluation, asserted with tolerant thresholds so the suite stays
+//! robust to calibration noise. These are the "who wins, by roughly what
+//! factor, where the crossovers fall" checks.
+
+use rix::prelude::*;
+use rix::sim::Simulator;
+
+const BUDGET: u64 = 40_000;
+
+fn run(name: &str, cfg: SimConfig) -> rix::sim::RunResult {
+    let program = by_name(name).expect("known benchmark").build(7);
+    Simulator::new(&program, cfg).run(BUDGET)
+}
+
+fn rate(name: &str, ic: IntegrationConfig) -> f64 {
+    run(name, SimConfig::default().with_integration(ic))
+        .stats
+        .integration
+        .rate()
+}
+
+#[test]
+fn extension_staircase_on_average() {
+    // §3.2: squash ≈ 2%, +general ≈ 10%, +reverse ≈ 17% (we assert the
+    // ordering and coarse magnitudes over the benchmark mean).
+    let names: Vec<_> = all_benchmarks().iter().map(|b| b.name).collect();
+    let mean = |ic: IntegrationConfig| {
+        names.iter().map(|n| rate(n, ic)).sum::<f64>() / names.len() as f64
+    };
+    let squash = mean(IntegrationConfig::squash_reuse());
+    let general = mean(IntegrationConfig::plus_general());
+    let reverse = mean(IntegrationConfig::plus_reverse());
+    assert!(squash < 0.05, "squash-only is a few percent: {squash:.3}");
+    assert!(general > squash + 0.05, "general reuse is the big jump: {general:.3}");
+    assert!(general > 0.08, "general reuse around 10%: {general:.3}");
+    assert!(reverse > 0.08, "full configuration around 10–17%: {reverse:.3}");
+}
+
+#[test]
+fn opcode_indexing_helps_twin_heavy_hurts_call_poor() {
+    // §3.2: crafty/perl.s/vortex gain ~10 points from opcode indexing;
+    // gzip/vpr.r lose ~5.
+    for winner in ["crafty", "perl.s", "vortex"] {
+        let g = rate(winner, IntegrationConfig::plus_general());
+        let o = rate(winner, IntegrationConfig::plus_opcode());
+        assert!(o > g + 0.03, "{winner}: opcode indexing should gain ({g:.3} → {o:.3})");
+    }
+    for loser in ["gzip", "vpr.r"] {
+        let g = rate(loser, IntegrationConfig::plus_general());
+        let o = rate(loser, IntegrationConfig::plus_opcode());
+        assert!(o < g - 0.02, "{loser}: opcode indexing should lose ({g:.3} → {o:.3})");
+    }
+}
+
+#[test]
+fn reverse_integration_is_a_call_intensive_phenomenon() {
+    for call_heavy in ["vortex", "gcc", "perl.s", "eon.k", "gap"] {
+        let r = run(call_heavy, SimConfig::default());
+        assert!(
+            r.stats.integration.reverse_rate() > 0.01,
+            "{call_heavy}: reverse rate {:.4}",
+            r.stats.integration.reverse_rate()
+        );
+    }
+    for call_poor in ["gzip", "vpr.r"] {
+        let r = run(call_poor, SimConfig::default());
+        assert!(
+            r.stats.integration.reverse_rate() < 0.005,
+            "{call_poor}: reverse rate {:.4}",
+            r.stats.integration.reverse_rate()
+        );
+    }
+}
+
+#[test]
+fn integration_speeds_up_call_intensive_benchmarks() {
+    for name in ["vortex", "gcc", "perl.d", "gap", "eon.k"] {
+        let base = run(name, SimConfig::baseline());
+        let full = run(name, SimConfig::default());
+        assert!(
+            full.ipc() > base.ipc() * 1.01,
+            "{name}: {:.3} vs {:.3}",
+            full.ipc(),
+            base.ipc()
+        );
+    }
+}
+
+#[test]
+fn mcf_is_memory_bound_and_gains_least() {
+    // §3.2: programs with a large cache-miss component benefit less.
+    let base = run("mcf", SimConfig::baseline());
+    let full = run("mcf", SimConfig::default());
+    let mcf_gain = full.ipc() / base.ipc() - 1.0;
+    assert!(base.ipc() < 0.6, "mcf is memory bound: IPC {:.2}", base.ipc());
+    assert!(mcf_gain.abs() < 0.02, "mcf speedup is tiny: {:.3}", mcf_gain);
+    assert!(
+        full.stats.integration.rate() > 0.05,
+        "…even though it integrates plenty: {:.3}",
+        full.stats.integration.rate()
+    );
+}
+
+#[test]
+fn oracle_suppression_dominates_realistic() {
+    for name in ["crafty", "vortex"] {
+        let real = run(name, SimConfig::default());
+        let oracle = run(
+            name,
+            SimConfig::default()
+                .with_integration(IntegrationConfig::plus_reverse().with_oracle()),
+        );
+        assert_eq!(oracle.stats.integration.mis_integrations, 0, "{name}");
+        assert!(
+            oracle.ipc() >= real.ipc() * 0.995,
+            "{name}: oracle {:.3} vs realistic {:.3}",
+            oracle.ipc(),
+            real.ipc()
+        );
+    }
+}
+
+#[test]
+fn low_associativity_degrades_gracefully() {
+    // §3.4: dropping to 2-way/1-way costs little.
+    let program = by_name("vortex").expect("known benchmark").build(7);
+    let base = Simulator::new(&program, SimConfig::baseline()).run(BUDGET);
+    let mut ipcs = Vec::new();
+    for ways in [1usize, 2, 4] {
+        let ic = IntegrationConfig::plus_reverse().with_it_geometry(1024, ways);
+        let r = Simulator::new(&program, SimConfig::default().with_integration(ic)).run(BUDGET);
+        ipcs.push(r.ipc());
+    }
+    for (i, ipc) in ipcs.iter().enumerate() {
+        assert!(
+            *ipc > base.ipc(),
+            "{}-way IT still beats baseline: {ipc:.3} vs {:.3}",
+            1 << i,
+            base.ipc()
+        );
+    }
+    assert!(
+        ipcs[0] > ipcs[2] * 0.93,
+        "direct-mapped keeps most of the benefit: {:?}",
+        ipcs
+    );
+}
+
+#[test]
+fn integration_reduces_executed_loads_and_rs_pressure() {
+    // §3.5: ~27% fewer executed loads, lower RS occupancy.
+    let base = run("vortex", SimConfig::baseline());
+    let full = run("vortex", SimConfig::default());
+    assert!(
+        full.stats.loads_executed < base.stats.loads_executed,
+        "{} vs {}",
+        full.stats.loads_executed,
+        base.stats.loads_executed
+    );
+    assert!(
+        full.stats.avg_rs_occupancy() < base.stats.avg_rs_occupancy(),
+        "{:.1} vs {:.1}",
+        full.stats.avg_rs_occupancy(),
+        base.stats.avg_rs_occupancy()
+    );
+    assert!(
+        full.stats.executed < base.stats.executed,
+        "integrating instructions bypass the execution engine"
+    );
+}
+
+#[test]
+fn generalised_reverse_scope_is_a_superset() {
+    // §2.4 sketches reverse entries beyond the stack pointer; the
+    // AllInvertible scope must find at least as much reverse reuse as
+    // the paper's sp-only design point (at the cost of IT pressure).
+    let sp_only = run("vortex", SimConfig::default());
+    let all = run(
+        "vortex",
+        SimConfig::default().with_integration(IntegrationConfig {
+            reverse: rix::integration::ReverseScope::AllInvertible,
+            ..IntegrationConfig::plus_reverse()
+        }),
+    );
+    assert!(
+        all.stats.integration.reverse >= sp_only.stats.integration.reverse / 2,
+        "wider scope keeps most sp reuse: {} vs {}",
+        all.stats.integration.reverse,
+        sp_only.stats.integration.reverse
+    );
+}
+
+#[test]
+fn integration_accelerates_branch_resolution() {
+    // §3.2: resolution latency 26 → 23.5 cycles in the paper.
+    let base = run("vortex", SimConfig::baseline());
+    let full = run("vortex", SimConfig::default());
+    assert!(
+        full.stats.branch_resolution_latency() < base.stats.branch_resolution_latency(),
+        "{:.1} vs {:.1}",
+        full.stats.branch_resolution_latency(),
+        base.stats.branch_resolution_latency()
+    );
+}
+
+#[test]
+fn halved_reservation_stations_recovered_by_integration() {
+    // §3.5: RS loss mostly recovered. Assert over call-intensive means.
+    let names = ["gap", "gcc", "perl.d", "vortex", "parser"];
+    let mut loss = 0.0;
+    let mut recovered = 0.0;
+    for name in names {
+        let reference = run(name, SimConfig::baseline());
+        let rs = run(name, SimConfig::baseline().with_core(rix::sim::CoreConfig::rs20()));
+        let rs_i = run(name, SimConfig::default().with_core(rix::sim::CoreConfig::rs20()));
+        loss += rs.ipc() / reference.ipc();
+        recovered += rs_i.ipc() / reference.ipc();
+    }
+    loss /= names.len() as f64;
+    recovered /= names.len() as f64;
+    assert!(recovered > loss, "integration recovers RS loss: {loss:.3} → {recovered:.3}");
+    assert!(recovered > 0.99, "… to within ~1% of the full machine: {recovered:.3}");
+}
