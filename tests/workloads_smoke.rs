@@ -1,0 +1,31 @@
+//! Smoke test: every advertised benchmark builds a program and survives
+//! early simulation. This guards the workload generator's contract with
+//! the rest of the system — `all_benchmarks()` names must build, and the
+//! built programs must keep the pipeline busy rather than wedging or
+//! panicking in the first thousand cycles.
+
+use rix::prelude::*;
+
+#[test]
+fn every_benchmark_builds_and_runs_1k_cycles() {
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 16, "the paper's 16 benchmark points");
+    for b in &benchmarks {
+        let named = by_name(b.name).unwrap_or_else(|| panic!("{} resolves by name", b.name));
+        assert_eq!(named.name, b.name);
+        let program = b.build(7);
+        assert!(!program.is_empty(), "{}: empty program", b.name);
+        for cfg in [SimConfig::baseline(), SimConfig::default()] {
+            let mut sim = Simulator::new(&program, cfg);
+            while sim.cycle() < 1_000 && !sim.halted() {
+                sim.step();
+            }
+            assert!(sim.cycle() >= 1_000, "{}: halted after only {} cycles", b.name, sim.cycle());
+            assert!(
+                sim.stats().retired > 0,
+                "{}: no instructions retired in 1k cycles",
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of criterion the workspace's benches use:
+//! [`Criterion::benchmark_group`], `bench_function`, `sample_size`,
+//! `throughput`, [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! straightforward warm-up followed by timed samples; results print as
+//! aligned text with per-iteration time (and element throughput when
+//! declared). Passing `--test` (as `cargo test` does for harnessed
+//! benches) runs every routine once and skips measurement.
+
+use std::time::{Duration, Instant};
+
+/// How a batched routine's input cost is amortised. The stand-in always
+/// times setup outside the measured section, so the variants only exist
+/// for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. simulated instructions) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times one routine: passed to the closure given to `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly, recording total time and count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: grow the batch until it is long
+        // enough to time reliably (~5ms), then take the samples.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let took = t.elapsed();
+            if self.test_mode {
+                self.elapsed = took;
+                self.iters = batch;
+                return;
+            }
+            if took >= Duration::from_millis(5) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+
+    /// Like [`Bencher::iter`], with a fresh input built by `setup` for
+    /// each measured call; setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let t = Instant::now();
+            std::hint::black_box(routine(setup()));
+            self.elapsed = t.elapsed();
+            self.iters = 1;
+            return;
+        }
+        // One discarded warm-up round so the first timed sample does
+        // not absorb cold-cache / lazy-init cost.
+        std::hint::black_box(routine(setup()));
+        let rounds = self.samples.max(10);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..rounds {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing reporting settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for derived throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return self;
+        }
+        let per = b.per_iter();
+        let mut line = format!("{full:<48} {:>12}/iter", format_duration(per));
+        if let Some(t) = self.throughput {
+            let secs = per.as_secs_f64();
+            if secs > 0.0 {
+                let (units, label) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                line.push_str(&format!("  {:>14.0} {label}", units as f64 / secs));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group. (Reporting is incremental, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Builds a harness configured from the command line (`--test`
+    /// enables smoke mode; a bare positional argument filters by name).
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo bench forwards that we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other => {
+                    if !other.starts_with('-') {
+                        filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            test_mode: false,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_function("h", |b| {
+            ran = true;
+            b.iter_batched(|| 2, |x| x * 2, BatchSize::SmallInput);
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.00 ms");
+    }
+}

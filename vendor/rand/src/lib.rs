@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the surface the workspace uses: a deterministic
+//! seedable generator ([`rngs::StdRng`]) and uniform sampling over
+//! half-open integer ranges via [`RngExt::random_range`]. The generator
+//! is xoshiro256** seeded through SplitMix64, so streams are
+//! well-distributed and reproducible across platforms.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws a value in `[low, high)` from `rng`.
+    fn sample_range(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                // Widen to u128 so signed ranges and u64 spans are exact.
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift keeps the draw unbiased enough for
+                // workload generation (bias < 2^-64 per draw).
+                let draw = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (low as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from the half-open range `[low, high)`.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A uniformly random `u64`.
+    fn random_u64(&mut self) -> u64
+    where
+        Self: Sized,
+    {
+        self.next_u64()
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(-20i16..20);
+            assert!((-20..20).contains(&v));
+            let u = r.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
