@@ -13,25 +13,59 @@
 //!    to stack-pointer stores/adjusts to save IT capacity; the
 //!    generalised all-invertible scope trades capacity for coverage.
 
-use rix_bench::{amean, Harness, Table};
+use rix_bench::{amean, trials_json, Harness, Table, Trial};
 use rix_integration::{IntegrationConfig, ReverseScope};
 use rix_sim::SimConfig;
 
+const GEN_BITS: [u32; 4] = [1, 2, 3, 4];
+const COUNT_BITS: [u32; 4] = [1, 2, 3, 4];
+const PIPE_DEPTHS: [u64; 4] = [0, 2, 4, 8];
+const REV_SCOPES: [(&str, ReverseScope); 3] = [
+    ("off", ReverseScope::Off),
+    ("stack pointer", ReverseScope::StackPointer),
+    ("all invertible", ReverseScope::AllInvertible),
+];
+
 fn main() {
     let h = Harness::from_args();
-    let benches = h.benchmarks();
+
+    // Grid columns: every ablation point of all four studies.
+    let mut cfgs: Vec<(String, SimConfig)> = Vec::new();
+    for bits in GEN_BITS {
+        let ic = IntegrationConfig::plus_reverse().with_gen_bits(bits);
+        cfgs.push((format!("gen{bits}"), SimConfig::default().with_integration(ic)));
+    }
+    for bits in COUNT_BITS {
+        let ic = IntegrationConfig { count_bits: bits, ..IntegrationConfig::plus_reverse() };
+        cfgs.push((format!("cnt{bits}"), SimConfig::default().with_integration(ic)));
+    }
+    for depth in PIPE_DEPTHS {
+        let ic = IntegrationConfig::plus_reverse().with_pipeline_depth(depth);
+        cfgs.push((format!("pipe{depth}"), SimConfig::default().with_integration(ic)));
+    }
+    for (name, scope) in REV_SCOPES {
+        let ic = IntegrationConfig { reverse: scope, ..IntegrationConfig::plus_reverse() };
+        cfgs.push((format!("rev:{name}"), SimConfig::default().with_integration(ic)));
+    }
+    let ncfg = cfgs.len();
+    let trials = h.sweep().configs(cfgs).run();
+    if h.json {
+        println!("{}", trials_json(&trials));
+        return;
+    }
+
+    // `column(j)` = that config's trials across all benchmarks.
+    let column = |j: usize| -> Vec<&Trial> { trials.iter().skip(j).step_by(ncfg).collect() };
+    let mut col = 0;
 
     // --- 1. generation-counter width ---------------------------------
     let mut gen_t = Table::new(&["gen bits", "rate%", "register mis/M", "load mis/M"]);
-    for bits in [1u32, 2, 3, 4] {
+    for bits in GEN_BITS {
         let mut rates = Vec::new();
         let mut reg_mis = Vec::new();
         let mut load_mis = Vec::new();
-        for b in &benches {
-            let p = b.build(h.seed);
-            let ic = IntegrationConfig::plus_reverse().with_gen_bits(bits);
-            let r = h.run(&p, SimConfig::default().with_integration(ic));
-            let s = &r.stats.integration;
+        for t in column(col) {
+            let s = &t.result.stats.integration;
             rates.push(s.rate() * 100.0);
             reg_mis.push(s.register_mis_integrations as f64 * 1e6 / s.retired.max(1) as f64);
             load_mis.push(s.load_mis_integrations as f64 * 1e6 / s.retired.max(1) as f64);
@@ -42,36 +76,28 @@ fn main() {
             format!("{:.0}", amean(&reg_mis)),
             format!("{:.0}", amean(&load_mis)),
         ]);
+        col += 1;
     }
 
     // --- 2. reference-counter width -----------------------------------
     let mut cnt_t = Table::new(&["count bits", "rate%", "saturation note"]);
-    for bits in [1u32, 2, 3, 4] {
-        let mut rates = Vec::new();
-        for b in &benches {
-            let p = b.build(h.seed);
-            let ic = IntegrationConfig { count_bits: bits, ..IntegrationConfig::plus_reverse() };
-            let r = h.run(&p, SimConfig::default().with_integration(ic));
-            rates.push(r.stats.integration.rate() * 100.0);
-        }
+    for bits in COUNT_BITS {
+        let rates: Vec<f64> =
+            column(col).iter().map(|t| t.result.stats.integration.rate() * 100.0).collect();
         cnt_t.row(vec![
             bits.to_string(),
             format!("{:.1}", amean(&rates)),
             "saturated registers respawn (§3.3)".into(),
         ]);
+        col += 1;
     }
 
     // --- 3. integration pipelining ------------------------------------
     let mut pipe_t = Table::new(&["pipeline depth", "rate%", "loss vs atomic"]);
     let mut atomic_rate = 0.0;
-    for depth in [0u64, 2, 4, 8] {
-        let mut rates = Vec::new();
-        for b in &benches {
-            let p = b.build(h.seed);
-            let ic = IntegrationConfig::plus_reverse().with_pipeline_depth(depth);
-            let r = h.run(&p, SimConfig::default().with_integration(ic));
-            rates.push(r.stats.integration.rate() * 100.0);
-        }
+    for depth in PIPE_DEPTHS {
+        let rates: Vec<f64> =
+            column(col).iter().map(|t| t.result.stats.integration.rate() * 100.0).collect();
         let rate = amean(&rates);
         if depth == 0 {
             atomic_rate = rate;
@@ -85,25 +111,20 @@ fn main() {
                 format!("{:.0}%", (1.0 - rate / atomic_rate) * 100.0)
             },
         ]);
+        col += 1;
     }
 
     // --- 4. reverse scope ----------------------------------------------
     let mut rev_t = Table::new(&["reverse scope", "rate%", "reverse%", "mis/M"]);
-    for (name, scope) in [
-        ("off", ReverseScope::Off),
-        ("stack pointer", ReverseScope::StackPointer),
-        ("all invertible", ReverseScope::AllInvertible),
-    ] {
+    for (name, _) in REV_SCOPES {
         let mut rates = Vec::new();
         let mut revs = Vec::new();
         let mut mis = Vec::new();
-        for b in &benches {
-            let p = b.build(h.seed);
-            let ic = IntegrationConfig { reverse: scope, ..IntegrationConfig::plus_reverse() };
-            let r = h.run(&p, SimConfig::default().with_integration(ic));
-            rates.push(r.stats.integration.rate() * 100.0);
-            revs.push(r.stats.integration.reverse_rate() * 100.0);
-            mis.push(r.stats.integration.mis_per_million());
+        for t in column(col) {
+            let s = &t.result.stats.integration;
+            rates.push(s.rate() * 100.0);
+            revs.push(s.reverse_rate() * 100.0);
+            mis.push(s.mis_per_million());
         }
         rev_t.row(vec![
             name.into(),
@@ -111,6 +132,7 @@ fn main() {
             format!("{:.1}", amean(&revs)),
             format!("{:.0}", amean(&mis)),
         ]);
+        col += 1;
     }
 
     println!("Ablation 1 — generation-counter width (§2.2):");

@@ -11,12 +11,25 @@
 //! resolution latency, fetched-instruction delta, and reservation-station
 //! occupancy.
 
-use rix_bench::{amean, figure4_arms, gmean_speedup, speedup_pct, Harness, Table};
+use rix_bench::{amean, figure4_arms, gmean_speedup, speedup_pct, trials_json, Harness, Table};
 use rix_sim::SimConfig;
 
 fn main() {
     let h = Harness::from_args();
     let arms = figure4_arms();
+
+    // Grid columns: baseline, then (realistic, oracle) per arm.
+    let mut cfgs: Vec<(String, SimConfig)> = vec![("base".into(), SimConfig::baseline())];
+    for (name, ic) in &arms {
+        cfgs.push(((*name).to_string(), SimConfig::default().with_integration(*ic)));
+        cfgs.push((format!("{name}*"), SimConfig::default().with_integration(ic.with_oracle())));
+    }
+    let ncfg = cfgs.len();
+    let trials = h.sweep().configs(cfgs).run();
+    if h.json {
+        println!("{}", trials_json(&trials));
+        return;
+    }
 
     let mut speedup = Table::new(&[
         "bench", "squash", "squash*", "+general", "+general*", "+opcode", "+opcode*",
@@ -34,18 +47,17 @@ fn main() {
     let mut reverse_rates: Vec<f64> = Vec::new();
     let mut mis_rates: Vec<f64> = Vec::new();
 
-    for b in h.benchmarks() {
-        let program = b.build(h.seed);
-        let base = h.run(&program, SimConfig::baseline());
-        let mut srow = vec![b.name.to_string()];
-        let mut rrow = vec![b.name.to_string()];
+    for row_trials in trials.chunks(ncfg) {
+        let bench = row_trials[0].bench;
+        let base = &row_trials[0].result;
+        let mut srow = vec![bench.to_string()];
+        let mut rrow = vec![bench.to_string()];
         let mut final_run = None;
-        for (ai, (_, ic)) in arms.iter().enumerate() {
-            let real = h.run(&program, SimConfig::default().with_integration(*ic));
-            let oracle =
-                h.run(&program, SimConfig::default().with_integration(ic.with_oracle()));
-            let sp_real = speedup_pct(&real, &base);
-            let sp_orac = speedup_pct(&oracle, &base);
+        for ai in 0..arms.len() {
+            let real = &row_trials[1 + 2 * ai].result;
+            let oracle = &row_trials[2 + 2 * ai].result;
+            let sp_real = speedup_pct(real, base);
+            let sp_orac = speedup_pct(oracle, base);
             srow.push(format!("{sp_real:+.1}%"));
             srow.push(format!("{sp_orac:+.1}%"));
             per_arm_speedups[ai * 2].push(sp_real);
@@ -72,7 +84,7 @@ fn main() {
         if h.diagnostics {
             let f = final_run.expect("arms are non-empty");
             diag.row(vec![
-                b.name.to_string(),
+                bench.to_string(),
                 format!("{:.2}", base.ipc()),
                 format!("{:.2}", f.ipc()),
                 format!("{:.1}", base.stats.branch_resolution_latency()),

@@ -12,7 +12,7 @@
 //! * **Refcount** — reference count after integration (sharing degree,
 //!   i.e. how many counter bits matter).
 
-use rix_bench::{Harness, Table};
+use rix_bench::{trials_json, Harness, Table};
 use rix_integration::{stats, IntegrationType, ResultStatus};
 use rix_sim::SimConfig;
 
@@ -26,6 +26,11 @@ fn pct(n: u64, d: u64) -> String {
 
 fn main() {
     let h = Harness::from_args();
+    let trials = h.sweep().config("default", SimConfig::default()).run();
+    if h.json {
+        println!("{}", trials_json(&trials));
+        return;
+    }
 
     let mut ty = Table::new(&["bench", "rate%", "load sp", "load", "ALU", "branch", "FP"]);
     let mut dist = Table::new(&["bench", "<=4", "<=16", "<=64", "<=256", "<=1024", ">1024"]);
@@ -33,21 +38,19 @@ fn main() {
         Table::new(&["bench", "rename", "issue", "retire", "shadow/squash"]);
     let mut refc = Table::new(&["bench", "1", "<=3", "<=7", "<=15"]);
 
-    for b in h.benchmarks() {
-        let program = b.build(h.seed);
-        let r = h.run(&program, SimConfig::default());
-        let s = &r.stats.integration;
+    for t in &trials {
+        let s = &t.result.stats.integration;
         let total = s.integrations();
 
-        let mut row = vec![b.name.to_string(), format!("{:.1}", s.rate() * 100.0)];
-        for t in IntegrationType::ALL {
-            let d = s.by_type[t.index()][0];
-            let rv = s.by_type[t.index()][1];
+        let mut row = vec![t.bench.to_string(), format!("{:.1}", s.rate() * 100.0)];
+        for ity in IntegrationType::ALL {
+            let d = s.by_type[ity.index()][0];
+            let rv = s.by_type[ity.index()][1];
             row.push(format!("{}+{}", pct(d, total), pct(rv, total)));
         }
         ty.row(row);
 
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![t.bench.to_string()];
         for i in 0..stats::DISTANCE_BUCKETS.len() {
             row.push(format!(
                 "{}+{}",
@@ -57,7 +60,7 @@ fn main() {
         }
         dist.row(row);
 
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![t.bench.to_string()];
         for st in ResultStatus::ALL {
             row.push(format!(
                 "{}+{}",
@@ -68,7 +71,7 @@ fn main() {
         status.row(row);
 
         let value_total: u64 = s.by_refcount.iter().map(|b| b[0] + b[1]).sum();
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![t.bench.to_string()];
         for i in 0..stats::REFCOUNT_BUCKETS.len() {
             row.push(format!(
                 "{}+{}",

@@ -9,7 +9,7 @@
 //! entries (the 4K point also uses 4K physical registers), measuring the
 //! temporal locality of integration.
 
-use rix_bench::{gmean_speedup, speedup_pct, Harness, Table};
+use rix_bench::{gmean_speedup, speedup_pct, trials_json, Harness, Table};
 use rix_integration::IntegrationConfig;
 use rix_sim::SimConfig;
 
@@ -21,6 +21,34 @@ fn main() {
     let size_points: Vec<(&str, usize, usize)> =
         vec![("64", 64, 64), ("256", 256, 256), ("1K", 1024, 1024), ("4K", 4096, 4096)];
 
+    // Grid columns: baseline, (real, oracle) per associativity point,
+    // then (real, oracle) per size point.
+    let mut cfgs: Vec<(String, SimConfig)> = vec![("base".into(), SimConfig::baseline())];
+    for (name, entries, ways) in &assoc_points {
+        let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
+        cfgs.push(((*name).to_string(), SimConfig::default().with_integration(ic)));
+        cfgs.push((format!("{name}*"), SimConfig::default().with_integration(ic.with_oracle())));
+    }
+    for (name, entries, ways) in &size_points {
+        let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
+        // The 4K-entry point uses a 4K-register file (§3.4).
+        let pregs = if *entries >= 4096 { 4096 } else { 1024 };
+        cfgs.push((
+            format!("sz{name}"),
+            SimConfig::default().with_integration(ic).with_pregs(pregs),
+        ));
+        cfgs.push((
+            format!("sz{name}*"),
+            SimConfig::default().with_integration(ic.with_oracle()).with_pregs(pregs),
+        ));
+    }
+    let ncfg = cfgs.len();
+    let trials = h.sweep().configs(cfgs).run();
+    if h.json {
+        println!("{}", trials_json(&trials));
+        return;
+    }
+
     let mut assoc = Table::new(&[
         "bench", "1-way", "1-way*", "2-way", "2-way*", "4-way", "4-way*", "full", "full*",
     ]);
@@ -28,17 +56,15 @@ fn main() {
     let mut assoc_means = vec![Vec::new(); assoc_points.len() * 2];
     let mut size_means = vec![Vec::new(); size_points.len() * 2];
 
-    for b in h.benchmarks() {
-        let program = b.build(h.seed);
-        let base = h.run(&program, SimConfig::baseline());
+    for row_trials in trials.chunks(ncfg) {
+        let bench = row_trials[0].bench;
+        let base = &row_trials[0].result;
 
-        let mut arow = vec![b.name.to_string()];
-        for (i, (_, entries, ways)) in assoc_points.iter().enumerate() {
-            let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
-            let real = h.run(&program, SimConfig::default().with_integration(ic));
-            let orac =
-                h.run(&program, SimConfig::default().with_integration(ic.with_oracle()));
-            let (sr, so) = (speedup_pct(&real, &base), speedup_pct(&orac, &base));
+        let mut arow = vec![bench.to_string()];
+        for i in 0..assoc_points.len() {
+            let real = &row_trials[1 + 2 * i].result;
+            let orac = &row_trials[2 + 2 * i].result;
+            let (sr, so) = (speedup_pct(real, base), speedup_pct(orac, base));
             arow.push(format!("{sr:+.1}%"));
             arow.push(format!("{so:+.1}%"));
             assoc_means[2 * i].push(sr);
@@ -46,18 +72,12 @@ fn main() {
         }
         assoc.row(arow);
 
-        let mut srow = vec![b.name.to_string()];
-        for (i, (_, entries, ways)) in size_points.iter().enumerate() {
-            let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
-            // The 4K-entry point uses a 4K-register file (§3.4).
-            let pregs = if *entries >= 4096 { 4096 } else { 1024 };
-            let cfg = SimConfig::default().with_integration(ic).with_pregs(pregs);
-            let ocfg = SimConfig::default()
-                .with_integration(ic.with_oracle())
-                .with_pregs(pregs);
-            let real = h.run(&program, cfg);
-            let orac = h.run(&program, ocfg);
-            let (sr, so) = (speedup_pct(&real, &base), speedup_pct(&orac, &base));
+        let size_off = 1 + 2 * assoc_points.len();
+        let mut srow = vec![bench.to_string()];
+        for i in 0..size_points.len() {
+            let real = &row_trials[size_off + 2 * i].result;
+            let orac = &row_trials[size_off + 2 * i + 1].result;
+            let (sr, so) = (speedup_pct(real, base), speedup_pct(orac, base));
             srow.push(format!("{sr:+.1}%"));
             srow.push(format!("{so:+.1}%"));
             size_means[2 * i].push(sr);

@@ -12,7 +12,7 @@
 //! reduction) recovers most of the loss from a 25% issue-width cut or a
 //! 50% buffering cut.
 
-use rix_bench::{gmean_speedup, speedup_pct, Harness, Table};
+use rix_bench::{gmean_speedup, speedup_pct, trials_json, Harness, Table};
 use rix_sim::{CoreConfig, SimConfig};
 
 fn main() {
@@ -24,6 +24,26 @@ fn main() {
         ("IW+RS", CoreConfig::iw3_rs20()),
     ];
 
+    // Grid columns: the reference machine, then (none, integration,
+    // oracle) per core design point.
+    let mut cfgs: Vec<(String, SimConfig)> = vec![("reference".into(), SimConfig::baseline())];
+    for (name, core) in &cores {
+        cfgs.push(((*name).to_string(), SimConfig::baseline().with_core(*core)));
+        cfgs.push((format!("{name}+i"), SimConfig::default().with_core(*core)));
+        cfgs.push((
+            format!("{name}*"),
+            SimConfig::default()
+                .with_integration(rix_integration::IntegrationConfig::default().with_oracle())
+                .with_core(*core),
+        ));
+    }
+    let ncfg = cfgs.len();
+    let trials = h.sweep().configs(cfgs).run();
+    if h.json {
+        println!("{}", trials_json(&trials));
+        return;
+    }
+
     let mut t = Table::new(&[
         "bench", "base", "base+i", "base*", "RS", "RS+i", "RS*", "IW", "IW+i", "IW*", "IW+RS",
         "IW+RS+i", "IW+RS*",
@@ -31,22 +51,15 @@ fn main() {
     let mut means: Vec<Vec<f64>> = vec![Vec::new(); cores.len() * 3];
     let mut base_ipcs: Vec<String> = Vec::new();
 
-    for b in h.benchmarks() {
-        let program = b.build(h.seed);
-        let reference = h.run(&program, SimConfig::baseline());
-        base_ipcs.push(format!("{}={:.2}", b.name, reference.ipc()));
-        let mut row = vec![b.name.to_string()];
-        for (ci, (_, core)) in cores.iter().enumerate() {
-            let none = h.run(&program, SimConfig::baseline().with_core(*core));
-            let integ = h.run(&program, SimConfig::default().with_core(*core));
-            let oracle = h.run(
-                &program,
-                SimConfig::default()
-                    .with_integration(rix_integration::IntegrationConfig::default().with_oracle())
-                    .with_core(*core),
-            );
-            for (k, r) in [&none, &integ, &oracle].into_iter().enumerate() {
-                let sp = speedup_pct(r, &reference);
+    for row_trials in trials.chunks(ncfg) {
+        let bench = row_trials[0].bench;
+        let reference = &row_trials[0].result;
+        base_ipcs.push(format!("{}={:.2}", bench, reference.ipc()));
+        let mut row = vec![bench.to_string()];
+        for ci in 0..cores.len() {
+            for k in 0..3 {
+                let r = &row_trials[1 + ci * 3 + k].result;
+                let sp = speedup_pct(r, reference);
                 row.push(format!("{sp:+.1}%"));
                 means[ci * 3 + k].push(sp);
             }

@@ -11,8 +11,15 @@
 //!
 //! Shared flags: `--instructions N` (retired instructions per run,
 //! default 100 000), `--seed S`, `--bench NAME` (filter to one
-//! benchmark). All binaries print aligned text tables whose rows/series
-//! match the paper's figures.
+//! benchmark, case-insensitive), `--threads N` (parallel trials),
+//! `--json` (machine-readable trial records instead of tables). All
+//! binaries print aligned text tables whose rows/series match the
+//! paper's figures; trial order — and therefore every table — is
+//! independent of the thread count.
+//!
+//! The experiment layer is the [`Sweep`] builder: declare a
+//! (benchmark × config) grid, an instruction budget, an optional
+//! warm-up, and a thread count, and get back ordered [`Trial`] records.
 //!
 //! The Criterion benches (`cargo bench -p rix-bench`) measure the
 //! simulator's own throughput per subsystem and end-to-end, so
@@ -20,8 +27,10 @@
 
 use rix_integration::IntegrationConfig;
 use rix_isa::Program;
-use rix_sim::{RunResult, SimConfig, Simulator};
+use rix_sim::{RunResult, SimConfig, Simulator, StopWhen};
 use rix_workloads::Benchmark;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Common command-line options for the figure binaries.
 #[derive(Clone, Debug)]
@@ -34,49 +43,104 @@ pub struct Harness {
     pub filter: Option<String>,
     /// Print the extra §3.2 diagnostics (fig4 only).
     pub diagnostics: bool,
+    /// Worker threads for the (benchmark × config) sweep.
+    pub threads: usize,
+    /// Emit trial records as JSON instead of text tables.
+    pub json: bool,
 }
 
 impl Default for Harness {
     fn default() -> Self {
-        Self { instructions: 100_000, seed: 7, filter: None, diagnostics: false }
+        Self {
+            instructions: 100_000,
+            seed: 7,
+            filter: None,
+            diagnostics: false,
+            threads: 1,
+            json: false,
+        }
     }
 }
 
 impl Harness {
-    /// Parses `--instructions N --seed S --bench NAME --diagnostics`
-    /// from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// The usage string printed on a flag error (exit status 2).
+    #[must_use]
+    pub fn usage() -> &'static str {
+        "usage: <figure binary> [flags]\n\
+         \n\
+         flags:\n\
+         \x20 --instructions N, -n N  retired instructions per run (default 100000)\n\
+         \x20 --seed S                workload generator seed (default 7)\n\
+         \x20 --bench NAME            restrict to one benchmark (case-insensitive)\n\
+         \x20 --threads N             worker threads for the sweep (default 1)\n\
+         \x20 --json                  print trial records as JSON, not tables\n\
+         \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
+         \x20 --help, -h              this message"
+    }
+
+    /// Parses the shared flags from `std::env::args`. On an unknown or
+    /// malformed flag, prints the error and [`Harness::usage`] to
+    /// stderr and exits with status 2 (`--help` prints usage to stdout
+    /// and exits 0).
     #[must_use]
     pub fn from_args() -> Self {
-        let mut h = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::usage());
+            std::process::exit(0);
+        }
+        match Self::try_parse(args) {
+            Ok(h) => h,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", Self::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The fallible core of [`Harness::from_args`].
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut h = Self::default();
         let mut i = 0;
+        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} is missing its value"))
+        };
         while i < args.len() {
             match args[i].as_str() {
                 "--instructions" | "-n" => {
-                    i += 1;
-                    h.instructions = args[i].parse().expect("--instructions takes a number");
+                    let v = value(&args, &mut i, "--instructions")?;
+                    h.instructions = v
+                        .parse()
+                        .map_err(|_| format!("--instructions takes a number, got `{v}`"))?;
                 }
                 "--seed" => {
-                    i += 1;
-                    h.seed = args[i].parse().expect("--seed takes a number");
+                    let v = value(&args, &mut i, "--seed")?;
+                    h.seed =
+                        v.parse().map_err(|_| format!("--seed takes a number, got `{v}`"))?;
                 }
                 "--bench" => {
-                    i += 1;
-                    h.filter = Some(args[i].clone());
+                    let v = value(&args, &mut i, "--bench")?;
+                    // Validate eagerly so a typo reports the closest
+                    // benchmark names instead of an empty sweep.
+                    h.filter = Some(rix_workloads::lookup(&v)?.name.to_string());
                 }
+                "--threads" => {
+                    let v = value(&args, &mut i, "--threads")?;
+                    h.threads = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--threads takes a count >= 1, got `{v}`"))?;
+                }
+                "--json" => h.json = true,
                 "--diagnostics" => h.diagnostics = true,
-                other => panic!(
-                    "unknown argument `{other}` \
-                     (expected --instructions N, --seed S, --bench NAME, --diagnostics)"
-                ),
+                other => return Err(format!("unknown argument `{other}`")),
             }
             i += 1;
         }
-        h
+        Ok(h)
     }
 
     /// The benchmarks selected by the filter.
@@ -84,7 +148,9 @@ impl Harness {
     pub fn benchmarks(&self) -> Vec<Benchmark> {
         rix_workloads::all_benchmarks()
             .into_iter()
-            .filter(|b| self.filter.as_deref().is_none_or(|f| f == b.name))
+            .filter(|b| {
+                self.filter.as_deref().is_none_or(|f| f.eq_ignore_ascii_case(b.name))
+            })
             .collect()
     }
 
@@ -92,6 +158,233 @@ impl Harness {
     #[must_use]
     pub fn run(&self, program: &Program, cfg: SimConfig) -> RunResult {
         Simulator::new(program, cfg).run(self.instructions)
+    }
+
+    /// A [`Sweep`] over the selected benchmarks with this harness's
+    /// instruction budget, seed and thread count; add configs and run.
+    #[must_use]
+    pub fn sweep(&self) -> Sweep {
+        Sweep::new()
+            .benchmarks(self.benchmarks())
+            .instructions(self.instructions)
+            .seed(self.seed)
+            .threads(self.threads)
+    }
+}
+
+/// One completed (benchmark × config) run from a [`Sweep`].
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Label of the configuration that produced this trial.
+    pub config_label: String,
+    /// The simulation outcome.
+    pub result: RunResult,
+}
+
+impl Trial {
+    /// JSON object for this trial record.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"bench":"{}","config":"{}","result":{}}}"#,
+            json_escape(self.bench),
+            json_escape(&self.config_label),
+            self.result.to_json()
+        )
+    }
+}
+
+/// JSON array over trial records (the `--json` output of every figure
+/// binary).
+#[must_use]
+pub fn trials_json(trials: &[Trial]) -> String {
+    let body: Vec<String> = trials.iter().map(Trial::to_json).collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A declarative experiment over the (benchmark × config) grid,
+/// fanned out over a `std::thread` worker pool.
+///
+/// Workers pull grid cells from a shared queue, so a slow cell (a big
+/// benchmark under an expensive config) does not hold up the rest of
+/// its row. Results come back as [`Trial`] records in deterministic
+/// bench-major grid order — identical for every thread count, because
+/// each cell's simulation is independent and seeded.
+///
+/// ```
+/// use rix_bench::Sweep;
+/// use rix_sim::SimConfig;
+///
+/// let trials = Sweep::new()
+///     .benchmarks(rix_workloads::all_benchmarks().into_iter().take(2))
+///     .config("base", SimConfig::baseline())
+///     .config("integration", SimConfig::default())
+///     .instructions(2_000)
+///     .warmup(500)
+///     .threads(2)
+///     .run();
+/// assert_eq!(trials.len(), 4);
+/// assert_eq!(trials[0].config_label, "base");
+/// assert!(trials.iter().all(|t| t.result.stats.retired >= 2_000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    benchmarks: Vec<Benchmark>,
+    configs: Vec<(String, SimConfig)>,
+    instructions: u64,
+    warmup: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep: 100k instructions, no warm-up, seed 7, 1 thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            benchmarks: Vec::new(),
+            configs: Vec::new(),
+            instructions: 100_000,
+            warmup: 0,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    /// Sets the benchmarks (grid rows).
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks = benchmarks.into_iter().collect();
+        self
+    }
+
+    /// Sets the labelled configurations (grid columns).
+    #[must_use]
+    pub fn configs<L: Into<String>>(
+        mut self,
+        configs: impl IntoIterator<Item = (L, SimConfig)>,
+    ) -> Self {
+        self.configs = configs.into_iter().map(|(l, c)| (l.into(), c)).collect();
+        self
+    }
+
+    /// Appends one labelled configuration.
+    #[must_use]
+    pub fn config(mut self, label: impl Into<String>, cfg: SimConfig) -> Self {
+        self.configs.push((label.into(), cfg));
+        self
+    }
+
+    /// Retired instructions measured per trial.
+    #[must_use]
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Retired instructions to run — then discard via
+    /// [`Simulator::reset_stats`] — before measuring (0 = cold).
+    #[must_use]
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Workload generator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads (clamped to at least 1; more threads than grid
+    /// cells idle harmlessly).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs every (benchmark × config) cell and returns the trials in
+    /// bench-major grid order, independent of the thread count.
+    #[must_use]
+    pub fn run(&self) -> Vec<Trial> {
+        let ncfg = self.configs.len();
+        let total = self.benchmarks.len() * ncfg;
+        if total == 0 {
+            return Vec::new();
+        }
+        // Build each benchmark's program once; the cells of its grid
+        // row share it read-only across workers.
+        let programs: Vec<Program> =
+            self.benchmarks.iter().map(|b| b.build(self.seed)).collect();
+        let run_cell = |i: usize| -> Trial {
+            let bench = self.benchmarks[i / ncfg];
+            let (label, cfg) = &self.configs[i % ncfg];
+            let program = &programs[i / ncfg];
+            let result = if self.warmup == 0 {
+                // The exact one-shot path, so a warm-up-free sweep is
+                // byte-identical to the historical serial loops.
+                Simulator::new(program, *cfg).run(self.instructions)
+            } else {
+                let mut sim = Simulator::new(program, *cfg);
+                // Budget safety nets on both phases, so a cell that
+                // crawls without deadlocking cannot hang the sweep.
+                sim.run_until(&StopWhen::budget(self.warmup));
+                sim.reset_stats();
+                sim.run_budget(self.instructions)
+            };
+            Trial { bench: bench.name, config_label: label.clone(), result }
+        };
+        let threads = self.threads.max(1).min(total);
+        if threads == 1 {
+            return (0..total).map(run_cell).collect();
+        }
+        // Shared work queue: an atomic cursor over the grid; each
+        // worker claims the next cell and writes its own result slot.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Trial>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let trial = run_cell(i);
+                    *slots[i].lock().expect("result slot never poisoned") = Some(trial);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot never poisoned")
+                    .expect("every cell was claimed and completed")
+            })
+            .collect()
     }
 }
 
@@ -211,6 +504,67 @@ mod tests {
         assert_eq!(h.benchmarks().len(), 16);
         h.filter = Some("mcf".into());
         assert_eq!(h.benchmarks().len(), 1);
+        h.filter = Some("MCF".into());
+        assert_eq!(h.benchmarks().len(), 1, "filter is case-insensitive");
+    }
+
+    #[test]
+    fn try_parse_flags() {
+        let args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let h = Harness::try_parse(args("-n 5000 --seed 9 --threads 4 --json")).unwrap();
+        assert_eq!(h.instructions, 5_000);
+        assert_eq!(h.seed, 9);
+        assert_eq!(h.threads, 4);
+        assert!(h.json);
+        let h = Harness::try_parse(args("--bench VORTEX")).unwrap();
+        assert_eq!(h.filter.as_deref(), Some("vortex"));
+
+        assert!(Harness::try_parse(args("--frobnicate")).unwrap_err().contains("unknown"));
+        assert!(Harness::try_parse(args("--seed")).unwrap_err().contains("missing"));
+        assert!(Harness::try_parse(args("-n twelve")).unwrap_err().contains("number"));
+        assert!(Harness::try_parse(args("--threads 0")).unwrap_err().contains(">= 1"));
+        let err = Harness::try_parse(args("--bench vortx")).unwrap_err();
+        assert!(err.contains("vortex"), "suggests the close name: {err}");
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial() {
+        let benches: Vec<_> = rix_workloads::all_benchmarks().into_iter().take(3).collect();
+        let configs = vec![
+            ("base".to_string(), SimConfig::baseline()),
+            ("full".to_string(), SimConfig::default()),
+        ];
+        let sweep = Sweep::new()
+            .benchmarks(benches.clone())
+            .configs(configs)
+            .instructions(2_000);
+        let serial = sweep.clone().threads(1).run();
+        let parallel = sweep.threads(3).run();
+        assert_eq!(serial.len(), 6);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.bench, b.bench);
+            assert_eq!(a.config_label, b.config_label);
+            assert_eq!(a.result, b.result, "{}/{}", a.bench, a.config_label);
+        }
+        // Grid order: bench-major, configs in declaration order.
+        assert_eq!(serial[0].bench, benches[0].name);
+        assert_eq!(serial[0].config_label, "base");
+        assert_eq!(serial[1].config_label, "full");
+        assert_eq!(serial[2].bench, benches[1].name);
+    }
+
+    #[test]
+    fn trials_json_is_balanced() {
+        let trials = Sweep::new()
+            .benchmarks(rix_workloads::all_benchmarks().into_iter().take(1))
+            .config("base", SimConfig::baseline())
+            .instructions(1_000)
+            .run();
+        let j = trials_json(&trials);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains(r#""bench":"bzip2""#));
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]

@@ -157,7 +157,7 @@ pub struct IntegrationEvent {
 }
 
 /// Aggregated retirement-stream integration statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IntegrationStats {
     /// Retired instructions that integrated directly.
     pub direct: u64,

@@ -51,7 +51,7 @@ impl Default for MemConfig {
 }
 
 /// Aggregate statistics across the hierarchy.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemSystemStats {
     /// Instruction-cache hit/miss counters.
     pub l1i: CacheStats,

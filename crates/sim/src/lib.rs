@@ -14,11 +14,17 @@
 //! * [`SimConfig`] / [`CoreConfig`] / [`IssueConfig`] — machine
 //!   configuration with presets for every design point in the paper's
 //!   evaluation,
-//! * [`Simulator`] — drives a [`rix_isa::Program`],
-//! * [`RunResult`] / [`SimStats`] — everything Figures 4–7 need.
+//! * [`Simulator`] — a resumable session over a [`rix_isa::Program`]:
+//!   [`Simulator::step`] advances one cycle, [`Simulator::run_until`]
+//!   advances to a [`StopWhen`] condition and reports the
+//!   [`StopReason`], [`Simulator::reset_stats`] zeroes the counters for
+//!   warm-up-then-measure experiments, and [`Simulator::run`] is the
+//!   one-shot convenience wrapper,
+//! * [`RunResult`] / [`SimStats`] — everything Figures 4–7 need, plus a
+//!   dependency-free [`RunResult::to_json`] for machine-readable output.
 //!
 //! ```
-//! use rix_sim::{SimConfig, Simulator};
+//! use rix_sim::{SimConfig, Simulator, StopReason, StopWhen};
 //! use rix_isa::{Asm, reg};
 //!
 //! // r3 = 5 * 4 computed by a loop; check both timing and architecture.
@@ -31,8 +37,13 @@
 //! a.bne(reg::R1, "loop");
 //! a.halt();
 //! let p = a.assemble()?;
-//! let sim = Simulator::new(&p, SimConfig::baseline());
-//! let r = sim.run(1_000);
+//!
+//! // A resumable session: step a few cycles by hand, then run to halt.
+//! let mut sim = Simulator::new(&p, SimConfig::baseline());
+//! sim.step();
+//! let reason = sim.run_until(&StopWhen::RetiredAtLeast(1_000));
+//! assert_eq!(reason, StopReason::Halted); // halts before 1000 retire
+//! let r = sim.result();
 //! assert!(r.halted);
 //! # Ok::<(), rix_isa::AsmError>(())
 //! ```
@@ -40,9 +51,11 @@
 pub mod config;
 pub mod lsq;
 pub mod pipeline;
+pub mod session;
 pub mod stats;
 
 pub use config::{CoreConfig, IssueConfig, SimConfig};
 pub use lsq::{Cht, StoreQueue};
 pub use pipeline::Simulator;
+pub use session::{StopReason, StopWhen};
 pub use stats::{RunResult, SimStats};

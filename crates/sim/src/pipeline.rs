@@ -29,6 +29,7 @@
 
 use crate::config::SimConfig;
 use crate::lsq::{Cht, StoreQueue};
+use crate::session::{StopReason, StopWhen};
 use crate::stats::{RunResult, SimStats};
 use rix_frontend::{FrontEnd, Prediction, SpecCheckpoint};
 use rix_integration::{
@@ -41,6 +42,11 @@ use rix_mem::{Cycle, DataStore, MemSystem};
 use std::collections::VecDeque;
 
 const NO_CYCLE: Cycle = u64::MAX;
+
+/// Cycles without a retirement after which the machine is considered
+/// deadlocked. The longest legitimate retirement gap (write-buffer
+/// stall on top of serialized cold misses) is a few thousand cycles.
+const DEADLOCK_WINDOW: Cycle = 100_000;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum State {
@@ -154,6 +160,12 @@ pub struct Simulator<'p> {
     program: &'p Program,
     cfg: SimConfig,
     cycle: Cycle,
+    /// Cycle of the last `reset_stats` (statistics count from here).
+    cycle_base: Cycle,
+    /// Last cycle on which an instruction retired (deadlock detection).
+    last_retire_cycle: Cycle,
+    /// Memory-system counters at the last `reset_stats`.
+    mem_base: rix_mem::MemSystemStats,
     seq_next: u64,
     // Front end.
     frontend: FrontEnd,
@@ -226,6 +238,9 @@ impl<'p> Simulator<'p> {
             program,
             cfg,
             cycle: 0,
+            cycle_base: 0,
+            last_retire_cycle: 0,
+            mem_base: rix_mem::MemSystemStats::default(),
             seq_next: 1,
             frontend: FrontEnd::default(),
             fetch_pc: program.entry(),
@@ -257,20 +272,56 @@ impl<'p> Simulator<'p> {
     }
 
     /// Runs until `target_retired` instructions retire, the program
-    /// halts, or a safety cycle limit trips.
+    /// halts, or a safety limit trips: [`StopWhen::budget`]'s cycle net,
+    /// or — earlier than the pre-session API would have stopped — the
+    /// deadlock window, which cuts a machine that has stopped retiring
+    /// loose instead of idling it to the cycle limit.
+    ///
+    /// A convenience wrapper over the resumable session API: equivalent
+    /// to [`Simulator::run_budget`] on a fresh session.
     pub fn run(mut self, target_retired: u64) -> RunResult {
-        let limit = 100_000 + target_retired.saturating_mul(60);
-        while !self.halted && self.stats.retired < target_retired && self.cycle < limit {
+        self.run_budget(target_retired)
+    }
+
+    /// Runs one measurement interval: until `target_retired`
+    /// instructions retire *counting from the last
+    /// [`Simulator::reset_stats`]*, under [`StopWhen::budget`]'s safety
+    /// net. In the returned snapshot, `timed_out` means the budget was
+    /// not met (the cycle net or deadlock window fired first).
+    pub fn run_budget(&mut self, target_retired: u64) -> RunResult {
+        self.run_until(&StopWhen::budget(target_retired));
+        let mut r = self.result();
+        r.timed_out = !self.halted && self.stats.retired < target_retired;
+        r
+    }
+
+    /// Advances the machine until `stop` is satisfied, the program
+    /// halts, or the machine deadlocks (no retirement for 100 000
+    /// cycles) — whichever comes first. The session remains usable
+    /// afterwards:
+    /// call [`Simulator::step`] or `run_until` again to resume, and
+    /// [`Simulator::result`] to snapshot statistics.
+    pub fn run_until(&mut self, stop: &StopWhen) -> StopReason {
+        let reason = loop {
+            if self.halted {
+                break StopReason::Halted;
+            }
+            let deadlocked = self.deadlocked();
+            if let Some(r) = stop.check(self.stats.retired, self.stats.cycles, deadlocked) {
+                break r;
+            }
+            if deadlocked {
+                break StopReason::Deadlocked;
+            }
             self.step();
-        }
-        let timed_out = !self.halted && self.stats.retired < target_retired;
-        self.stats.cycles = self.cycle;
-        self.stats.mem = self.mem.stats();
-        RunResult { stats: self.stats, halted: self.halted, timed_out }
+        };
+        self.stats.mem = self.mem_stats_delta();
+        reason
     }
 
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
+        let retired_before = self.stats.retired;
         self.do_retire();
         if !self.halted {
             self.do_complete();
@@ -281,7 +332,67 @@ impl<'p> Simulator<'p> {
         self.stats.rs_occupancy_sum += self.rs_used as u64;
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         self.cycle += 1;
-        self.stats.cycles = self.cycle;
+        if self.stats.retired != retired_before {
+            self.last_retire_cycle = self.cycle;
+        }
+        self.stats.cycles = self.cycle - self.cycle_base;
+    }
+
+    /// Zeroes every statistics counter while preserving machine state
+    /// (caches, predictors, integration table, in-flight window), so a
+    /// session can warm up and then measure: subsequent statistics —
+    /// including [`SimStats::cycles`] and the memory-hierarchy counters
+    /// — count from this point.
+    pub fn reset_stats(&mut self) {
+        self.cycle_base = self.cycle;
+        self.mem_base = self.mem.stats();
+        self.stats = SimStats::default();
+    }
+
+    /// Snapshots the session as a [`RunResult`] without consuming it.
+    /// `timed_out` reports whether the machine is currently deadlocked.
+    pub fn result(&mut self) -> RunResult {
+        self.stats.mem = self.mem_stats_delta();
+        RunResult {
+            stats: self.stats.clone(),
+            halted: self.halted,
+            timed_out: self.deadlocked(),
+        }
+    }
+
+    /// Consumes the session into its final [`RunResult`].
+    #[must_use]
+    pub fn into_result(mut self) -> RunResult {
+        self.result()
+    }
+
+    /// Whether no instruction has retired for the deadlock window.
+    #[must_use]
+    pub fn deadlocked(&self) -> bool {
+        !self.halted && self.cycle - self.last_retire_cycle >= DEADLOCK_WINDOW
+    }
+
+    /// Memory-hierarchy counters accumulated since the last
+    /// [`Simulator::reset_stats`].
+    fn mem_stats_delta(&mut self) -> rix_mem::MemSystemStats {
+        let now = self.mem.stats();
+        let b = &self.mem_base;
+        let cache = |n: rix_mem::CacheStats, b: rix_mem::CacheStats| rix_mem::CacheStats {
+            hits: n.hits - b.hits,
+            misses: n.misses - b.misses,
+            writebacks: n.writebacks - b.writebacks,
+        };
+        rix_mem::MemSystemStats {
+            l1i: cache(now.l1i, b.l1i),
+            l1d: cache(now.l1d, b.l1d),
+            l2: cache(now.l2, b.l2),
+            itlb_misses: now.itlb_misses - b.itlb_misses,
+            dtlb_misses: now.dtlb_misses - b.dtlb_misses,
+            mshr_merges: now.mshr_merges - b.mshr_merges,
+            write_buffer_stalls: now.write_buffer_stalls - b.write_buffer_stalls,
+            backside_busy: now.backside_busy - b.backside_busy,
+            membus_busy: now.membus_busy - b.membus_busy,
+        }
     }
 
     // ----- helpers -------------------------------------------------------
@@ -1330,7 +1441,11 @@ impl<'p> Simulator<'p> {
         self.cycle
     }
 
-    /// Statistics so far.
+    /// Statistics so far. Core counters (cycles, retired, stalls, …)
+    /// are live after every [`Simulator::step`]; the memory-hierarchy
+    /// block (`mem`) is snapshotted lazily — by [`Simulator::run_until`]
+    /// and [`Simulator::result`], not per step — to keep the cycle loop
+    /// lean. Use [`Simulator::result`] when `mem` must be current.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
         &self.stats

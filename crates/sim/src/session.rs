@@ -1,0 +1,169 @@
+//! Stop conditions for resumable simulation sessions.
+//!
+//! [`Simulator::run_until`](crate::Simulator::run_until) advances the
+//! machine until a [`StopWhen`] condition is satisfied and reports which
+//! one fired as a [`StopReason`]. Conditions compose with
+//! [`StopWhen::or`] and [`StopWhen::and`], so "warm up, then measure a
+//! fixed interval with a safety net" is expressible without touching the
+//! driver loop:
+//!
+//! ```
+//! use rix_sim::StopWhen;
+//!
+//! let stop = StopWhen::RetiredAtLeast(100_000)
+//!     .or(StopWhen::CyclesAtLeast(6_100_000));
+//! assert!(stop.check(100_000, 0, false).is_some());
+//! assert!(stop.check(0, 6_100_000, false).is_some());
+//! assert!(stop.check(99_999, 6_099_999, false).is_none());
+//! ```
+
+/// A condition under which [`crate::Simulator::run_until`] stops.
+///
+/// Counters are measured **since the last
+/// [`reset_stats`](crate::Simulator::reset_stats)** (or construction),
+/// so the same condition works for cold runs and for post-warm-up
+/// measurement intervals. Independent of any condition, `run_until`
+/// always stops when the program halts or the machine deadlocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopWhen {
+    /// At least this many instructions have retired.
+    RetiredAtLeast(u64),
+    /// At least this many cycles have elapsed.
+    CyclesAtLeast(u64),
+    /// No instruction has retired for the deadlock window (a stuck
+    /// machine). Useful inside [`StopWhen::All`]; on its own it is
+    /// redundant because `run_until` always stops on deadlock.
+    Deadlocked,
+    /// Any sub-condition suffices (an empty list never stops).
+    Any(Vec<StopWhen>),
+    /// Every sub-condition must hold (an empty list never stops).
+    All(Vec<StopWhen>),
+}
+
+impl StopWhen {
+    /// The canonical instruction-budget condition used by
+    /// [`crate::Simulator::run`] and the sweep layer: at least
+    /// `target_retired` retirements, with a cycle safety net of
+    /// `100_000 + 60·target_retired` against runaway runs.
+    #[must_use]
+    pub fn budget(target_retired: u64) -> StopWhen {
+        let limit = 100_000u64.saturating_add(target_retired.saturating_mul(60));
+        StopWhen::RetiredAtLeast(target_retired).or(StopWhen::CyclesAtLeast(limit))
+    }
+
+    /// Combines two conditions: stop when either holds.
+    #[must_use]
+    pub fn or(self, other: StopWhen) -> StopWhen {
+        match self {
+            StopWhen::Any(mut v) => {
+                v.push(other);
+                StopWhen::Any(v)
+            }
+            first => StopWhen::Any(vec![first, other]),
+        }
+    }
+
+    /// Combines two conditions: stop only when both hold.
+    #[must_use]
+    pub fn and(self, other: StopWhen) -> StopWhen {
+        match self {
+            StopWhen::All(mut v) => {
+                v.push(other);
+                StopWhen::All(v)
+            }
+            first => StopWhen::All(vec![first, other]),
+        }
+    }
+
+    /// Evaluates the condition against the current counters. Returns the
+    /// [`StopReason`] of the (first, for [`StopWhen::Any`]; last, for
+    /// [`StopWhen::All`]) satisfied leaf, or `None` when unsatisfied.
+    #[must_use]
+    pub fn check(&self, retired: u64, cycles: u64, deadlocked: bool) -> Option<StopReason> {
+        match self {
+            Self::RetiredAtLeast(n) => {
+                (retired >= *n).then_some(StopReason::RetiredAtLeast(*n))
+            }
+            Self::CyclesAtLeast(n) => (cycles >= *n).then_some(StopReason::CyclesAtLeast(*n)),
+            Self::Deadlocked => deadlocked.then_some(StopReason::Deadlocked),
+            Self::Any(subs) => subs.iter().find_map(|s| s.check(retired, cycles, deadlocked)),
+            Self::All(subs) => {
+                let mut last = None;
+                for s in subs {
+                    last = Some(s.check(retired, cycles, deadlocked)?);
+                }
+                last
+            }
+        }
+    }
+}
+
+/// Why [`crate::Simulator::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed a `halt` (always stops the session).
+    Halted,
+    /// A [`StopWhen::RetiredAtLeast`] threshold was reached.
+    RetiredAtLeast(u64),
+    /// A [`StopWhen::CyclesAtLeast`] threshold was reached.
+    CyclesAtLeast(u64),
+    /// No retirement for the deadlock window (always stops the session).
+    Deadlocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves() {
+        assert_eq!(
+            StopWhen::RetiredAtLeast(10).check(10, 0, false),
+            Some(StopReason::RetiredAtLeast(10))
+        );
+        assert_eq!(StopWhen::RetiredAtLeast(10).check(9, 0, false), None);
+        assert_eq!(
+            StopWhen::CyclesAtLeast(5).check(0, 7, false),
+            Some(StopReason::CyclesAtLeast(5))
+        );
+        assert_eq!(StopWhen::Deadlocked.check(0, 0, true), Some(StopReason::Deadlocked));
+        assert_eq!(StopWhen::Deadlocked.check(0, 0, false), None);
+    }
+
+    #[test]
+    fn any_takes_first_satisfied() {
+        let c = StopWhen::RetiredAtLeast(100).or(StopWhen::CyclesAtLeast(50));
+        assert_eq!(c.check(0, 49, false), None);
+        assert_eq!(c.check(0, 50, false), Some(StopReason::CyclesAtLeast(50)));
+        assert_eq!(c.check(100, 50, false), Some(StopReason::RetiredAtLeast(100)));
+    }
+
+    #[test]
+    fn all_requires_every_leaf() {
+        let c = StopWhen::RetiredAtLeast(10).and(StopWhen::CyclesAtLeast(20));
+        assert_eq!(c.check(10, 19, false), None);
+        assert_eq!(c.check(9, 20, false), None);
+        assert_eq!(c.check(10, 20, false), Some(StopReason::CyclesAtLeast(20)));
+    }
+
+    #[test]
+    fn chaining_flattens() {
+        let a = StopWhen::RetiredAtLeast(1)
+            .or(StopWhen::CyclesAtLeast(2))
+            .or(StopWhen::Deadlocked);
+        assert_eq!(
+            a,
+            StopWhen::Any(vec![
+                StopWhen::RetiredAtLeast(1),
+                StopWhen::CyclesAtLeast(2),
+                StopWhen::Deadlocked,
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_combinators_never_stop() {
+        assert_eq!(StopWhen::Any(vec![]).check(u64::MAX, u64::MAX, true), None);
+        assert_eq!(StopWhen::All(vec![]).check(u64::MAX, u64::MAX, true), None);
+    }
+}

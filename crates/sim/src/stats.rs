@@ -1,10 +1,10 @@
 //! Simulation statistics.
 
 use rix_integration::IntegrationStats;
-use rix_mem::MemSystemStats;
+use rix_mem::{CacheStats, MemSystemStats};
 
 /// Everything the evaluation section measures, accumulated over a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Elapsed machine cycles.
     pub cycles: u64,
@@ -109,14 +109,17 @@ impl SimStats {
 }
 
 /// The outcome of [`crate::Simulator::run`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     /// Accumulated statistics.
     pub stats: SimStats,
     /// Whether the program executed a `halt`.
     pub halted: bool,
-    /// Whether the run hit the cycle safety limit before retiring the
-    /// requested instruction count (indicates a deadlock or runaway).
+    /// From [`crate::Simulator::run`] / `run_budget`: the instruction
+    /// budget was not met (the cycle safety net or deadlock window
+    /// fired first — a deadlock or runaway). From a raw
+    /// [`crate::Simulator::result`] snapshot: the machine is currently
+    /// deadlocked.
     pub timed_out: bool,
 }
 
@@ -125,6 +128,108 @@ impl RunResult {
     #[must_use]
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
+    }
+
+    /// Serialises the result as a JSON object. Hand-rolled (no
+    /// dependencies); every counter plus the headline derived metrics.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"halted":{},"timed_out":{},"ipc":{},"stats":{}}}"#,
+            self.halted,
+            self.timed_out,
+            json_f64(self.ipc()),
+            self.stats.to_json()
+        )
+    }
+}
+
+/// A finite float as a JSON number; NaN/∞ (impossible for ratios of
+/// counters, but defended anyway) become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cache_json(c: CacheStats) -> String {
+    format!(
+        r#"{{"hits":{},"misses":{},"writebacks":{}}}"#,
+        c.hits, c.misses, c.writebacks
+    )
+}
+
+impl SimStats {
+    /// Serialises the statistics as a JSON object (see
+    /// [`RunResult::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let integration = format!(
+            concat!(
+                r#"{{"direct":{},"reverse":{},"rate":{},"suppressed":{},"#,
+                r#""mis_integrations":{},"load_mis_integrations":{},"#,
+                r#""register_mis_integrations":{},"mis_per_million":{}}}"#
+            ),
+            self.integration.direct,
+            self.integration.reverse,
+            json_f64(self.integration.rate()),
+            self.integration.suppressed,
+            self.integration.mis_integrations,
+            self.integration.load_mis_integrations,
+            self.integration.register_mis_integrations,
+            json_f64(self.integration.mis_per_million()),
+        );
+        let mem = format!(
+            concat!(
+                r#"{{"l1i":{},"l1d":{},"l2":{},"itlb_misses":{},"dtlb_misses":{},"#,
+                r#""mshr_merges":{},"write_buffer_stalls":{},"backside_busy":{},"#,
+                r#""membus_busy":{}}}"#
+            ),
+            cache_json(self.mem.l1i),
+            cache_json(self.mem.l1d),
+            cache_json(self.mem.l2),
+            self.mem.itlb_misses,
+            self.mem.dtlb_misses,
+            self.mem.mshr_merges,
+            self.mem.write_buffer_stalls,
+            self.mem.backside_busy,
+            self.mem.membus_busy,
+        );
+        format!(
+            concat!(
+                r#"{{"cycles":{},"retired":{},"ipc":{},"fetched":{},"executed":{},"#,
+                r#""loads_executed":{},"loads_retired":{},"stores_retired":{},"#,
+                r#""cond_branches_retired":{},"branch_mispredicts":{},"#,
+                r#""branch_resolution_latency":{},"squashes_branch":{},"#,
+                r#""squashes_memorder":{},"squashes_diva":{},"avg_rs_occupancy":{},"#,
+                r#""stalls_preg":{},"stalls_rob":{},"stalls_rs":{},"stalls_lsq":{},"#,
+                r#""stalls_writebuf":{},"integration":{},"mem":{}}}"#
+            ),
+            self.cycles,
+            self.retired,
+            json_f64(self.ipc()),
+            self.fetched,
+            self.executed,
+            self.loads_executed,
+            self.loads_retired,
+            self.stores_retired,
+            self.cond_branches_retired,
+            self.branch_mispredicts,
+            json_f64(self.branch_resolution_latency()),
+            self.squashes_branch,
+            self.squashes_memorder,
+            self.squashes_diva,
+            json_f64(self.avg_rs_occupancy()),
+            self.stalls_preg,
+            self.stalls_rob,
+            self.stalls_rs,
+            self.stalls_lsq,
+            self.stalls_writebuf,
+            integration,
+            mem,
+        )
     }
 }
 
@@ -146,6 +251,23 @@ mod tests {
         s.loads_retired = 100;
         s.loads_executed = 73;
         assert!((s.load_execution_fraction() - 0.73).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = RunResult {
+            stats: SimStats { cycles: 100, retired: 150, ..SimStats::default() },
+            halted: true,
+            timed_out: false,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains(r#""halted":true"#));
+        assert!(j.contains(r#""retired":150"#));
+        assert!(j.contains(r#""ipc":1.5"#));
+        assert!(j.contains(r#""l1d":{"hits":0"#));
+        assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
     }
 
     #[test]

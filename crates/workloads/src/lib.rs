@@ -73,10 +73,53 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     spec::all()
 }
 
-/// Looks up a benchmark by name (`"gcc"`, `"vpr.r"`, …).
+/// Looks up a benchmark by name (`"gcc"`, `"vpr.r"`, …), ignoring ASCII
+/// case. Use [`lookup`] for an error path that suggests close names.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    spec::all().into_iter().find(|b| b.name == name)
+    spec::all().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// Like [`by_name`], but a miss produces an error message naming the
+/// closest benchmarks (by edit distance) instead of a silent `None`.
+pub fn lookup(name: &str) -> Result<Benchmark, String> {
+    by_name(name).ok_or_else(|| {
+        format!(
+            "unknown benchmark `{name}` (closest matches: {}; see `all_benchmarks`)",
+            closest_names(name, 3).join(", ")
+        )
+    })
+}
+
+/// The `k` benchmark names closest to `name` by case-insensitive edit
+/// distance, ties broken by figure order.
+#[must_use]
+pub fn closest_names(name: &str, k: usize) -> Vec<&'static str> {
+    let needle = name.to_ascii_lowercase();
+    let mut scored: Vec<(usize, usize, &'static str)> = all_benchmarks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (edit_distance(&needle, b.name), i, b.name))
+        .collect();
+    scored.sort_unstable();
+    scored.into_iter().take(k).map(|(_, _, n)| n).collect()
+}
+
+/// Levenshtein distance (benchmark names are short, the quadratic DP is
+/// plenty).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -96,9 +139,33 @@ mod tests {
     }
 
     #[test]
-    fn lookup() {
+    fn lookup_by_name() {
         assert!(by_name("mcf").is_some());
         assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(by_name("MCF").unwrap().name, "mcf");
+        assert_eq!(by_name("Vpr.R").unwrap().name, "vpr.r");
+        assert_eq!(lookup("GCC").unwrap().name, "gcc");
+    }
+
+    #[test]
+    fn lookup_miss_suggests_closest() {
+        let err = lookup("vortx").unwrap_err();
+        assert!(err.contains("unknown benchmark `vortx`"), "{err}");
+        assert!(err.contains("vortex"), "{err}");
+        let err = lookup("perl").unwrap_err();
+        assert!(err.contains("perl.d") || err.contains("perl.s"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(closest_names("gc", 1), vec!["gcc"]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! The paper's Figure 7 experiment on one benchmark: shrink the machine
 //! (half the reservation stations, then 3-way issue with a single memory
-//! port, then both) and watch integration buy the performance back.
+//! port, then both) and watch integration buy the performance back. The
+//! nine machine points are one [`Sweep`] fanned out over four threads.
 //!
 //! ```sh
 //! cargo run --release --example complexity_tradeoff
@@ -13,23 +14,33 @@ use rix::sim::CoreConfig;
 
 fn main() {
     let bench = by_name("gcc").expect("gcc is a known benchmark");
-    let program = bench.build(7);
-    let budget = 100_000;
-
-    let reference = Simulator::new(&program, SimConfig::baseline()).run(budget);
-    println!("gcc on four machines (speedup vs full-size machine without integration):\n");
-    println!("{:>8}  {:>12}  {:>12}", "machine", "no integ", "integration");
-
-    for (name, core) in [
+    let cores = [
         ("base", CoreConfig::default()),
         ("RS", CoreConfig::rs20()),
         ("IW", CoreConfig::iw3()),
         ("IW+RS", CoreConfig::iw3_rs20()),
-    ] {
-        let none = Simulator::new(&program, SimConfig::baseline().with_core(core)).run(budget);
-        let with = Simulator::new(&program, SimConfig::default().with_core(core)).run(budget);
-        let pct = |r: &RunResult| (r.ipc() / reference.ipc() - 1.0) * 100.0;
-        println!("{name:>8}  {:>11.1}%  {:>11.1}%", pct(&none), pct(&with));
+    ];
+
+    let mut cfgs: Vec<(String, SimConfig)> = vec![("reference".into(), SimConfig::baseline())];
+    for (name, core) in cores {
+        cfgs.push((name.to_string(), SimConfig::baseline().with_core(core)));
+        cfgs.push((format!("{name}+i"), SimConfig::default().with_core(core)));
+    }
+    let trials = Sweep::new()
+        .benchmarks([bench])
+        .configs(cfgs)
+        .instructions(100_000)
+        .threads(4)
+        .run();
+
+    let reference = &trials[0].result;
+    println!("gcc on four machines (speedup vs full-size machine without integration):\n");
+    println!("{:>8}  {:>12}  {:>12}", "machine", "no integ", "integration");
+    let pct = |r: &RunResult| (r.ipc() / reference.ipc() - 1.0) * 100.0;
+    for (i, (name, _)) in cores.iter().enumerate() {
+        let none = &trials[1 + 2 * i].result;
+        let with = &trials[2 + 2 * i].result;
+        println!("{name:>8}  {:>11.1}%  {:>11.1}%", pct(none), pct(with));
     }
 
     println!(

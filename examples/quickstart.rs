@@ -1,5 +1,6 @@
 //! Quickstart: run one benchmark on the baseline machine and on the full
-//! register-integration machine, and compare.
+//! register-integration machine — as one [`Sweep`] over a 1×2 grid with
+//! an explicit warm-up — and compare.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -12,19 +13,24 @@ fn main() {
     // extensions target (save/restore traffic, repeated helper calls).
     let bench = by_name("vortex").expect("vortex is a known benchmark");
     println!("workload: {} — {}", bench.name, bench.notes);
-    let program = bench.build(7);
-    println!("static instructions: {}\n", program.len());
+    println!("static instructions: {}\n", bench.build(7).len());
 
-    let budget = 100_000;
-
-    // Baseline: conventional pointer-based renaming, no integration.
-    let base = Simulator::new(&program, SimConfig::baseline()).run(budget);
-
-    // The paper's headline configuration: general reuse + opcode/call-
-    // depth indexing + reverse integration, 1K-entry 4-way IT, LISP.
-    let full = Simulator::new(&program, SimConfig::default()).run(budget);
+    // Warm the caches and predictors for 20k instructions, then measure
+    // 100k hot — the session API (`run_until` + `reset_stats`) under the
+    // hood. The two configs run on two worker threads.
+    let trials = Sweep::new()
+        .benchmarks([bench])
+        .config("baseline", SimConfig::baseline())
+        .config("integration", SimConfig::default()) // +general +opcode +reverse
+        .instructions(100_000)
+        .warmup(20_000)
+        .threads(2)
+        .run();
+    let base = &trials[0].result;
+    let full = &trials[1].result;
 
     let s = &full.stats;
+    println!("warm-up                : 20000 instructions (discarded)");
     println!("baseline IPC           : {:.3}", base.ipc());
     println!("integration IPC        : {:.3}", full.ipc());
     println!(

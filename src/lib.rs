@@ -17,27 +17,65 @@
 //! * [`mem`] — the cache/TLB/bus memory hierarchy,
 //! * [`frontend`] — branch prediction and fetch,
 //! * [`integration`] — the integration table, reference-count vector, LISP,
-//! * [`sim`] — the out-of-order pipeline with DIVA verification,
-//! * [`workloads`] — synthetic SPEC2000int-like benchmark programs.
+//! * [`sim`] — the out-of-order pipeline with DIVA verification, driven
+//!   through resumable sessions (`step` / `run_until` / `reset_stats`),
+//! * [`workloads`] — synthetic SPEC2000int-like benchmark programs,
+//! * [`bench`] — the experiment layer: the thread-parallel [`Sweep`]
+//!   grid runner and the figure binaries' shared [`Harness`].
+//!
+//! [`Sweep`]: bench::Sweep
+//! [`Harness`]: bench::Harness
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use rix::prelude::*;
 //!
-//! // A stack-heavy workload and two machines: baseline and full integration.
-//! let program = rix::workloads::by_name("vortex").expect("known workload").build(7);
-//! let base = SimConfig::baseline();
-//! let full = SimConfig::default(); // +general +opcode +reverse
+//! // A stack-heavy workload and two machines: baseline and full
+//! // integration (+general +opcode +reverse). Lookup ignores case.
+//! let program = by_name("VORTEX").expect("known workload").build(7);
 //!
-//! // 40k retired instructions: below ~30k, cold-cache warm-up still
-//! // dominates IPC and the speedup comparison is not yet meaningful.
-//! let r0 = Simulator::new(&program, base).run(40_000);
-//! let r1 = Simulator::new(&program, full).run(40_000);
+//! // Resumable sessions make warm-up explicit: run 30k instructions to
+//! // fill the caches and predictors, zero the counters while keeping
+//! // the machine state, then measure 20k instructions hot.
+//! let measure = |cfg: SimConfig| {
+//!     let mut sim = Simulator::new(&program, cfg);
+//!     sim.run_until(&StopWhen::RetiredAtLeast(30_000));
+//!     sim.reset_stats();
+//!     sim.run_until(&StopWhen::RetiredAtLeast(20_000));
+//!     sim.into_result()
+//! };
+//! let r0 = measure(SimConfig::baseline());
+//! let r1 = measure(SimConfig::default());
 //! assert!(r1.stats.integration.rate() > 0.05, "integration fires");
 //! assert!(r1.ipc() > r0.ipc(), "integration speeds the machine up");
 //! ```
+//!
+//! The same comparison over a (benchmark × config) grid is a [`Sweep`]
+//! (`.threads(n)` fans it out over a worker pool; trial order does not
+//! depend on the thread count):
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! let trials = Sweep::new()
+//!     .benchmarks([by_name("vortex").unwrap()])
+//!     .config("base", SimConfig::baseline())
+//!     .config("integration", SimConfig::default())
+//!     .instructions(20_000)
+//!     .warmup(30_000)
+//!     .threads(2)
+//!     .run();
+//! assert!(trials[1].result.ipc() > trials[0].result.ipc());
+//! ```
+//!
+//! **Migrating from the pre-session API:** `Simulator::run(n)` still
+//! works (it is now a wrapper over `run_until` with a retired-count /
+//! cycle-safety stop condition), but hand-rolled loops over benchmarks
+//! and configs are better expressed as a `Sweep`, which adds warm-up
+//! and threading for free.
 
+pub use rix_bench as bench;
 pub use rix_frontend as frontend;
 pub use rix_integration as integration;
 pub use rix_isa as isa;
@@ -47,8 +85,9 @@ pub use rix_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and tests.
 pub mod prelude {
+    pub use rix_bench::{trials_json, Harness, Sweep, Trial};
     pub use rix_integration::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
     pub use rix_isa::{reg, Asm, Instr, Opcode, Program};
-    pub use rix_sim::{RunResult, SimConfig, Simulator};
-    pub use rix_workloads::{all_benchmarks, by_name, Benchmark};
+    pub use rix_sim::{RunResult, SimConfig, Simulator, StopReason, StopWhen};
+    pub use rix_workloads::{all_benchmarks, by_name, lookup, Benchmark};
 }

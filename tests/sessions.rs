@@ -1,0 +1,115 @@
+//! The resumable-session execution API: determinism of `run` vs an
+//! interleaved `step`/`run_until` session, and warm-up semantics of
+//! `reset_stats`.
+
+use rix::prelude::*;
+
+/// `run(n)` and an interleaved `step()`/`run_until` session over the
+/// same program and config must produce byte-identical statistics: the
+/// session API is a pure refactoring of the run loop, not a different
+/// machine.
+#[test]
+fn run_and_session_are_byte_identical() {
+    let program = by_name("gcc").expect("known benchmark").build(7);
+    let target = 20_000;
+    let one_shot = Simulator::new(&program, SimConfig::default()).run(target);
+
+    let mut sim = Simulator::new(&program, SimConfig::default());
+    // Interleave: manual single-stepping, a partial run_until, then the
+    // same stop condition `run(n)` uses internally.
+    for _ in 0..257 {
+        sim.step();
+    }
+    let reason = sim.run_until(&StopWhen::RetiredAtLeast(5_000));
+    assert_eq!(reason, StopReason::RetiredAtLeast(5_000));
+    let session = sim.run_budget(target);
+
+    assert_eq!(one_shot.stats, session.stats);
+    assert_eq!(one_shot.halted, session.halted);
+    assert!(!session.timed_out);
+}
+
+/// `reset_stats` zeroes every counter (including the memory-hierarchy
+/// deltas) but preserves machine state: after warming up, the measured
+/// IPC on a cache-heavy workload is at least the cold-start IPC.
+#[test]
+fn reset_stats_warms_up_without_losing_machine_state() {
+    // mcf: the paper's cache-miss-bound pointer chaser.
+    let program = by_name("mcf").expect("known benchmark").build(7);
+    let measure = 20_000;
+    let cold = Simulator::new(&program, SimConfig::default()).run(measure);
+    assert!(cold.stats.mem.l1d.misses > 0, "mcf misses in the cold run");
+
+    let mut sim = Simulator::new(&program, SimConfig::default());
+    sim.run_until(&StopWhen::RetiredAtLeast(20_000));
+    let warmup_cycles = sim.cycle();
+    sim.reset_stats();
+    // Counters are zeroed...
+    assert_eq!(sim.stats().retired, 0);
+    assert_eq!(sim.stats().cycles, 0);
+    assert_eq!(sim.stats().mem.l1d.misses, 0);
+    // ...but machine state is preserved: absolute time keeps counting.
+    assert_eq!(sim.cycle(), warmup_cycles);
+
+    let reason = sim.run_until(&StopWhen::RetiredAtLeast(measure));
+    assert_eq!(reason, StopReason::RetiredAtLeast(measure));
+    let warm = sim.result();
+    assert!(warm.stats.retired >= measure);
+    assert_eq!(
+        warm.stats.cycles,
+        sim.cycle() - warmup_cycles,
+        "measured cycles count from the reset, not from construction"
+    );
+    assert!(
+        warm.ipc() >= cold.ipc(),
+        "warm IPC {:.4} should be at least cold IPC {:.4}",
+        warm.ipc(),
+        cold.ipc()
+    );
+    assert!(
+        warm.stats.mem.l1i.misses < cold.stats.mem.l1i.misses,
+        "the I-cache is warm after warm-up ({} vs {})",
+        warm.stats.mem.l1i.misses,
+        cold.stats.mem.l1i.misses
+    );
+}
+
+/// The combined stop conditions report which leaf fired, and a cycle
+/// budget interrupts a session that a retired-count target would not.
+#[test]
+fn stop_conditions_compose() {
+    let program = by_name("gzip").expect("known benchmark").build(7);
+    let mut sim = Simulator::new(&program, SimConfig::baseline());
+    let reason = sim.run_until(
+        &StopWhen::RetiredAtLeast(u64::MAX).or(StopWhen::CyclesAtLeast(1_000)),
+    );
+    assert_eq!(reason, StopReason::CyclesAtLeast(1_000));
+    assert!(sim.stats().cycles >= 1_000);
+
+    // Resuming the same session with an `All` condition keeps going
+    // until both thresholds hold.
+    let reason = sim.run_until(
+        &StopWhen::RetiredAtLeast(2_000).and(StopWhen::CyclesAtLeast(2_000)),
+    );
+    assert!(matches!(
+        reason,
+        StopReason::RetiredAtLeast(2_000) | StopReason::CyclesAtLeast(2_000)
+    ));
+    assert!(sim.stats().retired >= 2_000 && sim.stats().cycles >= 2_000);
+}
+
+/// `RunResult::to_json` emits well-formed JSON with the headline
+/// counters of a real run.
+#[test]
+fn run_result_serialises_to_json() {
+    let program = by_name("bzip2").expect("known benchmark").build(7);
+    let r = Simulator::new(&program, SimConfig::default()).run(5_000);
+    let j = r.to_json();
+    assert!(j.starts_with('{') && j.ends_with('}'));
+    assert_eq!(j.matches('{').count(), j.matches('}').count());
+    assert_eq!(j.matches('[').count(), j.matches(']').count());
+    for key in ["\"halted\":", "\"ipc\":", "\"retired\":", "\"integration\":", "\"l1d\":"] {
+        assert!(j.contains(key), "missing {key} in {j}");
+    }
+    assert!(!j.contains("NaN") && !j.contains("inf"));
+}
