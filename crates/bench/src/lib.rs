@@ -8,6 +8,7 @@
 //! | `fig5` | Figure 5 — integration-stream breakdowns: Type, Distance, Status, Refcount |
 //! | `fig6` | Figure 6 — IT associativity (1/2/4/full) and size (64/256/1K/4K) sweeps |
 //! | `fig7` | Figure 7 — reduced-complexity execution engines (base / RS / IW / IW+RS) with and without integration |
+//! | `perf` | Simulator-throughput harness — simulated KIPS per workload under the base and integration configs, written as a `BENCH_*.json` perf record (`--baseline` chains records into a trajectory) |
 //!
 //! Shared flags: `--instructions N` (retired instructions per run,
 //! default 100 000), `--seed S`, `--bench NAME` (filter to one
@@ -181,9 +182,26 @@ pub struct Trial {
     pub config_label: String,
     /// The simulation outcome.
     pub result: RunResult,
+    /// Wall-clock time this cell's simulation took (construction, warm-up
+    /// and measurement; excludes program generation, which is shared
+    /// across a grid row). Deliberately excluded from [`Trial::to_json`]
+    /// so the `--json` figure output stays deterministic.
+    pub wall: std::time::Duration,
 }
 
 impl Trial {
+    /// Simulated KIPS: thousands of retired instructions per wall-clock
+    /// second of host time for this cell.
+    #[must_use]
+    pub fn kips(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.result.stats.retired as f64 / 1_000.0 / secs
+        }
+    }
+
     /// JSON object for this trial record.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -343,6 +361,7 @@ impl Sweep {
             let bench = self.benchmarks[i / ncfg];
             let (label, cfg) = &self.configs[i % ncfg];
             let program = &programs[i / ncfg];
+            let start = std::time::Instant::now();
             let result = if self.warmup == 0 {
                 // The exact one-shot path, so a warm-up-free sweep is
                 // byte-identical to the historical serial loops.
@@ -355,7 +374,8 @@ impl Sweep {
                 sim.reset_stats();
                 sim.run_budget(self.instructions)
             };
-            Trial { bench: bench.name, config_label: label.clone(), result }
+            let wall = start.elapsed();
+            Trial { bench: bench.name, config_label: label.clone(), result, wall }
         };
         let threads = self.threads.max(1).min(total);
         if threads == 1 {

@@ -46,7 +46,13 @@ impl Btb {
     }
 
     fn set_of(&self, pc: InstAddr) -> usize {
-        (pc % self.num_sets) as usize
+        // Power-of-two set counts (all realistic geometries) index with
+        // a mask instead of a hardware divide.
+        if self.num_sets.is_power_of_two() {
+            (pc & (self.num_sets - 1)) as usize
+        } else {
+            (pc % self.num_sets) as usize
+        }
     }
 
     /// Looks up the predicted target for the branch at `pc`.

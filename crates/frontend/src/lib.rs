@@ -109,7 +109,24 @@ impl FrontEnd {
             ras_top: self.ras.top(),
         };
         let call_depth = self.ras.depth();
-        let (next_pc, taken) = match instr.op.exec_class() {
+        let class = instr.op.exec_class();
+        if !matches!(
+            class,
+            rix_isa::ExecClass::CondBranch
+                | rix_isa::ExecClass::DirectJump
+                | rix_isa::ExecClass::IndirectJump
+        ) {
+            // Non-control fall-through: no predictor state changes, so
+            // the post-checkpoint equals the pre-checkpoint.
+            return Prediction {
+                next_pc: pc + 1,
+                taken: false,
+                call_depth,
+                checkpoint,
+                post_checkpoint: checkpoint,
+            };
+        }
+        let (next_pc, taken) = match class {
             rix_isa::ExecClass::CondBranch => {
                 self.cond_predictions += 1;
                 let taken = self.predictor.predict_and_update(pc);

@@ -102,11 +102,26 @@ pub struct ItEntry {
     pub creator_seq: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Slot {
-    entry: ItEntry,
-    valid: bool,
-    lru: u64,
+/// Hot compare half of a slot: the packed opcode-indexing tag (exactly
+/// the fields [`It::tag_matches`] checks under
+/// [`IndexScheme::OpcodeDepth`]) and the packed inputs. An invalid slot
+/// carries `INVALID_TAG` (real tags fit in 48 bits).
+type SlotTag = (u64, u64);
+
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Packs `op`/`has_imm`/`imm` into the one-compare opcode-indexing tag.
+fn pack_od_tag(op: Opcode, has_imm: bool, imm: i32) -> u64 {
+    u64::from(op.code()) | (u64::from(has_imm) << 8) | (u64::from(imm as u32) << 16)
+}
+
+/// Packs the two optional inputs injectively (pregs are far below the
+/// `None` encoding).
+fn pack_inputs(in1: Option<PregRef>, in2: Option<PregRef>) -> u64 {
+    let enc = |r: Option<PregRef>| -> u64 {
+        r.map_or(u64::from(u32::MAX), |r| u64::from(r.preg) | (u64::from(r.gen) << 16))
+    };
+    enc(in1) | (enc(in2) << 32)
 }
 
 /// Statistics for the integration table itself.
@@ -139,7 +154,15 @@ pub struct ItStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct It {
-    sets: Vec<Vec<Slot>>,
+    /// Hot halves (tag, inputs), strided: set `s` occupies
+    /// `tags[s * ways .. (s + 1) * ways]` — one cache line per 4-way
+    /// set, so the common lookup never touches the cold entries.
+    tags: Vec<SlotTag>,
+    /// LRU stamps, parallel to `tags`.
+    lrus: Vec<u64>,
+    /// Cold entry payloads, parallel to `tags`.
+    entries: Vec<ItEntry>,
+    ways: usize,
     num_sets: usize,
     scheme: IndexScheme,
     stamp: u64,
@@ -159,24 +182,23 @@ impl It {
         assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways), "bad IT geometry");
         let num_sets = entries / ways;
         assert!(num_sets.is_power_of_two(), "IT set count must be a power of two");
-        let empty = Slot {
-            entry: ItEntry {
-                pc: 0,
-                op: Opcode::Nop,
-                has_imm: false,
-                imm: 0,
-                call_depth: 0,
-                in1: None,
-                in2: None,
-                out: ItOutput::Branch(false),
-                reverse: false,
-                creator_seq: 0,
-            },
-            valid: false,
-            lru: 0,
+        let empty = ItEntry {
+            pc: 0,
+            op: Opcode::Nop,
+            has_imm: false,
+            imm: 0,
+            call_depth: 0,
+            in1: None,
+            in2: None,
+            out: ItOutput::Branch(false),
+            reverse: false,
+            creator_seq: 0,
         };
         Self {
-            sets: vec![vec![empty; ways]; num_sets],
+            tags: vec![(INVALID_TAG, 0); num_sets * ways],
+            lrus: vec![0; num_sets * ways],
+            entries: vec![empty; num_sets * ways],
+            ways,
             num_sets,
             scheme,
             stamp: 0,
@@ -246,15 +268,33 @@ impl It {
         self.stamp += 1;
         let stamp = self.stamp;
         let scheme = self.scheme;
-        for slot in &mut self.sets[set] {
-            if slot.valid
-                && Self::tag_matches(scheme, &slot.entry, &key)
-                && slot.entry.in1 == key.in1
-                && slot.entry.in2 == key.in2
-            {
-                slot.lru = stamp;
-                self.stats.hits += 1;
-                return Some(slot.entry);
+        let w = self.ways;
+        let kin = pack_inputs(key.in1, key.in2);
+        match scheme {
+            // Opcode indexing: the whole tag + input test is two
+            // u64 compares against the packed hot halves.
+            IndexScheme::OpcodeDepth => {
+                let kt = pack_od_tag(key.op, key.has_imm, key.imm);
+                for wi in set * w..(set + 1) * w {
+                    let t = self.tags[wi];
+                    if t.0 == kt && t.1 == kin {
+                        self.lrus[wi] = stamp;
+                        self.stats.hits += 1;
+                        return Some(self.entries[wi]);
+                    }
+                }
+            }
+            IndexScheme::Pc => {
+                for wi in set * w..(set + 1) * w {
+                    if self.tags[wi].0 != INVALID_TAG
+                        && Self::tag_matches(scheme, &self.entries[wi], &key)
+                        && self.tags[wi].1 == kin
+                    {
+                        self.lrus[wi] = stamp;
+                        self.stats.hits += 1;
+                        return Some(self.entries[wi]);
+                    }
+                }
             }
         }
         self.stats.misses += 1;
@@ -267,7 +307,7 @@ impl It {
         let stamp = self.stamp;
         self.stats.inserts += 1;
         let scheme = self.scheme;
-        let slots = &mut self.sets[set];
+        let w = self.ways;
         // Overwrite an entry for the same static operation and inputs
         // rather than duplicating it.
         let dup_key = ItKey {
@@ -279,25 +319,36 @@ impl It {
             in1: entry.in1,
             in2: entry.in2,
         };
-        if let Some(slot) = slots.iter_mut().find(|s| {
-            s.valid
-                && s.entry.reverse == entry.reverse
-                && Self::tag_matches(scheme, &s.entry, &dup_key)
-                && s.entry.in1 == entry.in1
-                && s.entry.in2 == entry.in2
-        }) {
-            slot.entry = entry;
-            slot.lru = stamp;
-            return;
+        let od_tag = pack_od_tag(entry.op, entry.has_imm, entry.imm);
+        let inputs = pack_inputs(entry.in1, entry.in2);
+        let mut victim = set * w;
+        let mut victim_lru = u64::MAX;
+        for wi in set * w..(set + 1) * w {
+            let t = self.tags[wi];
+            if t.0 != INVALID_TAG
+                && t.1 == inputs
+                && self.entries[wi].reverse == entry.reverse
+                && match scheme {
+                    IndexScheme::OpcodeDepth => t.0 == od_tag,
+                    IndexScheme::Pc => Self::tag_matches(scheme, &self.entries[wi], &dup_key),
+                }
+            {
+                self.entries[wi] = entry;
+                self.lrus[wi] = stamp;
+                return;
+            }
+            let key_lru = if t.0 != INVALID_TAG { self.lrus[wi] } else { 0 };
+            if key_lru < victim_lru {
+                victim_lru = key_lru;
+                victim = wi;
+            }
         }
-        let victim = slots
-            .iter_mut()
-            .min_by_key(|s| if s.valid { s.lru } else { 0 })
-            .expect("IT set non-empty");
-        if victim.valid {
+        if self.tags[victim].0 != INVALID_TAG {
             self.stats.evictions += 1;
         }
-        *victim = Slot { entry, valid: true, lru: stamp };
+        self.tags[victim] = (od_tag, inputs);
+        self.lrus[victim] = stamp;
+        self.entries[victim] = entry;
     }
 
     /// Creates a direct entry for a value-producing instruction that
@@ -407,14 +458,15 @@ impl It {
     pub fn invalidate(&mut self, key: ItKey, out: ItOutput) {
         let set = self.key_index(&key);
         let scheme = self.scheme;
-        for slot in &mut self.sets[set] {
-            if slot.valid
-                && Self::tag_matches(scheme, &slot.entry, &key)
-                && slot.entry.in1 == key.in1
-                && slot.entry.in2 == key.in2
-                && slot.entry.out == out
+        let w = self.ways;
+        let kin = pack_inputs(key.in1, key.in2);
+        for wi in set * w..(set + 1) * w {
+            if self.tags[wi].0 != INVALID_TAG
+                && Self::tag_matches(scheme, &self.entries[wi], &key)
+                && self.tags[wi].1 == kin
+                && self.entries[wi].out == out
             {
-                slot.valid = false;
+                self.tags[wi].0 = INVALID_TAG;
                 self.stats.invalidations += 1;
             }
         }
@@ -423,7 +475,7 @@ impl It {
     /// Number of valid entries (diagnostics).
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|s| s.valid).count()
+        self.tags.iter().filter(|t| t.0 != INVALID_TAG).count()
     }
 }
 

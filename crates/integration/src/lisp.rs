@@ -50,7 +50,13 @@ impl Lisp {
     }
 
     fn set_of(&self, pc: InstAddr) -> usize {
-        (pc % self.num_sets) as usize
+        // Power-of-two set counts (all realistic geometries) index with
+        // a mask instead of a hardware divide.
+        if self.num_sets.is_power_of_two() {
+            (pc & (self.num_sets - 1)) as usize
+        } else {
+            (pc % self.num_sets) as usize
+        }
     }
 
     /// Whether the load at `pc` should be suppressed from integrating.

@@ -133,17 +133,22 @@ impl RefVector {
     /// bumping its generation. Returns `None` when no register is free.
     pub fn alloc(&mut self) -> Option<PregRef> {
         let n = self.regs.len();
-        for off in 0..n {
-            let idx = (self.alloc_ptr + off) % n;
+        let mut idx = self.alloc_ptr;
+        for _ in 0..n {
+            // Manual wrap instead of a hardware divide per probe.
+            if idx >= n {
+                idx -= n;
+            }
             let r = &mut self.regs[idx];
             if r.count == 0 && !r.pinned {
                 r.gen = (r.gen + 1) & self.gen_mask;
                 r.count = 1;
                 r.written = false;
                 r.kind = ZeroKind::Garbage;
-                self.alloc_ptr = (idx + 1) % n;
+                self.alloc_ptr = if idx + 1 >= n { 0 } else { idx + 1 };
                 return Some(PregRef::new(idx as u16, r.gen));
             }
+            idx += 1;
         }
         None
     }

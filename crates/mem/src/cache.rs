@@ -97,7 +97,22 @@ pub struct Victim {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one strided allocation: set `s` occupies
+    /// `lines[s * ways .. (s + 1) * ways]` (one contiguous cache-line-
+    /// friendly block per set, no per-set `Vec` indirection).
+    lines: Vec<Line>,
+    /// `cfg.num_sets()`, cached so the per-access index math does not
+    /// re-derive it with a hardware divide.
+    num_sets: u64,
+    /// `log2(cfg.line_bytes)` (line size is asserted a power of two).
+    line_shift: u32,
+    /// Line number of the last lookup hit (`u64::MAX` = none) and the
+    /// flat index of its way. A consecutive repeat hit skips the set
+    /// scan *and* the LRU stamp: the line already holds the
+    /// most-recent stamp, so its relative LRU order cannot change.
+    /// Invalidated on every fill (a fill can evict this very line).
+    last_line: u64,
+    last_way: usize,
     stamp: u64,
     stats: CacheStats,
 }
@@ -120,10 +135,20 @@ impl Cache {
         let sets = cfg.num_sets() as usize;
         Self {
             cfg,
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            lines: vec![Line::default(); sets * cfg.ways],
+            num_sets: cfg.num_sets(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            last_line: u64::MAX,
+            last_way: 0,
             stamp: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The ways of one set, as a contiguous slice.
+    #[inline]
+    fn set_ways(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.cfg.ways..(set + 1) * self.cfg.ways]
     }
 
     /// The cache geometry.
@@ -138,23 +163,38 @@ impl Cache {
         self.stats
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let set = (line % self.cfg.num_sets()) as usize;
-        let tag = line / self.cfg.num_sets();
-        (set, tag)
+        let line = addr >> self.line_shift;
+        // Power-of-two set counts (all realistic geometries) split the
+        // line number with mask/shift instead of hardware divides.
+        if self.num_sets.is_power_of_two() {
+            let shift = self.num_sets.trailing_zeros();
+            ((line & (self.num_sets - 1)) as usize, line >> shift)
+        } else {
+            ((line % self.num_sets) as usize, line / self.num_sets)
+        }
     }
 
     /// Looks up `addr`; on a hit updates LRU (and the dirty bit when
     /// `write` is true) and returns `true`.
     pub fn lookup(&mut self, addr: u64, write: bool) -> bool {
+        if addr >> self.line_shift == self.last_line {
+            self.lines[self.last_way].dirty |= write;
+            self.stats.hits += 1;
+            return true;
+        }
         let (set, tag) = self.set_and_tag(addr);
         self.stamp += 1;
-        for line in &mut self.sets[set] {
+        let stamp = self.stamp;
+        let w = self.cfg.ways;
+        for (wi, line) in self.lines[set * w..(set + 1) * w].iter_mut().enumerate() {
             if line.valid && line.tag == tag {
-                line.lru = self.stamp;
+                line.lru = stamp;
                 line.dirty |= write;
                 self.stats.hits += 1;
+                self.last_line = addr >> self.line_shift;
+                self.last_way = set * w + wi;
                 return true;
             }
         }
@@ -166,7 +206,7 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set_ways(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Installs the line containing `addr`, evicting the LRU way.
@@ -175,12 +215,15 @@ impl Cache {
     /// next level. Filling a line that is already present only refreshes
     /// its LRU position.
     pub fn fill(&mut self, addr: u64) -> Option<Victim> {
+        // The fill may evict the memoized last-hit line.
+        self.last_line = u64::MAX;
         let (set, tag) = self.set_and_tag(addr);
         self.stamp += 1;
         let stamp = self.stamp;
-        let num_sets = self.cfg.num_sets();
+        let num_sets = self.num_sets;
         let line_bytes = self.cfg.line_bytes;
-        let set_lines = &mut self.sets[set];
+        let w = self.cfg.ways;
+        let set_lines = &mut self.lines[set * w..(set + 1) * w];
         if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = stamp;
             return None;
@@ -204,7 +247,8 @@ impl Cache {
     /// write-buffer drain hits).
     pub fn mark_dirty(&mut self, addr: u64) {
         let (set, tag) = self.set_and_tag(addr);
-        for line in &mut self.sets[set] {
+        let w = self.cfg.ways;
+        for line in &mut self.lines[set * w..(set + 1) * w] {
             if line.valid && line.tag == tag {
                 line.dirty = true;
             }

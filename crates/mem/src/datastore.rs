@@ -8,12 +8,22 @@
 
 use rix_isa::semantics;
 use rix_isa::Opcode;
-use std::collections::HashMap;
+use std::cell::Cell;
 
 const WORDS_PER_PAGE: usize = 512; // 4 KB pages
 const PAGE_SHIFT: u32 = 12;
 
+/// Fibonacci multiplicative hash constant (2^64 / φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Sparse word-addressable memory. Uninitialised words read as zero.
+///
+/// This sits on the simulator's hottest data path — every executed
+/// load, every DIVA re-execution and every retired store touches it —
+/// so instead of a `HashMap` (SipHash per access) pages live in a dense
+/// vector behind an open-addressed, linearly-probed index, fronted by a
+/// one-entry MRU cache that short-circuits the page-locality common
+/// case to a single compare.
 ///
 /// ```
 /// use rix_mem::DataStore;
@@ -22,9 +32,29 @@ const PAGE_SHIFT: u32 = 12;
 /// assert_eq!(m.read_word(0x1000), 42);
 /// assert_eq!(m.read_word(0x2000), 0);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DataStore {
-    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    /// Dense page storage; `keys[i]` is the page number of `pages[i]`.
+    pages: Vec<Box<[u64; WORDS_PER_PAGE]>>,
+    keys: Vec<u64>,
+    /// Open-addressed page table: slot → dense index + 1, 0 = empty.
+    /// Length is a power of two, load factor kept below ~0.7.
+    index: Vec<u32>,
+    /// Last page touched, as (page number, dense index); the page
+    /// number is `u64::MAX` (unreachable: pages are `addr >> 12`) when
+    /// nothing is cached. A `Cell` so reads stay `&self`.
+    mru: Cell<(u64, u32)>,
+}
+
+impl Default for DataStore {
+    fn default() -> Self {
+        Self {
+            pages: Vec::new(),
+            keys: Vec::new(),
+            index: vec![0; 64],
+            mru: Cell::new((u64::MAX, 0)),
+        }
+    }
 }
 
 impl DataStore {
@@ -34,19 +64,91 @@ impl DataStore {
         Self::default()
     }
 
+    /// First probe slot for `page`.
+    #[inline]
+    fn home_slot(&self, page: u64) -> usize {
+        ((page.wrapping_mul(HASH_MUL) >> 32) as usize) & (self.index.len() - 1)
+    }
+
+    /// Dense index of `page`, if resident.
+    #[inline]
+    fn find(&self, page: u64) -> Option<u32> {
+        let mask = self.index.len() - 1;
+        let mut slot = self.home_slot(page);
+        loop {
+            match self.index[slot] {
+                0 => return None,
+                e => {
+                    let di = e - 1;
+                    if self.keys[di as usize] == page {
+                        return Some(di);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Allocates a fresh zero page for `page`, growing the index table
+    /// when its load factor would exceed ~0.7.
+    fn insert_page(&mut self, page: u64) -> u32 {
+        if (self.pages.len() + 1) * 10 > self.index.len() * 7 {
+            let mut grown = vec![0u32; self.index.len() * 2];
+            let mask = grown.len() - 1;
+            for (di, &key) in self.keys.iter().enumerate() {
+                let mut slot = ((key.wrapping_mul(HASH_MUL) >> 32) as usize) & mask;
+                while grown[slot] != 0 {
+                    slot = (slot + 1) & mask;
+                }
+                grown[slot] = di as u32 + 1;
+            }
+            self.index = grown;
+        }
+        let di = self.pages.len() as u32;
+        self.pages.push(Box::new([0; WORDS_PER_PAGE]));
+        self.keys.push(page);
+        let mask = self.index.len() - 1;
+        let mut slot = self.home_slot(page);
+        while self.index[slot] != 0 {
+            slot = (slot + 1) & mask;
+        }
+        self.index[slot] = di + 1;
+        di
+    }
+
     /// Reads the naturally-aligned 64-bit word containing `addr`.
     #[must_use]
+    #[inline]
     pub fn read_word(&self, addr: u64) -> u64 {
         let page = addr >> PAGE_SHIFT;
         let idx = ((addr >> 3) as usize) & (WORDS_PER_PAGE - 1);
-        self.pages.get(&page).map_or(0, |p| p[idx])
+        let (mru_page, mru_di) = self.mru.get();
+        if mru_page == page {
+            return self.pages[mru_di as usize][idx];
+        }
+        match self.find(page) {
+            Some(di) => {
+                self.mru.set((page, di));
+                self.pages[di as usize][idx]
+            }
+            None => 0,
+        }
     }
 
     /// Writes the naturally-aligned 64-bit word containing `addr`.
+    #[inline]
     pub fn write_word(&mut self, addr: u64, value: u64) {
         let page = addr >> PAGE_SHIFT;
         let idx = ((addr >> 3) as usize) & (WORDS_PER_PAGE - 1);
-        self.pages.entry(page).or_insert_with(|| Box::new([0; WORDS_PER_PAGE]))[idx] = value;
+        let (mru_page, mru_di) = self.mru.get();
+        let di = if mru_page == page {
+            mru_di
+        } else {
+            let di = self.find(page).unwrap_or_else(|| self.insert_page(page));
+            self.mru.set((page, di));
+            di
+        };
+        self.pages[di as usize][idx] = value;
     }
 
     /// Performs a load with the given opcode's width/extension semantics.
@@ -109,6 +211,31 @@ mod tests {
         assert_eq!(m.load(Opcode::Ldl, 0x104), u64::MAX); // sign-extended
         // Low half 0xcafe_f00d has its sign bit set → extends to all-ones.
         assert_eq!(m.load(Opcode::Ldl, 0x100), 0xffff_ffff_cafe_f00d);
+    }
+
+    #[test]
+    fn many_pages_survive_index_growth() {
+        // Enough pages to force several open-addressed table doublings,
+        // with strided page numbers to exercise probe collisions.
+        let mut m = DataStore::new();
+        for i in 0..500u64 {
+            m.write_word(i * 0x1000 * 64, i + 1);
+        }
+        assert_eq!(m.resident_pages(), 500);
+        for i in 0..500u64 {
+            assert_eq!(m.read_word(i * 0x1000 * 64), i + 1, "page {i}");
+            assert_eq!(m.read_word(i * 0x1000 * 64 + 8), 0);
+        }
+    }
+
+    #[test]
+    fn mru_tracks_clone_independently() {
+        let mut a = DataStore::new();
+        a.write_word(0x1000, 7);
+        let mut b = a.clone();
+        b.write_word(0x1000, 8);
+        assert_eq!(a.read_word(0x1000), 7);
+        assert_eq!(b.read_word(0x1000), 8);
     }
 
     #[test]

@@ -20,12 +20,20 @@ struct Entry {
 /// A set-associative TLB with true-LRU replacement.
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<Entry>>,
+    /// All entries in one strided allocation: set `s` occupies
+    /// `entries[s * ways .. (s + 1) * ways]`.
+    entries: Vec<Entry>,
+    ways: usize,
     num_sets: u64,
     miss_latency: Cycle,
     stamp: u64,
     hits: u64,
     misses: u64,
+    /// Last page translated (`u64::MAX` = none). A consecutive repeat
+    /// hit can skip the set scan *and* the LRU stamp: the entry already
+    /// holds the most-recent stamp, so its relative LRU order — the
+    /// only thing stamps are compared for — cannot change.
+    last_vpn: u64,
 }
 
 impl Tlb {
@@ -39,12 +47,14 @@ impl Tlb {
         assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways), "bad TLB geometry");
         let num_sets = (entries / ways) as u64;
         Self {
-            sets: vec![vec![Entry::default(); ways]; num_sets as usize],
+            entries: vec![Entry::default(); entries],
+            ways,
             num_sets,
             miss_latency,
             stamp: 0,
             hits: 0,
             misses: 0,
+            last_vpn: u64::MAX,
         }
     }
 
@@ -64,16 +74,28 @@ impl Tlb {
     /// hardware-walk latency on a miss (the entry is filled).
     pub fn translate(&mut self, addr: u64) -> Cycle {
         let vpn = addr / PAGE_BYTES;
-        let set = (vpn % self.num_sets) as usize;
+        if vpn == self.last_vpn {
+            self.hits += 1;
+            return 0;
+        }
+        // Power-of-two set counts (all realistic geometries) index with
+        // a mask instead of a hardware divide.
+        let set = if self.num_sets.is_power_of_two() {
+            (vpn & (self.num_sets - 1)) as usize
+        } else {
+            (vpn % self.num_sets) as usize
+        };
         self.stamp += 1;
         let stamp = self.stamp;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        self.last_vpn = vpn;
+        let ways = &mut self.entries[set * self.ways..(set + 1) * self.ways];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
             e.lru = stamp;
             self.hits += 1;
             return 0;
         }
         self.misses += 1;
-        let victim = self.sets[set]
+        let victim = ways
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("TLB set non-empty");

@@ -44,9 +44,33 @@ impl SqEntry {
 }
 
 /// The in-flight store queue, in rename order.
+///
+/// Entries are kept sorted by sequence number (rename order), which the
+/// hot paths exploit: seq→entry lookups are binary searches, and the
+/// age-bounded scans (`spec_word`, `youngest_older_match`,
+/// `all_older_resolved`) first bound the "older than `seq`" prefix by
+/// binary search instead of comparing sequence numbers per element.
 #[derive(Clone, Debug, Default)]
 pub struct StoreQueue {
     entries: VecDeque<SqEntry>,
+    /// How many entries still have `data: None`; lets the per-cycle
+    /// [`StoreQueue::fill_data`] sweep exit immediately once every
+    /// in-flight store's value is known.
+    missing_data: usize,
+    /// Bumped on every content change (push/pop/squash, address or data
+    /// resolution); lets the scheduler cache load-stall verdicts that
+    /// depend only on queue contents.
+    gen: u64,
+    /// Bumped only on address resolution — the sole queue event that can
+    /// *revoke* a load's readiness (a resolved older store can become a
+    /// dataless forwarding match); lets ready verdicts cache harder.
+    addr_gen: u64,
+    /// Entries whose data is still unknown, as (seq, data preg, wake
+    /// cycle). The wake cycle is `u64::MAX` until the producer's ready
+    /// time is scheduled; after that the per-cycle check is a single
+    /// compare (ready times are immutable while the store is in
+    /// flight).
+    missing: Vec<(u64, PregRef, u64)>,
 }
 
 impl StoreQueue {
@@ -72,10 +96,33 @@ impl StoreQueue {
     pub fn push(&mut self, seq: u64, op: Opcode, data_preg: PregRef) {
         debug_assert!(self.entries.back().is_none_or(|e| e.seq < seq));
         self.entries.push_back(SqEntry { seq, op, addr: None, data_preg, data: None });
+        self.missing_data += 1;
+        self.missing.push((seq, data_preg, u64::MAX));
+        self.gen += 1;
+    }
+
+    /// Content-change generation (see the field docs).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Address-resolution generation (see the field docs).
+    #[must_use]
+    pub fn addr_generation(&self) -> u64 {
+        self.addr_gen
+    }
+
+    /// Index of the first entry not older than `seq` — the end of the
+    /// "older than `seq`" prefix.
+    #[inline]
+    fn older_end(&self, seq: u64) -> usize {
+        self.entries.partition_point(|e| e.seq < seq)
     }
 
     fn find_mut(&mut self, seq: u64) -> Option<&mut SqEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let idx = self.entries.binary_search_by_key(&seq, |e| e.seq).ok()?;
+        self.entries.get_mut(idx)
     }
 
     /// Records the resolved address of store `seq`.
@@ -83,13 +130,20 @@ impl StoreQueue {
         if let Some(e) = self.find_mut(seq) {
             e.addr = Some(addr);
         }
+        self.gen += 1;
+        self.addr_gen += 1;
     }
 
     /// Records the data value of store `seq`.
     pub fn set_data(&mut self, seq: u64, data: u64) {
-        if let Some(e) = self.find_mut(seq) {
-            e.data = Some(data);
+        let Ok(idx) = self.entries.binary_search_by_key(&seq, |e| e.seq) else { return };
+        let e = &mut self.entries[idx];
+        if e.data.is_none() {
+            self.missing_data -= 1;
+            self.missing.retain(|&(s, ..)| s != seq);
         }
+        e.data = Some(data);
+        self.gen += 1;
     }
 
     /// Pops the oldest store (must be `seq`) at retirement.
@@ -101,13 +155,26 @@ impl StoreQueue {
     pub fn pop_retire(&mut self, seq: u64) -> SqEntry {
         let head = self.entries.pop_front().expect("retiring store not in queue");
         assert_eq!(head.seq, seq, "stores retire in order");
+        if head.data.is_none() {
+            self.missing_data -= 1;
+            self.missing.retain(|&(s, ..)| s != seq);
+        }
+        self.gen += 1;
         head
     }
 
     /// Drops all stores younger than `after_seq` (squash).
     pub fn squash_younger(&mut self, after_seq: u64) {
+        let before = self.entries.len();
         while self.entries.back().is_some_and(|e| e.seq > after_seq) {
-            self.entries.pop_back();
+            let e = self.entries.pop_back().expect("checked non-empty");
+            if e.data.is_none() {
+                self.missing_data -= 1;
+            }
+            self.gen += 1;
+        }
+        if self.entries.len() != before {
+            self.missing.retain(|&(s, ..)| s <= after_seq);
         }
     }
 
@@ -115,22 +182,15 @@ impl StoreQueue {
     /// CHT-stall release condition).
     #[must_use]
     pub fn all_older_resolved(&self, seq: u64) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .all(|e| e.addr.is_some())
+        let end = self.older_end(seq);
+        self.entries.range(..end).all(|e| e.addr.is_some())
     }
 
     /// The youngest store older than `seq` writing the same word, if any.
     #[must_use]
     pub fn youngest_older_match(&self, seq: u64, word_addr: u64) -> Option<&SqEntry> {
-        let mut found = None;
-        for e in self.entries.iter().take_while(|e| e.seq < seq) {
-            if e.word_addr() == Some(word_addr) {
-                found = Some(e);
-            }
-        }
-        found
+        let end = self.older_end(seq);
+        self.entries.range(..end).rev().find(|e| e.word_addr() == Some(word_addr))
     }
 
     /// Builds the speculative memory word a load at `seq` observes:
@@ -144,7 +204,8 @@ impl StoreQueue {
     pub fn spec_word(&self, seq: u64, word_addr: u64, arch_word: u64) -> (u64, Option<u64>) {
         let mut word = arch_word;
         let mut newest = None;
-        for e in self.entries.iter().take_while(|e| e.seq < seq) {
+        let end = self.older_end(seq);
+        for e in self.entries.range(..end) {
             if e.word_addr() == Some(word_addr) {
                 if let (Some(addr), Some(data)) = (e.addr, e.data) {
                     word = semantics::merge_store(e.op, addr, word, data);
@@ -160,13 +221,45 @@ impl StoreQueue {
         self.entries.iter()
     }
 
-    /// Fills in data for stores whose value has become available:
-    /// `read(preg)` returns the value once the register is ready.
-    pub fn fill_data(&mut self, mut read: impl FnMut(PregRef) -> Option<u64>) {
-        for e in &mut self.entries {
-            if e.data.is_none() {
-                e.data = read(e.data_preg);
+    /// Fills in data for stores whose value has become available at
+    /// `cycle`: `ready_time(preg)` reports when the register's value
+    /// arrives (`u64::MAX` = not scheduled yet) and `value(preg)` reads
+    /// it. Each missing entry costs one compare per cycle once its
+    /// producer's (immutable) ready time is known.
+    pub fn fill_data(
+        &mut self,
+        cycle: u64,
+        mut ready_time: impl FnMut(PregRef) -> u64,
+        mut value: impl FnMut(PregRef) -> u64,
+    ) {
+        if self.missing_data == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i < self.missing.len() {
+            let (seq, preg, mut wake) = self.missing[i];
+            if wake == u64::MAX {
+                wake = ready_time(preg);
+                if wake == u64::MAX {
+                    i += 1;
+                    continue;
+                }
+                self.missing[i].2 = wake;
             }
+            if wake > cycle {
+                i += 1;
+                continue;
+            }
+            let idx = self
+                .entries
+                .binary_search_by_key(&seq, |e| e.seq)
+                .expect("missing list tracks live entries");
+            let e = &mut self.entries[idx];
+            debug_assert!(e.data.is_none());
+            e.data = Some(value(preg));
+            self.missing_data -= 1;
+            self.gen += 1;
+            self.missing.swap_remove(i);
         }
     }
 }
@@ -302,6 +395,93 @@ mod tests {
         sq.push(1, Opcode::Stq, preg(1));
         sq.push(2, Opcode::Stq, preg(2));
         let _ = sq.pop_retire(2);
+    }
+
+    #[test]
+    fn fill_data_sweep_skips_known_entries() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, Opcode::Stq, preg(1));
+        sq.push(2, Opcode::Stq, preg(2));
+        sq.push(3, Opcode::Stq, preg(3));
+        // Preg 1's value arrives at cycle 0; the others are unscheduled.
+        sq.fill_data(0, |p| if p.preg == 1 { 0 } else { u64::MAX }, |_| 11);
+        let mut probes = 0;
+        sq.fill_data(
+            0,
+            |_| {
+                probes += 1;
+                0
+            },
+            |_| 22,
+        );
+        assert_eq!(probes, 2, "only dataless entries are probed");
+        probes = 0;
+        sq.fill_data(
+            0,
+            |_| {
+                probes += 1;
+                u64::MAX
+            },
+            |_| 0,
+        );
+        assert_eq!(probes, 0, "all data known: the sweep is zero work");
+        // Squash and retire keep the accounting straight.
+        sq.push(4, Opcode::Stq, preg(4));
+        sq.squash_younger(3);
+        let _ = sq.pop_retire(1);
+        probes = 0;
+        sq.fill_data(
+            0,
+            |_| {
+                probes += 1;
+                u64::MAX
+            },
+            |_| 0,
+        );
+        assert_eq!(probes, 0);
+        sq.push(5, Opcode::Stq, preg(5));
+        probes = 0;
+        sq.fill_data(
+            0,
+            |_| {
+                probes += 1;
+                u64::MAX
+            },
+            |_| 0,
+        );
+        assert_eq!(probes, 1, "the new store is probed again");
+        // Once a ready time is memoized, the producer is not re-probed:
+        // the value lands when the wake cycle passes.
+        sq.fill_data(
+            0,
+            |_| 5,
+            |_| 55,
+        );
+        probes = 0;
+        sq.fill_data(
+            5,
+            |_| {
+                probes += 1;
+                u64::MAX
+            },
+            |_| 55,
+        );
+        assert_eq!(probes, 0, "memoized wake time needs no probe");
+        let (word, newest) = {
+            sq.set_addr(5, 0x100);
+            sq.spec_word(10, 0x100, 0)
+        };
+        assert_eq!((word, newest), (55, Some(5)));
+    }
+
+    #[test]
+    fn set_data_on_unknown_seq_is_ignored() {
+        let mut sq = StoreQueue::new();
+        sq.push(2, Opcode::Stq, preg(1));
+        sq.set_data(7, 99);
+        sq.set_addr(7, 0x100);
+        let (word, newest) = sq.spec_word(10, 0x100, 0);
+        assert_eq!((word, newest), (0, None));
     }
 
     #[test]

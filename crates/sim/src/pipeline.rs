@@ -31,7 +31,7 @@ use crate::config::SimConfig;
 use crate::lsq::{Cht, StoreQueue};
 use crate::session::{StopReason, StopWhen};
 use crate::stats::{RunResult, SimStats};
-use rix_frontend::{FrontEnd, Prediction, SpecCheckpoint};
+use rix_frontend::{FrontEnd, SpecCheckpoint};
 use rix_integration::{
     IntegrationKind, It, ItEntry, ItKey, ItOutput, Lisp, MapTable, PregRef, RefVector,
     Suppression,
@@ -42,6 +42,30 @@ use rix_mem::{Cycle, DataStore, MemSystem};
 use std::collections::VecDeque;
 
 const NO_CYCLE: Cycle = u64::MAX;
+
+/// Place expression for the ROB entry at logical index `$idx`: a flat
+/// ring-slot access (`abs & mask`), with a field-level borrow of
+/// `rob_slots` only, so other simulator fields stay independently
+/// borrowable around it.
+macro_rules! rob_entry {
+    ($s:expr, $idx:expr) => {
+        $s.rob_slots[(($s.rob_base as usize).wrapping_add($idx)) & $s.rob_mask]
+    };
+}
+
+/// Place expression for the checkpoint pair at logical index `$idx`.
+macro_rules! rob_pred_at {
+    ($s:expr, $idx:expr) => {
+        $s.rob_preds[(($s.rob_base as usize).wrapping_add($idx)) & $s.rob_mask]
+    };
+}
+
+/// Place expression for the seq mirror at logical index `$idx`.
+macro_rules! rob_seq_at {
+    ($s:expr, $idx:expr) => {
+        $s.rob_seqs[(($s.rob_base as usize).wrapping_add($idx)) & $s.rob_mask]
+    };
+}
 
 /// Cycles without a retirement after which the machine is considered
 /// deadlocked. The longest legitimate retirement gap (write-buffer
@@ -60,6 +84,56 @@ enum State {
     Done,
 }
 
+/// Completion calendar size in cycles (power of two). Large enough that
+/// even a fully-queued memory system schedules completions in range;
+/// further events wait in the overflow list.
+const COMPLETION_RING: usize = 4096;
+
+/// A parked operand-blocked instruction: everything a wakeup needs, so
+/// waking never touches the `DynInst`.
+#[derive(Clone, Copy, Debug)]
+struct Blocked {
+    seq: u64,
+    /// Absolute ROB position (see [`Simulator::rob_base`]).
+    abs: u64,
+    /// The other operand still to check on wake (`u16::MAX` = none —
+    /// already ready, which is monotone, or not required).
+    other: u16,
+    /// Precomputed scheduling rank (meaningless for loads).
+    rank: u8,
+    /// Precomputed port class (meaningless for loads).
+    pclass: u8,
+    /// Loads re-enter the poll list instead of the ready set.
+    is_load: bool,
+}
+
+const NO_OTHER: u16 = u16::MAX;
+
+/// Issue-port classes for ready-set entries (indices into the per-cycle
+/// port-counter array).
+const PORT_SIMPLE: u8 = 0;
+const PORT_COMPLEX: u8 = 1;
+const PORT_LOAD: u8 = 2;
+const PORT_STORE: u8 = 3;
+
+/// Outcome of the per-entry issue-readiness evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Readiness {
+    /// May be selected this cycle.
+    Ready,
+    /// Blocked on this physical register; cannot issue until it is
+    /// ready, so the evaluation can be skipped until then.
+    WaitSrc(u16),
+    /// A load blocked on store-queue/CHT state: the verdict can only
+    /// change when that state changes, so it is cacheable against the
+    /// scheduler generation counter.
+    StallQueue,
+    /// A load blocked on bypass timing (its base arrives exactly at
+    /// execute): resolves by the passage of cycles, so it must be
+    /// re-evaluated every cycle.
+    StallTransient,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Integrated {
     entry: ItEntry,
@@ -72,7 +146,14 @@ struct DynInst {
     seq: u64,
     pc: InstAddr,
     instr: Instr,
-    pred: Prediction,
+    /// `instr.exec_class()`, computed once at rename — several per-stage
+    /// paths dispatch on it.
+    class: ExecClass,
+    /// Predicted direction/target and fetch-time call depth (the bulky
+    /// predictor checkpoints live in the parallel `rob_preds` ring).
+    pred_taken: bool,
+    pred_next_pc: InstAddr,
+    call_depth: u16,
     fetch_cycle: Cycle,
     state: State,
     dst_log: Option<rix_isa::LogReg>,
@@ -81,24 +162,39 @@ struct DynInst {
     /// `[src1, src2]` as renamed; for stores only `srcs[0]` (the base)
     /// gates address generation.
     srcs: [Option<PregRef>; 2],
-    it_key: Option<ItKey>,
-    integrated: Option<Integrated>,
+    /// Whether this instruction integrated; the bulky metadata (entry,
+    /// key, event) lives in `Simulator::integrated_meta`, keyed by seq,
+    /// keeping this struct — and therefore the ROB — small. The IT key
+    /// is not stored at all: it is recomputed from `pc`/`instr`/`pred`/
+    /// `srcs` where needed, which reproduces the rename-time key
+    /// exactly.
+    integrated: bool,
     holds_rs: bool,
     holds_lsq: bool,
     agen_at: Cycle,
     done_at: Cycle,
+    /// Effective address once generated (`None` = not yet; a wrong-path
+    /// address can be any bit pattern, so no sentinel is safe).
     eff_addr: Option<u64>,
-    forward_seq: Option<u64>,
+    /// Seq of the forwarding store (`u64::MAX` = none/from memory —
+    /// sequence numbers never reach the sentinel).
+    forward_seq: u64,
     outcome: Option<bool>,
+    /// Resolved indirect-jump target (`None` = not yet; a wrong-path
+    /// target can be any bit pattern).
     actual_target: Option<InstAddr>,
     resolved_misp: bool,
 }
 
+/// A fetched (pre-rename) instruction. Slim: the bulky predictor
+/// checkpoints travel in the parallel `fq_ckpts` ring.
 #[derive(Clone, Copy, Debug)]
 struct Fetched {
     pc: InstAddr,
     instr: Instr,
-    pred: Prediction,
+    taken: bool,
+    next_pc: InstAddr,
+    call_depth: u16,
     fetch_cycle: Cycle,
     ready_at: Cycle,
 }
@@ -130,11 +226,19 @@ struct PhysFile {
     val: Vec<u64>,
     ready_at: Vec<Cycle>,
     producer_seq: Vec<u64>,
+    /// Absolute ROB position of the producer (see `Simulator::rob_base`)
+    /// — lets the integration test locate it in O(1).
+    producer_abs: Vec<u64>,
 }
 
 impl PhysFile {
     fn new(n: usize) -> Self {
-        Self { val: vec![0; n], ready_at: vec![NO_CYCLE; n], producer_seq: vec![0; n] }
+        Self {
+            val: vec![0; n],
+            ready_at: vec![NO_CYCLE; n],
+            producer_seq: vec![0; n],
+            producer_abs: vec![0; n],
+        }
     }
 }
 
@@ -170,7 +274,13 @@ pub struct Simulator<'p> {
     // Front end.
     frontend: FrontEnd,
     fetch_pc: InstAddr,
-    fetch_queue: VecDeque<Fetched>,
+    // Fetch queue as a power-of-two ring (head is an absolute counter),
+    // with the predictor checkpoints in a parallel ring.
+    fq_slots: Vec<Fetched>,
+    fq_ckpts: Vec<(SpecCheckpoint, SpecCheckpoint)>,
+    fq_mask: usize,
+    fq_head: usize,
+    fq_len: usize,
     fetch_blocked: bool,
     fetch_resume_at: Cycle,
     cur_line: Option<u64>,
@@ -181,15 +291,101 @@ pub struct Simulator<'p> {
     it: It,
     lisp: Lisp,
     phys: PhysFile,
+    /// Whether the golden value shadow (and its rename-time memory
+    /// overlay) must be maintained: only oracle suppression reads it,
+    /// so every other configuration skips the bookkeeping entirely.
+    needs_golden: bool,
     golden: Vec<u64>,
-    rename_mem: Vec<RenameMemEntry>,
-    // Windows.
-    rob: VecDeque<DynInst>,
+    /// Rename-time golden-memory overlay, one entry per in-flight
+    /// store, in sequence order (so retirement pops the front and a
+    /// squash truncates the back — no scans).
+    rename_mem: VecDeque<RenameMemEntry>,
+    // Windows. The ROB is a power-of-two ring: the entry at logical
+    // index `i` lives in slot `(rob_base + i) & rob_mask`, so every
+    // access is one flat array index (no deque wrap machinery), and an
+    // entry's slot never moves for its whole lifetime.
+    /// Ring storage; grows once to capacity, then slots are reused.
+    rob_slots: Vec<DynInst>,
+    /// Ring mirror of each entry's `seq` (immutable per entry), so the
+    /// frequent seq→index searches stay off the structs.
+    rob_seqs: Vec<u64>,
+    /// Ring of predictor checkpoints (pre, post) parallel to
+    /// `rob_slots` — off the hot `DynInst`, touched only at recovery
+    /// and branch retirement.
+    rob_preds: Vec<(SpecCheckpoint, SpecCheckpoint)>,
+    /// Ring capacity − 1 (capacity ≥ `rob_entries`, power of two).
+    rob_mask: usize,
+    /// Number of in-flight entries.
+    rob_len: usize,
+    /// Total ROB front-pops so far. `rob_base + idx` is an entry's
+    /// *absolute position* — stable for its whole lifetime (retirement
+    /// pops shift indices, but never reorder; squashes pop the back) —
+    /// so scheduler lists can carry it and relocate entries in O(1)
+    /// instead of a binary search.
+    rob_base: u64,
+    // Event-driven scheduler state. The steady-state cycle loop never
+    // sweeps the ROB: every waiting instruction lives in exactly one of
+    // these side structures, keyed by sequence number (never an index —
+    // indices shift at retirement), and moves between them on the event
+    // that changes its readiness.
+    /// Known-ready non-load candidates as (key, payload), sorted
+    /// ascending by key = `rank << 62 | seq` — the §3.1 selection order
+    /// in one u64 compare; payload = `abs << 2 | port class`. Non-load
+    /// readiness is monotone, so entries stay until selected/squashed.
+    ready_set: Vec<(u64, u64)>,
+    /// Operand-blocked instructions parked per producing register:
+    /// `preg_waiters[p]` holds the consumers waiting for `p`'s value to
+    /// be scheduled. The producer's execute moves them into the wake
+    /// calendar — the steady state never scans blocked instructions at
+    /// all. Squashed entries are skipped lazily at wake.
+    preg_waiters: Vec<Vec<Blocked>>,
+    /// Wake calendar: bucket `t & (COMPLETION_RING - 1)` holds the
+    /// consumers whose blocking operand becomes consumable at cycle
+    /// `t`; one bucket drains per cycle.
+    wake_ring: Vec<Vec<Blocked>>,
+    /// Wakes scheduled ≥ a ring period ahead; almost always empty.
+    wake_far: Vec<(Cycle, Blocked)>,
+    /// Operand-unblocked loads as (seq, abs, cached generation, cached
+    /// verdict): their readiness also hangs on store-queue state, which
+    /// can regress (a conflicting older store address can resolve
+    /// later), so they are re-polled — but only when the scheduler
+    /// generation has moved since the cached verdict. Sorted by seq.
+    wait_loads: Vec<(u64, u64, u64, bool)>,
+    /// Calendar queue of completion events: bucket `t & (RING - 1)`
+    /// holds the (seq, abs) pairs due at cycle `t` (completion times
+    /// land within `COMPLETION_RING` cycles; anything further sits in
+    /// `completions_far` until it comes into range). Each cycle drains
+    /// exactly one bucket, sorted by seq — the same oldest-first order
+    /// the old full-ROB completion sweep processed entries in. Squashed
+    /// entries are removed lazily at drain (seqs are never reused).
+    completions: Vec<Vec<(u64, u64)>>,
+    /// Overflow for completion events scheduled ≥ `COMPLETION_RING`
+    /// cycles ahead (pathological bus queueing); almost always empty.
+    completions_far: Vec<(Cycle, u64, u64)>,
+    /// Issued stores whose data register has no scheduled ready time
+    /// yet, as (seq, abs); they learn `done_at` the cycle the producer
+    /// schedules it.
+    pending_store_data: Vec<(u64, u64)>,
+    /// Value integrations waiting for the shared register, as (seq, abs).
+    pending_int: Vec<(u64, u64)>,
+    /// Integration metadata (entry, key, event) for in-flight integrated
+    /// instructions, in seq order: retirement pops the front, a squash
+    /// truncates the back — the same discipline as the ROB itself.
+    integrated_meta: VecDeque<(u64, Integrated)>,
     rs_used: usize,
     lsq_used: usize,
     sq: StoreQueue,
     cht: Cht,
-    events: Vec<ViolationEvent>,
+    /// Pending memory-order violation events, in firing order (`fire_at`
+    /// is nondecreasing across pushes because every event fires a fixed
+    /// delay after its issue cycle), drained by front-pop.
+    events: VecDeque<ViolationEvent>,
+    // Per-cycle scratch buffers, hoisted so the steady-state cycle loop
+    // allocates nothing (the capacity is reused forever).
+    scratch_loads: Vec<(u64, usize)>,
+    scratch_due: Vec<ViolationEvent>,
+    scratch_comp: Vec<(u64, u64)>,
+    scratch_wakes: Vec<Blocked>,
     // Architectural state.
     arch_regs: [u64; rix_isa::reg::NUM_LOG_REGS],
     arch_next_pc: InstAddr,
@@ -244,7 +440,11 @@ impl<'p> Simulator<'p> {
             seq_next: 1,
             frontend: FrontEnd::default(),
             fetch_pc: program.entry(),
-            fetch_queue: VecDeque::new(),
+            fq_slots: Vec::new(),
+            fq_ckpts: Vec::new(),
+            fq_mask: cfg.core.fetch_queue.next_power_of_two() - 1,
+            fq_head: 0,
+            fq_len: 0,
             fetch_blocked: false,
             fetch_resume_at: 0,
             cur_line: None,
@@ -254,14 +454,34 @@ impl<'p> Simulator<'p> {
             it: It::new(ic.it_entries, it_ways, ic.index),
             lisp: Lisp::new(ic.lisp_entries, ic.lisp_ways),
             phys,
+            needs_golden: ic.enabled && ic.suppression == Suppression::Oracle,
             golden,
-            rename_mem: Vec::new(),
-            rob: VecDeque::new(),
+            rename_mem: VecDeque::new(),
+            rob_slots: Vec::with_capacity(cfg.core.rob_entries.next_power_of_two()),
+            rob_seqs: Vec::with_capacity(cfg.core.rob_entries.next_power_of_two()),
+            rob_preds: Vec::with_capacity(cfg.core.rob_entries.next_power_of_two()),
+            rob_mask: cfg.core.rob_entries.next_power_of_two() - 1,
+            rob_len: 0,
+            rob_base: 0,
+            ready_set: Vec::new(),
+            preg_waiters: (0..cfg.num_pregs).map(|_| Vec::new()).collect(),
+            wake_ring: (0..COMPLETION_RING).map(|_| Vec::new()).collect(),
+            wake_far: Vec::new(),
+            wait_loads: Vec::new(),
+            completions: (0..COMPLETION_RING).map(|_| Vec::new()).collect(),
+            completions_far: Vec::new(),
+            pending_store_data: Vec::new(),
+            pending_int: Vec::new(),
+            integrated_meta: VecDeque::new(),
             rs_used: 0,
             lsq_used: 0,
             sq: StoreQueue::new(),
             cht: Cht::new(256),
-            events: Vec::new(),
+            events: VecDeque::new(),
+            scratch_loads: Vec::new(),
+            scratch_due: Vec::new(),
+            scratch_comp: Vec::new(),
+            scratch_wakes: Vec::new(),
             arch_regs,
             arch_next_pc: program.entry(),
             arch_mem,
@@ -302,7 +522,40 @@ impl<'p> Simulator<'p> {
     /// call [`Simulator::step`] or `run_until` again to resume, and
     /// [`Simulator::result`] to snapshot statistics.
     pub fn run_until(&mut self, stop: &StopWhen) -> StopReason {
-        let reason = loop {
+        // Fast path for the overwhelmingly common budget shape
+        // (retired-or-cycles): the per-cycle stop test collapses to two
+        // integer compares, in the same order the generic walk would
+        // evaluate them.
+        let reason = if let StopWhen::Any(subs) = stop {
+            if let [StopWhen::RetiredAtLeast(a), StopWhen::CyclesAtLeast(b)] = subs[..] {
+                loop {
+                    if self.halted {
+                        break StopReason::Halted;
+                    }
+                    if self.stats.retired >= a {
+                        break StopReason::RetiredAtLeast(a);
+                    }
+                    if self.stats.cycles >= b {
+                        break StopReason::CyclesAtLeast(b);
+                    }
+                    if self.deadlocked() {
+                        break StopReason::Deadlocked;
+                    }
+                    self.step();
+                }
+            } else {
+                self.run_until_generic(stop)
+            }
+        } else {
+            self.run_until_generic(stop)
+        };
+        self.stats.mem = self.mem_stats_delta();
+        reason
+    }
+
+    /// The general stop-condition walk (see [`Simulator::run_until`]).
+    fn run_until_generic(&mut self, stop: &StopWhen) -> StopReason {
+        loop {
             if self.halted {
                 break StopReason::Halted;
             }
@@ -314,9 +567,7 @@ impl<'p> Simulator<'p> {
                 break StopReason::Deadlocked;
             }
             self.step();
-        };
-        self.stats.mem = self.mem_stats_delta();
-        reason
+        }
     }
 
     /// Advances the machine one cycle.
@@ -329,8 +580,10 @@ impl<'p> Simulator<'p> {
             self.do_rename();
             self.do_fetch();
         }
+        #[cfg(debug_assertions)]
+        self.assert_mirrors_in_sync();
         self.stats.rs_occupancy_sum += self.rs_used as u64;
-        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.rob_occupancy_sum += self.rob_len as u64;
         self.cycle += 1;
         if self.stats.retired != retired_before {
             self.last_retire_cycle = self.cycle;
@@ -397,6 +650,83 @@ impl<'p> Simulator<'p> {
 
     // ----- helpers -------------------------------------------------------
 
+    /// Debug-build check that the seq mirror and the event-driven
+    /// scheduler lists never drift from the `DynInst` source of truth:
+    /// every in-flight instruction must sit in exactly the side
+    /// structure its state implies.
+    #[cfg(debug_assertions)]
+    fn assert_mirrors_in_sync(&self) {
+        // Membership of waiting instructions across the scheduler
+        // structures is sampled: collecting the parked seqs (per-preg
+        // waiter lists, wake calendar) every cycle would swamp the
+        // tests. Sequence numbers are never reused, so matching by seq
+        // is exact; stale (squashed) parked entries never collide with
+        // a live one.
+        let listed: Option<Vec<u64>> = (self.cycle & 63 == 0).then(|| {
+            let mut v: Vec<u64> = Vec::new();
+            v.extend(self.ready_set.iter().map(|&(k, _)| k & ((1u64 << 62) - 1)));
+            v.extend(self.wait_loads.iter().map(|&(s, ..)| s));
+            for w in &self.preg_waiters {
+                v.extend(w.iter().map(|b| b.seq));
+            }
+            for bucket in &self.wake_ring {
+                v.extend(bucket.iter().map(|b| b.seq));
+            }
+            v.extend(self.wake_far.iter().map(|&(_, b)| b.seq));
+            v
+        });
+        for i in 0..self.rob_len {
+            let d = &rob_entry!(self, i);
+            assert_eq!(d.seq, rob_seq_at!(self, i), "seq mirror drifted at rob[{i}]");
+            assert_eq!(
+                self.rob_locate(d.seq, self.rob_base + i as u64),
+                Some(i),
+                "absolute position must locate rob[{i}]"
+            );
+            match d.state {
+                State::WaitRs => {
+                    if let Some(listed) = &listed {
+                        let n = listed.iter().filter(|&&s| s == d.seq).count();
+                        assert_eq!(
+                            n, 1,
+                            "seq {} must be in exactly one issue structure",
+                            d.seq
+                        );
+                    }
+                }
+                State::WaitInt => {
+                    let n =
+                        self.pending_int.iter().filter(|&&(s, _)| s == d.seq).count();
+                    assert_eq!(n, 1);
+                }
+                State::Issued => {
+                    if d.done_at == NO_CYCLE {
+                        let n = self
+                            .pending_store_data
+                            .iter()
+                            .filter(|&&(s, _)| s == d.seq)
+                            .count();
+                        assert_eq!(n, 1);
+                    } else {
+                        let fire = d.done_at.max(self.cycle);
+                        let slot = (fire as usize) & (COMPLETION_RING - 1);
+                        let scheduled = self.completions[slot]
+                            .iter()
+                            .filter(|&&(s, _)| s == d.seq)
+                            .count()
+                            + self
+                                .completions_far
+                                .iter()
+                                .filter(|&&(_, s, _)| s == d.seq)
+                                .count();
+                        assert!(scheduled >= 1, "issued seq {} must be scheduled", d.seq);
+                    }
+                }
+                State::Done => {}
+            }
+        }
+    }
+
     fn val(&self, r: PregRef) -> u64 {
         self.phys.val[r.preg as usize]
     }
@@ -416,9 +746,76 @@ impl<'p> Simulator<'p> {
     /// reusing them (global uniqueness keeps store-queue ordering,
     /// forwarding comparisons and distance statistics sound), so this is
     /// a binary search rather than front-offset arithmetic.
+    /// Appends a renamed entry to the ROB ring.
+    fn rob_push(&mut self, d: DynInst, ckpts: (SpecCheckpoint, SpecCheckpoint)) {
+        debug_assert!(self.rob_len <= self.rob_mask, "ROB ring capacity");
+        let slot = ((self.rob_base as usize).wrapping_add(self.rob_len)) & self.rob_mask;
+        if slot == self.rob_slots.len() {
+            self.rob_seqs.push(d.seq);
+            self.rob_preds.push(ckpts);
+            self.rob_slots.push(d);
+        } else {
+            self.rob_seqs[slot] = d.seq;
+            self.rob_preds[slot] = ckpts;
+            self.rob_slots[slot] = d;
+        }
+        self.rob_len += 1;
+    }
+
+    /// Appends a fetched instruction (and its checkpoint pair) to the
+    /// fetch-queue ring.
+    fn fq_push(&mut self, f: Fetched, ck: (SpecCheckpoint, SpecCheckpoint)) {
+        debug_assert!(self.fq_len <= self.fq_mask, "fetch-queue ring capacity");
+        let slot = (self.fq_head.wrapping_add(self.fq_len)) & self.fq_mask;
+        if slot == self.fq_slots.len() {
+            self.fq_slots.push(f);
+            self.fq_ckpts.push(ck);
+        } else {
+            self.fq_slots[slot] = f;
+            self.fq_ckpts[slot] = ck;
+        }
+        self.fq_len += 1;
+    }
+
+    /// First logical index whose seq is `> seq` (the seq mirror is
+    /// sorted ascending).
+    fn rob_upper_bound(&self, seq: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.rob_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if rob_seq_at!(self, mid) <= seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Locates `seq` in the ROB by binary search (used when no absolute
+    /// position is at hand; sequence numbers are strictly increasing
+    /// but *not* contiguous — a squash discards renamed numbers).
     fn rob_index(&self, seq: u64) -> Option<usize> {
-        let idx = self.rob.partition_point(|d| d.seq < seq);
-        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+        let (mut lo, mut hi) = (0usize, self.rob_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if rob_seq_at!(self, mid) < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < self.rob_len && rob_seq_at!(self, lo) == seq).then_some(lo)
+    }
+
+    /// O(1) relocation of an entry whose absolute position was recorded
+    /// when it entered a scheduler list; `None` once it has left the
+    /// ROB (squashed — retirement never outruns a listed entry).
+    #[inline]
+    fn rob_locate(&self, seq: u64, abs: u64) -> Option<usize> {
+        let idx = abs.checked_sub(self.rob_base)? as usize;
+        (idx < self.rob_len && self.rob_seqs[(abs as usize) & self.rob_mask] == seq)
+            .then_some(idx)
     }
 
     fn golden_of(&self, r: PregRef) -> u64 {
@@ -426,10 +823,13 @@ impl<'p> Simulator<'p> {
     }
 
     fn rename_read_word(&self, seq: u64, word_addr: u64) -> u64 {
+        // Entries are seq-ordered: binary-search the `seq < seq` prefix
+        // boundary, then scan it youngest-first for the word.
+        let end = self.rename_mem.partition_point(|e| e.seq < seq);
         self.rename_mem
-            .iter()
+            .range(..end)
             .rev()
-            .find(|e| e.seq < seq && e.word_addr == word_addr)
+            .find(|e| e.word_addr == word_addr)
             .map_or_else(|| self.arch_mem.read_word(word_addr), |e| e.word)
     }
 
@@ -463,7 +863,9 @@ impl<'p> Simulator<'p> {
     // ----- fetch ---------------------------------------------------------
 
     fn icache_line(&self, pc: InstAddr) -> u64 {
-        pc * rix_isa::encode::INSTR_BYTES / self.cfg.mem.l1i.line_bytes
+        // Line size is a power of two (asserted by `Cache::new`), so
+        // the per-fetch division is a shift.
+        (pc * rix_isa::encode::INSTR_BYTES) >> self.cfg.mem.l1i.line_bytes.trailing_zeros()
     }
 
     fn do_fetch(&mut self) {
@@ -484,8 +886,7 @@ impl<'p> Simulator<'p> {
             return;
         }
         let mut count = 0;
-        while count < self.cfg.core.fetch_width
-            && self.fetch_queue.len() < self.cfg.core.fetch_queue
+        while count < self.cfg.core.fetch_width && self.fq_len < self.cfg.core.fetch_queue
         {
             if self.icache_line(self.fetch_pc) != start_line {
                 self.cur_line = None; // next group starts a new line
@@ -498,15 +899,22 @@ impl<'p> Simulator<'p> {
                 break;
             };
             let pc = self.fetch_pc;
-            let btb_hit = self.frontend.btb_hit(pc);
+            // Probed before `predict` (which inserts the branch); only
+            // conditional branches consult the result.
+            let btb_hit = instr.op.is_cond_branch() && self.frontend.btb_hit(pc);
             let pred = self.frontend.predict(pc, instr);
-            self.fetch_queue.push_back(Fetched {
-                pc,
-                instr,
-                pred,
-                fetch_cycle: self.cycle,
-                ready_at: self.cycle + self.cfg.core.front_delay,
-            });
+            self.fq_push(
+                Fetched {
+                    pc,
+                    instr,
+                    taken: pred.taken,
+                    next_pc: pred.next_pc,
+                    call_depth: pred.call_depth,
+                    fetch_cycle: self.cycle,
+                    ready_at: self.cycle + self.cfg.core.front_delay,
+                },
+                (pred.checkpoint, pred.post_checkpoint),
+            );
             self.stats.fetched += 1;
             count += 1;
             if instr.op == Opcode::Halt {
@@ -531,23 +939,34 @@ impl<'p> Simulator<'p> {
 
     fn do_rename(&mut self) {
         for _ in 0..self.cfg.core.rename_width {
-            let Some(&f) = self.fetch_queue.front() else { return };
+            if self.fq_len == 0 {
+                return;
+            }
+            let slot = self.fq_head & self.fq_mask;
+            let f = self.fq_slots[slot];
             if f.ready_at > self.cycle {
                 return;
             }
-            if self.rob.len() >= self.cfg.core.rob_entries {
+            if self.rob_len >= self.cfg.core.rob_entries {
                 self.stats.stalls_rob += 1;
                 return;
             }
-            if !self.rename_one(f) {
+            let ck = self.fq_ckpts[slot];
+            if !self.rename_one(f, ck) {
                 return; // resource stall; retry next cycle
             }
-            self.fetch_queue.pop_front();
+            // A fast-resolved branch inside `rename_one` clears the
+            // queue (the renamed instruction included) — nothing left
+            // to pop then.
+            if self.fq_len > 0 {
+                self.fq_head = self.fq_head.wrapping_add(1);
+                self.fq_len -= 1;
+            }
         }
     }
 
     /// Renames one instruction; returns `false` on a structural stall.
-    fn rename_one(&mut self, f: Fetched) -> bool {
+    fn rename_one(&mut self, f: Fetched, ck: (SpecCheckpoint, SpecCheckpoint)) -> bool {
         let instr = f.instr;
         let seq = self.seq_next;
         let class = instr.exec_class();
@@ -555,27 +974,29 @@ impl<'p> Simulator<'p> {
 
         let src1 = instr.src1.map(|r| self.map_src(r));
         let src2r = instr.src2_reg().map(|r| self.map_src(r));
-        let key = ItKey::new(f.pc, instr, f.pred.call_depth, src1, src2r);
+        let key = ItKey::new(f.pc, instr, f.call_depth, src1, src2r);
 
         let mut d = DynInst {
             seq,
             pc: f.pc,
             instr,
-            pred: f.pred,
+            class,
+            pred_taken: f.taken,
+            pred_next_pc: f.next_pc,
+            call_depth: f.call_depth,
             fetch_cycle: f.fetch_cycle,
             state: State::Done,
             dst_log,
             dst_new: None,
             dst_old: None,
             srcs: [src1, src2r],
-            it_key: Some(key),
-            integrated: None,
+            integrated: false,
             holds_rs: false,
             holds_lsq: false,
             agen_at: NO_CYCLE,
             done_at: self.cycle,
             eff_addr: None,
-            forward_seq: None,
+            forward_seq: u64::MAX,
             outcome: None,
             actual_target: None,
             resolved_misp: false,
@@ -604,7 +1025,10 @@ impl<'p> Simulator<'p> {
                     self.phys.val[ra.preg as usize] = f.pc + 1;
                     self.phys.ready_at[ra.preg as usize] = self.cycle;
                     self.phys.producer_seq[ra.preg as usize] = seq;
-                    self.golden[ra.preg as usize] = f.pc + 1;
+                    self.phys.producer_abs[ra.preg as usize] = self.rob_base + self.rob_len as u64;
+                    if self.needs_golden {
+                        self.golden[ra.preg as usize] = f.pc + 1;
+                    }
                     self.refvec.mark_written(ra);
                     d.dst_new = Some(ra);
                     d.dst_old = Some(self.map.set(dst, ra));
@@ -621,23 +1045,24 @@ impl<'p> Simulator<'p> {
             ExecClass::CondBranch => {
                 if let Some(ig) = self.try_integrate(seq, &f, key, None) {
                     let ItOutput::Branch(taken) = ig.entry.out else { unreachable!() };
-                    d.integrated = Some(ig);
+                    d.integrated = true;
+                    self.integrated_meta.push_back((seq, ig));
                     d.outcome = Some(taken);
                     d.state = State::Done;
                     d.done_at = self.cycle;
-                    if taken != f.pred.taken {
+                    if taken != f.taken {
                         // Fast resolution at rename: nothing younger has
                         // renamed, so only the front end must recover.
                         d.resolved_misp = true;
                         let redirect = if taken { instr.target } else { f.pc + 1 };
-                        self.frontend.repair(f.pred.checkpoint, Some(taken));
-                        self.fetch_queue.clear();
+                        self.frontend.repair(ck.0, Some(taken));
+                        self.fq_len = 0;
                         self.fetch_pc = redirect;
                         self.fetch_blocked = false;
                         self.cur_line = None;
                         self.fetch_resume_at = self.cycle + 1;
                         self.stats.squashes_branch += 1;
-                        self.finish_rename(d, f, seq);
+                        self.finish_rename(d, ck, seq);
                         return true;
                     }
                 } else {
@@ -671,16 +1096,19 @@ impl<'p> Simulator<'p> {
                     && rix_integration::it::wants_reverse_entry(self.cfg.integration.reverse, instr)
                 {
                     self.it
-                        .insert_reverse_store(f.pc, instr, f.pred.call_depth, base, data, seq);
+                        .insert_reverse_store(f.pc, instr, f.call_depth, base, data, seq);
                 }
-                // Golden memory overlay for the rename-time shadow.
-                let g_base = self.golden_of(base);
-                let g_data = self.golden_of(data);
-                let ea = semantics::effective_addr(instr.op, g_base, instr.disp);
-                let word_addr = ea & !7;
-                let prev = self.rename_read_word(seq, word_addr);
-                let word = semantics::merge_store(instr.op, ea, prev, g_data);
-                self.rename_mem.push(RenameMemEntry { seq, word_addr, word });
+                // Golden memory overlay for the rename-time shadow
+                // (only oracle suppression ever reads it).
+                if self.needs_golden {
+                    let g_base = self.golden_of(base);
+                    let g_data = self.golden_of(data);
+                    let ea = semantics::effective_addr(instr.op, g_base, instr.disp);
+                    let word_addr = ea & !7;
+                    let prev = self.rename_read_word(seq, word_addr);
+                    let word = semantics::merge_store(instr.op, ea, prev, g_data);
+                    self.rename_mem.push_back(RenameMemEntry { seq, word_addr, word });
+                }
             }
             ExecClass::SimpleInt | ExecClass::Complex | ExecClass::Load => {
                 let dst = dst_log.expect("value op has a destination");
@@ -688,7 +1116,8 @@ impl<'p> Simulator<'p> {
                     let ItOutput::Value(out) = ig.entry.out else { unreachable!() };
                     d.dst_new = Some(out);
                     d.dst_old = Some(self.map.set(dst, out));
-                    d.integrated = Some(ig);
+                    d.integrated = true;
+                    self.integrated_meta.push_back((seq, ig));
                     d.state = State::WaitInt;
                     d.done_at = NO_CYCLE;
                 } else {
@@ -712,8 +1141,12 @@ impl<'p> Simulator<'p> {
                     }
                     self.phys.ready_at[out.preg as usize] = NO_CYCLE;
                     self.phys.producer_seq[out.preg as usize] = seq;
-                    if let Some(g) = self.rename_golden(seq, f.pc, instr) {
-                        self.golden[out.preg as usize] = g;
+                    self.phys.producer_abs[out.preg as usize] =
+                        self.rob_base + self.rob_len as u64;
+                    if self.needs_golden {
+                        if let Some(g) = self.rename_golden(seq, f.pc, instr) {
+                            self.golden[out.preg as usize] = g;
+                        }
                     }
                     d.dst_new = Some(out);
                     d.dst_old = Some(self.map.set(dst, out));
@@ -733,23 +1166,184 @@ impl<'p> Simulator<'p> {
                         // mapping of the source is the entry's output.
                         let src = src1.expect("invertible add has a source");
                         self.it
-                            .insert_reverse_add(f.pc, instr, f.pred.call_depth, src, out, seq);
+                            .insert_reverse_add(f.pc, instr, f.call_depth, src, out, seq);
                     }
                 }
             }
         }
-        self.finish_rename(d, f, seq);
+        self.finish_rename(d, ck, seq);
         true
     }
 
-    fn finish_rename(&mut self, d: DynInst, f: Fetched, seq: u64) {
-        let _ = f;
+    fn finish_rename(&mut self, d: DynInst, ck: (SpecCheckpoint, SpecCheckpoint), seq: u64) {
         debug_assert!(
-            self.rob.back().is_none_or(|b| b.seq < seq),
+            self.rob_len == 0 || rob_entry!(self, self.rob_len - 1).seq < seq,
             "sequence numbers strictly increase"
         );
-        self.rob.push_back(d);
+        let state = d.state;
+        self.rob_push(d, ck);
         self.seq_next = seq + 1;
+        // Enter the event-driven scheduler. Classifying at rename is
+        // equivalent to the old next-cycle sweep: a wrong "blocked"
+        // verdict is re-examined the moment the operand's readiness
+        // deadline passes, and load verdicts only pick a poll list.
+        match state {
+            State::WaitRs => self.classify_waiting(seq, self.rob_len - 1),
+            State::WaitInt => {
+                let abs = self.rob_base + (self.rob_len - 1) as u64;
+                self.pending_int.push((seq, abs));
+            }
+            _ => {}
+        }
+    }
+
+    /// Classifies the just-renamed waiting instruction `seq` (at ROB
+    /// position `idx`) into the issue lists. Wakeups after this never
+    /// touch the `DynInst` again: the parked entry carries the
+    /// remaining operand and the precomputed rank/port class.
+    fn classify_waiting(&mut self, seq: u64, idx: usize) {
+        let abs = self.rob_base + idx as u64;
+        let d = &rob_entry!(self, idx);
+        debug_assert_eq!(d.seq, seq);
+        debug_assert_eq!(d.state, State::WaitRs);
+        let class = d.class;
+        let readiness = self.issue_readiness(d);
+        if class == ExecClass::Load {
+            // Loads poll every cycle once operand-unblocked; blocking on
+            // the base first keeps the poll list short, and the verdict
+            // is cached against the scheduler generation.
+            match readiness {
+                Readiness::WaitSrc(p) => self.block_on(p, Blocked {
+                    seq,
+                    abs,
+                    other: NO_OTHER,
+                    rank: 0,
+                    pclass: PORT_LOAD,
+                    is_load: true,
+                }),
+                verdict => {
+                    let cache =
+                        Self::load_poll_cache(self.sched_gen(), self.sched_addr_gen(), verdict);
+                    let pos = self.wait_loads.partition_point(|&(s, ..)| s < seq);
+                    self.wait_loads.insert(pos, (seq, abs, cache.0, cache.1));
+                }
+            }
+            return;
+        }
+        let rank: u8 = match class {
+            ExecClass::CondBranch | ExecClass::IndirectJump => 0,
+            ExecClass::Complex if d.instr.op.is_fp() => 0,
+            _ => 1,
+        };
+        let pclass: u8 = match class {
+            ExecClass::SimpleInt | ExecClass::CondBranch | ExecClass::IndirectJump => {
+                PORT_SIMPLE
+            }
+            ExecClass::Complex => PORT_COMPLEX,
+            ExecClass::Store => PORT_STORE,
+            _ => unreachable!("loads handled above; other classes never wait"),
+        };
+        match readiness {
+            Readiness::Ready => self.insert_ready(rank, seq, abs, pclass),
+            Readiness::WaitSrc(p) => {
+                // The remaining operand to check on wake: only when the
+                // blocker is src1 can an (unready) src2 still matter —
+                // a src2 blocker means src1 was already ready, which is
+                // monotone. Stores never need their data operand to
+                // issue.
+                let other = match d.srcs {
+                    [Some(s0), Some(s1)]
+                        if s0.preg == p && class != ExecClass::Store =>
+                    {
+                        s1.preg
+                    }
+                    _ => NO_OTHER,
+                };
+                self.block_on(p, Blocked { seq, abs, other, rank, pclass, is_load: false });
+            }
+            Readiness::StallQueue | Readiness::StallTransient => {
+                unreachable!("only loads can stall")
+            }
+        }
+    }
+
+    /// Parks an instruction on a not-yet-ready operand register: if the
+    /// operand's arrival is already scheduled the wake goes straight on
+    /// the calendar; otherwise the producer's execute will move it
+    /// there (see [`Simulator::wake_waiters`]).
+    fn block_on(&mut self, wait: u16, meta: Blocked) {
+        let ready = self.phys.ready_at[wait as usize];
+        if ready == NO_CYCLE {
+            self.preg_waiters[wait as usize].push(meta);
+        } else {
+            // `WaitSrc` implies `ready > cycle + regread`, so the wake
+            // is strictly in the future.
+            let wake = ready - self.cfg.core.regread_delay;
+            debug_assert!(wake > self.cycle);
+            self.schedule_wake(wake, meta);
+        }
+    }
+
+    /// Schedules a wake event on the calendar.
+    fn schedule_wake(&mut self, wake: Cycle, meta: Blocked) {
+        if wake - self.cycle >= COMPLETION_RING as u64 {
+            self.wake_far.push((wake, meta));
+        } else {
+            self.wake_ring[(wake as usize) & (COMPLETION_RING - 1)].push(meta);
+        }
+    }
+
+    /// Moves every consumer parked on `preg` onto the wake calendar:
+    /// its value arrives at `ready`, so they become selectable
+    /// `regread_delay` earlier — but never before the next issue pass.
+    fn wake_waiters(&mut self, preg: u16, ready: Cycle) {
+        if self.preg_waiters[preg as usize].is_empty() {
+            return;
+        }
+        let wake = ready
+            .saturating_sub(self.cfg.core.regread_delay)
+            .max(self.cycle + 1);
+        while let Some(m) = self.preg_waiters[preg as usize].pop() {
+            self.schedule_wake(wake, m);
+        }
+    }
+
+    /// Inserts a known-ready candidate into the sorted ready set.
+    fn insert_ready(&mut self, rank: u8, seq: u64, abs: u64, pclass: u8) {
+        debug_assert!(seq < 1 << 62 && abs < 1 << 62);
+        let key = (u64::from(rank) << 62) | seq;
+        let payload = (abs << 2) | u64::from(pclass);
+        let pos = self.ready_set.partition_point(|&(k, _)| k < key);
+        self.ready_set.insert(pos, (key, payload));
+    }
+
+    /// The scheduler generation: changes whenever store-queue contents
+    /// or CHT predictions change — the only inputs (beyond monotone
+    /// operand readiness) a waiting load's issue verdict depends on.
+    #[inline]
+    fn sched_gen(&self) -> u64 {
+        self.sq.generation() + self.cht.trainings()
+    }
+
+    /// The readiness-revoking generation: only an address resolution or
+    /// a CHT training can turn a ready load unready, so Ready verdicts
+    /// cache against this much quieter counter.
+    #[inline]
+    fn sched_addr_gen(&self) -> u64 {
+        self.sq.addr_generation() + self.cht.trainings()
+    }
+
+    /// Maps a load's poll verdict to its (generation, ready) cache
+    /// entry: Ready caches against the addr generation, queue stalls
+    /// against the full generation, and transient stalls use the
+    /// never-matching sentinel so they are re-evaluated every cycle.
+    fn load_poll_cache(gen_full: u64, gen_addr: u64, verdict: Readiness) -> (u64, bool) {
+        match verdict {
+            Readiness::Ready => (gen_addr, true),
+            Readiness::StallQueue => (gen_full, false),
+            Readiness::StallTransient => (u64::MAX, false),
+            Readiness::WaitSrc(_) => unreachable!("polled load operands are ready"),
+        }
     }
 
     fn take_rs(&mut self) -> bool {
@@ -838,7 +1432,8 @@ impl<'p> Simulator<'p> {
                     ResultStatus::ShadowSquash
                 } else {
                     let producer = self.phys.producer_seq[out.preg as usize];
-                    match self.rob_index(producer).map(|i| self.rob[i].state) {
+                    let pabs = self.phys.producer_abs[out.preg as usize];
+                    match self.rob_locate(producer, pabs).map(|i| rob_entry!(self, i).state) {
                         Some(State::WaitRs) | Some(State::WaitInt) => ResultStatus::Rename,
                         Some(State::Issued) | Some(State::Done) => ResultStatus::Issue,
                         None => ResultStatus::Retire,
@@ -885,83 +1480,174 @@ impl<'p> Simulator<'p> {
         let cycle = self.cycle;
         let phys_ready = &self.phys.ready_at;
         let phys_val = &self.phys.val;
-        self.sq.fill_data(|p| {
-            (phys_ready[p.preg as usize] <= cycle).then(|| phys_val[p.preg as usize])
-        });
+        self.sq.fill_data(
+            cycle,
+            |p| phys_ready[p.preg as usize],
+            |p| phys_val[p.preg as usize],
+        );
 
+        // Wake operand-blocked entries whose register hit its readiness
+        // deadline and re-classify them (the evaluation has no side
+        // effects, so the wake order within a cycle is immaterial).
+        let regread = self.cfg.core.regread_delay;
+        // Bring far-scheduled wakes into calendar range (almost always
+        // empty), then drain this cycle's wake bucket. Squashed entries
+        // are skipped lazily (absolute positions never lie).
+        if !self.wake_far.is_empty() {
+            let mut i = 0;
+            while i < self.wake_far.len() {
+                let (t, m) = self.wake_far[i];
+                if t - cycle < COMPLETION_RING as u64 {
+                    self.wake_far.swap_remove(i);
+                    self.wake_ring[(t as usize) & (COMPLETION_RING - 1)].push(m);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let slot = (cycle as usize) & (COMPLETION_RING - 1);
+        let mut due = std::mem::replace(
+            &mut self.wake_ring[slot],
+            std::mem::take(&mut self.scratch_wakes),
+        );
+        for &b in &due {
+            if self.rob_locate(b.seq, b.abs).is_none() {
+                continue; // squashed while parked
+            }
+            debug_assert_eq!(rob_entry!(self, (b.abs - self.rob_base) as usize).state, State::WaitRs);
+            // Woken. Loads re-enter the poll list; others either become
+            // candidates or re-park on their remaining operand — all
+            // from the parked entry, without touching the DynInst.
+            if b.is_load {
+                let pos = self.wait_loads.partition_point(|&(s, ..)| s < b.seq);
+                self.wait_loads.insert(pos, (b.seq, b.abs, u64::MAX, false));
+            } else if b.other != NO_OTHER
+                && self.phys.ready_at[b.other as usize] > cycle + regread
+            {
+                // Re-park on the remaining operand.
+                let mut m = b;
+                let wait = m.other;
+                m.other = NO_OTHER;
+                self.block_on(wait, m);
+            } else {
+                self.insert_ready(b.rank, b.seq, b.abs, b.pclass);
+            }
+        }
+        due.clear();
+        self.scratch_wakes = due;
+
+        // Poll operand-unblocked loads: unlike every other class their
+        // readiness also hangs on store-queue state, which can regress.
+        // The cached verdict short-circuits the evaluation while the
+        // scheduler generation is unchanged.
+        let gen_full = self.sched_gen();
+        let gen_addr = self.sched_addr_gen();
+        let mut loads = std::mem::take(&mut self.scratch_loads);
+        loads.clear();
+        let mut wi = 0;
+        while wi < self.wait_loads.len() {
+            let (seq, abs, cached_key, cached_ready) = self.wait_loads[wi];
+            wi += 1;
+            let fresh =
+                cached_key == if cached_ready { gen_addr } else { gen_full };
+            if fresh {
+                if cached_ready {
+                    let idx =
+                        self.rob_locate(seq, abs).expect("waiting load is in flight");
+                    loads.push((seq, idx));
+                }
+                continue;
+            }
+            let idx = self.rob_locate(seq, abs).expect("waiting load is in flight");
+            let verdict = self.issue_readiness(&rob_entry!(self, idx));
+            let cache = Self::load_poll_cache(gen_full, gen_addr, verdict);
+            self.wait_loads[wi - 1] = (seq, abs, cache.0, cache.1);
+            if verdict == Readiness::Ready {
+                loads.push((seq, idx));
+            }
+        }
+        // `wait_loads` is kept sorted by seq, so `loads` already is.
+        debug_assert!(loads.is_sorted());
+
+        // Greedy in-order selection (§3.1: loads/branches/FP first, age
+        // as tie-breaker) over the merge of the two sorted candidate
+        // sources: transient ready loads (rank 0) and the persistent
+        // ready set. Identical order and port arbitration to the old
+        // full-ROB candidate sweep.
         let issue = self.cfg.core.issue;
         let mut total = issue.width;
-        let mut simple = issue.simple;
-        let mut complex = issue.complex;
-        let mut load = issue.load;
-        let mut store = issue.store;
+        let mut ports = [issue.simple, issue.complex, issue.load, issue.store];
         let mut shared = if issue.shared_ldst { 1 } else { usize::MAX };
-
-        // Gather ready candidates with scheduling priority: loads,
-        // branches and FP first, age as tie-breaker (§3.1).
-        let mut cands: Vec<(u8, u64, usize)> = Vec::new();
-        for (idx, d) in self.rob.iter().enumerate() {
-            if d.state != State::WaitRs || !self.ready_to_issue(d) {
-                continue;
-            }
-            let rank = match d.instr.exec_class() {
-                ExecClass::Load | ExecClass::CondBranch | ExecClass::IndirectJump => 0,
-                ExecClass::Complex if d.instr.op.is_fp() => 0,
-                _ => 1,
+        let mut li = 0;
+        let mut ri = 0;
+        while total > 0 {
+            let next_load = loads.get(li).copied();
+            let next_ready = self.ready_set.get(ri).copied();
+            let take_load = match (next_load, next_ready) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                // Load keys are `0 << 62 | seq` — directly comparable.
+                (Some((ls, _)), Some((k, _))) => ls < k,
             };
-            cands.push((rank, d.seq, idx));
-        }
-        cands.sort_unstable();
-
-        for (_, _, idx) in cands {
-            if total == 0 {
-                break;
+            if take_load {
+                let (seq, idx) = next_load.expect("checked");
+                li += 1;
+                let port =
+                    if issue.shared_ldst { &mut shared } else { &mut ports[PORT_LOAD as usize] };
+                if *port == 0 {
+                    continue;
+                }
+                *port -= 1;
+                total -= 1;
+                let pos = self
+                    .wait_loads
+                    .iter()
+                    .position(|&(s, ..)| s == seq)
+                    .expect("selected load is listed");
+                self.wait_loads.remove(pos); // keeps seq order
+                self.execute(idx);
+            } else {
+                let (key, payload) = next_ready.expect("checked");
+                let (seq, abs) = (key & ((1 << 62) - 1), payload >> 2);
+                let pclass = (payload & 3) as u8;
+                let port = if pclass == PORT_STORE && issue.shared_ldst {
+                    &mut shared
+                } else {
+                    &mut ports[pclass as usize]
+                };
+                if *port == 0 {
+                    ri += 1;
+                    continue;
+                }
+                *port -= 1;
+                total -= 1;
+                let idx = self.rob_locate(seq, abs).expect("ready instruction is in flight");
+                self.ready_set.remove(ri);
+                self.execute(idx);
             }
-            let class = self.rob[idx].instr.exec_class();
-            let port = match class {
-                ExecClass::SimpleInt | ExecClass::CondBranch | ExecClass::IndirectJump => {
-                    &mut simple
-                }
-                ExecClass::Complex => &mut complex,
-                ExecClass::Load => {
-                    if issue.shared_ldst {
-                        &mut shared
-                    } else {
-                        &mut load
-                    }
-                }
-                ExecClass::Store => {
-                    if issue.shared_ldst {
-                        &mut shared
-                    } else {
-                        &mut store
-                    }
-                }
-                _ => continue,
-            };
-            if *port == 0 {
-                continue;
-            }
-            *port -= 1;
-            total -= 1;
-            self.execute(idx);
         }
+        self.scratch_loads = loads;
     }
 
-    fn ready_to_issue(&self, d: &DynInst) -> bool {
-        let class = d.instr.exec_class();
+    fn issue_readiness(&self, d: &DynInst) -> Readiness {
+        let class = d.class;
         // Stores need only the base for address generation.
         let needed: &[Option<PregRef>] = if class == ExecClass::Store {
             &d.srcs[..1]
         } else {
             &d.srcs[..]
         };
-        if !needed.iter().flatten().all(|&s| self.src_ready(s)) {
-            return false;
+        for &s in needed.iter().flatten() {
+            if !self.src_ready(s) {
+                // A blocking operand: issue is impossible until this
+                // register becomes ready (memoizable by the caller).
+                return Readiness::WaitSrc(s.preg);
+            }
         }
         if class == ExecClass::Load {
             if self.cht.predicts_conflict(d.pc) && !self.sq.all_older_resolved(d.seq) {
-                return false;
+                return Readiness::StallQueue;
             }
             // If the youngest older same-word store has no data yet,
             // wait for it (forwarding would stall anyway).
@@ -971,30 +1657,30 @@ impl<'p> Simulator<'p> {
                     semantics::effective_addr(d.instr.op, self.val(base), d.instr.disp);
                 if let Some(e) = self.sq.youngest_older_match(d.seq, addr & !7) {
                     if e.data.is_none() {
-                        return false;
+                        return Readiness::StallQueue;
                     }
                 }
             } else {
                 // Base arrives exactly at execute via bypass; defer the
                 // forwarding question one cycle rather than guess.
-                return false;
+                return Readiness::StallTransient;
             }
         }
-        true
+        Readiness::Ready
     }
 
     fn execute(&mut self, idx: usize) {
         let t_exec = self.cycle + self.cfg.core.regread_delay;
         self.stats.executed += 1;
-        let (instr, seq, srcs, dst_new) = {
-            let d = &mut self.rob[idx];
+        let (instr, class, seq, srcs, dst_new) = {
+            let d = &mut rob_entry!(self, idx);
             d.state = State::Issued;
             d.holds_rs = false;
-            (d.instr, d.seq, d.srcs, d.dst_new)
+            (d.instr, d.class, d.seq, d.srcs, d.dst_new)
         };
         self.rs_used -= 1;
 
-        match instr.exec_class() {
+        match class {
             ExecClass::SimpleInt | ExecClass::Complex => {
                 let a = self.val(srcs[0].expect("ALU op has src1"));
                 let b = match instr.src2 {
@@ -1005,21 +1691,25 @@ impl<'p> Simulator<'p> {
                 let r = semantics::alu(instr.op, a, b);
                 let done = t_exec + instr.op.latency();
                 let out = dst_new.expect("ALU op has a destination");
-                self.rob[idx].done_at = done;
+                rob_entry!(self, idx).done_at = done;
+                self.schedule_completion_at(done, self.cycle + 1, seq, idx);
                 self.phys.val[out.preg as usize] = r;
                 self.phys.ready_at[out.preg as usize] = done;
+                self.wake_waiters(out.preg, done);
             }
             ExecClass::CondBranch => {
                 let c = self.val(srcs[0].expect("branch has a condition"));
-                let d = &mut self.rob[idx];
+                let d = &mut rob_entry!(self, idx);
                 d.outcome = Some(semantics::branch_taken(instr.op, c));
                 d.done_at = t_exec + 1;
+                self.schedule_completion_at(t_exec + 1, self.cycle + 1, seq, idx);
             }
             ExecClass::IndirectJump => {
                 let t = self.val(srcs[0].expect("ret reads ra"));
-                let d = &mut self.rob[idx];
+                let d = &mut rob_entry!(self, idx);
                 d.actual_target = Some(t);
                 d.done_at = t_exec + 1;
+                self.schedule_completion_at(t_exec + 1, self.cycle + 1, seq, idx);
             }
             ExecClass::Load => {
                 let base = self.val(srcs[0].expect("load has a base"));
@@ -1035,14 +1725,16 @@ impl<'p> Simulator<'p> {
                 } else {
                     self.mem.dload(agen, addr)
                 };
-                let d = &mut self.rob[idx];
+                let d = &mut rob_entry!(self, idx);
                 d.agen_at = agen;
                 d.eff_addr = Some(addr);
-                d.forward_seq = fwd;
+                d.forward_seq = fwd.unwrap_or(u64::MAX);
                 d.done_at = done;
+                self.schedule_completion_at(done, self.cycle + 1, seq, idx);
                 let out = dst_new.expect("load has a destination");
                 self.phys.val[out.preg as usize] = value;
                 self.phys.ready_at[out.preg as usize] = done;
+                self.wake_waiters(out.preg, done);
             }
             ExecClass::Store => {
                 let base = self.val(srcs[0].expect("store has a base"));
@@ -1050,12 +1742,20 @@ impl<'p> Simulator<'p> {
                 let agen = t_exec + 1;
                 let data_preg = srcs[1].expect("store has data");
                 let data_ready = self.phys.ready_at[data_preg.preg as usize];
+                let done =
+                    if data_ready == NO_CYCLE { NO_CYCLE } else { agen.max(data_ready) };
                 {
-                    let d = &mut self.rob[idx];
+                    let d = &mut rob_entry!(self, idx);
                     d.agen_at = agen;
                     d.eff_addr = Some(addr);
-                    d.done_at =
-                        if data_ready == NO_CYCLE { NO_CYCLE } else { agen.max(data_ready) };
+                    d.done_at = done;
+                }
+                if done == NO_CYCLE {
+                    // Completion time unknown until the data producer
+                    // schedules its result.
+                    self.pending_store_data.push((seq, self.rob_base + idx as u64));
+                } else {
+                    self.schedule_completion_at(done, self.cycle + 1, seq, idx);
                 }
                 self.sq.set_addr(seq, addr);
                 // Memory-order violation check: any younger load that
@@ -1063,8 +1763,12 @@ impl<'p> Simulator<'p> {
                 // from memory) while touching this word mis-speculated.
                 let word_addr = addr & !7;
                 let mut victim: Option<u64> = None;
-                for y in self.rob.iter() {
-                    if y.seq <= seq || y.integrated.is_some() {
+                // Only entries younger than the store can violate; the
+                // seq-ordered ROB bounds the scan by binary search.
+                let start = self.rob_upper_bound(seq);
+                for yi in start..self.rob_len {
+                    let y = &rob_entry!(self, yi);
+                    if y.integrated {
                         continue;
                     }
                     if !matches!(y.state, State::Issued | State::Done) {
@@ -1076,12 +1780,16 @@ impl<'p> Simulator<'p> {
                     if y.eff_addr.map(|a| a & !7) != Some(word_addr) {
                         continue;
                     }
-                    if y.forward_seq.is_none_or(|fs| fs < seq) {
+                    if y.forward_seq == u64::MAX || y.forward_seq < seq {
                         victim = Some(victim.map_or(y.seq, |v: u64| v.min(y.seq)));
                     }
                 }
                 if let Some(load_seq) = victim {
-                    self.events.push(ViolationEvent {
+                    // Every event fires a fixed delay after its issue
+                    // cycle, so firing order equals push order and the
+                    // drain in `fire_due_violations` can front-pop.
+                    debug_assert!(self.events.back().is_none_or(|e| e.fire_at <= agen));
+                    self.events.push_back(ViolationEvent {
                         fire_at: agen,
                         load_seq,
                         store_seq: seq,
@@ -1096,20 +1804,195 @@ impl<'p> Simulator<'p> {
 
     fn do_complete(&mut self) {
         // Fire due memory-order violation events (oldest load wins).
+        // Guarded so the common empty case does zero work; events sit in
+        // firing order, so the due prefix pops off the front.
+        if !self.events.is_empty() {
+            self.fire_due_violations();
+        }
+
+        // Completions and branch resolution, fully event-driven — no
+        // ROB sweep. The three sources below never perturb each other's
+        // predicates (they only touch their own entry's state/done_at
+        // and non-ROB structures), and due completions drain from the
+        // heap in (cycle, seq) order, which is exactly the oldest-first
+        // order the historical full scan processed them in.
+        let mut squash_req: Option<SquashReq> = None;
         let cycle = self.cycle;
-        let mut due: Vec<ViolationEvent> = Vec::new();
-        self.events.retain(|e| {
-            if e.fire_at <= cycle {
-                due.push(*e);
-                false
-            } else {
-                true
+
+        // Stores waiting on data learn their completion time as soon as
+        // the producer has scheduled it.
+        let mut i = 0;
+        while i < self.pending_store_data.len() {
+            let (seq, abs) = self.pending_store_data[i];
+            let idx = self.rob_locate(seq, abs).expect("pending store is in flight");
+            let d = &rob_entry!(self, idx);
+            debug_assert!(d.instr.op.is_store());
+            let data = d.srcs[1].expect("store has data");
+            let ready = self.phys.ready_at[data.preg as usize];
+            if ready == NO_CYCLE {
+                i += 1;
+                continue;
             }
-        });
+            let done = d.agen_at.max(ready);
+            self.pending_store_data.swap_remove(i);
+            rob_entry!(self, idx).done_at = done;
+            self.schedule_completion_at(done, cycle, seq, idx);
+        }
+
+        // Value integrations complete when the shared register is ready.
+        let mut i = 0;
+        while i < self.pending_int.len() {
+            let (seq, abs) = self.pending_int[i];
+            let idx = self.rob_locate(seq, abs).expect("pending integration is in flight");
+            debug_assert!(rob_entry!(self, idx).integrated);
+            // The shared register is exactly the renamed destination.
+            let out = rob_entry!(self, idx).dst_new.expect("value integration has a shared dst");
+            if self.phys.ready_at[out.preg as usize] > cycle {
+                i += 1;
+                continue;
+            }
+            self.pending_int.swap_remove(i);
+            let d = &mut rob_entry!(self, idx);
+            d.done_at = cycle;
+            d.state = State::Done;
+        }
+
+        // Bring far-scheduled completions into calendar range (the
+        // overflow list is almost always empty).
+        if !self.completions_far.is_empty() {
+            let mut i = 0;
+            while i < self.completions_far.len() {
+                let (t, seq, abs) = self.completions_far[i];
+                if t - cycle < COMPLETION_RING as u64 {
+                    self.completions_far.swap_remove(i);
+                    self.completions[(t as usize) & (COMPLETION_RING - 1)].push((seq, abs));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Drain this cycle's calendar bucket in seq order (lazily
+        // skipping squashed sequence numbers).
+        let slot = (cycle as usize) & (COMPLETION_RING - 1);
+        let mut due = std::mem::replace(
+            &mut self.completions[slot],
+            std::mem::take(&mut self.scratch_comp),
+        );
+        due.sort_unstable();
+        for &(seq, abs) in &due {
+            let Some(idx) = self.rob_locate(seq, abs) else { continue };
+            debug_assert_eq!(rob_entry!(self, idx).state, State::Issued);
+            debug_assert!(rob_entry!(self, idx).done_at <= cycle);
+            self.complete_issued(idx, &mut squash_req);
+        }
+        due.clear();
+        self.scratch_comp = due;
+        if let Some(req) = squash_req {
+            self.stats.squashes_branch += 1;
+            self.squash(req);
+        }
+    }
+
+    /// Schedules the completion event of the issued instruction at ROB
+    /// position `idx`, firing no earlier than `floor`: the completion
+    /// drain for this cycle has already run when issue-time scheduling
+    /// happens, so those events must land at `cycle + 1` at the
+    /// earliest — exactly when the old completion sweep would first
+    /// have seen them — while schedules from within the completion
+    /// phase itself (a store learning a past completion time) may still
+    /// fire in the current cycle's bucket.
+    #[inline]
+    fn schedule_completion_at(&mut self, done_at: Cycle, floor: Cycle, seq: u64, idx: usize) {
+        debug_assert_ne!(done_at, NO_CYCLE);
+        let abs = self.rob_base + idx as u64;
+        let fire = done_at.max(floor);
+        if fire - self.cycle >= COMPLETION_RING as u64 {
+            self.completions_far.push((fire, seq, abs));
+        } else {
+            self.completions[(fire as usize) & (COMPLETION_RING - 1)].push((seq, abs));
+        }
+    }
+
+    /// Marks the issued instruction at `idx` complete: writeback
+    /// bookkeeping, branch/return resolution, and (for the oldest
+    /// resolving mispredict) the squash request.
+    fn complete_issued(&mut self, idx: usize, squash_req: &mut Option<SquashReq>) {
+        let d = &rob_entry!(self, idx);
+        let seq = d.seq;
+        let instr = d.instr;
+        let class = d.class;
+        let outcome = d.outcome;
+        let actual_target = d.actual_target;
+        let pred_taken = d.pred_taken;
+        let pred_next_pc = d.pred_next_pc;
+        let call_depth = d.call_depth;
+        let pc = d.pc;
+        let srcs = d.srcs;
+        rob_entry!(self, idx).state = State::Done;
+        if let Some(out) = rob_entry!(self, idx).dst_new {
+            self.refvec.mark_written(out);
+        }
+        match class {
+            ExecClass::CondBranch => {
+                let taken = outcome.expect("resolved branch");
+                if self.cfg.integration.enabled {
+                    // Recomputes the rename-time key exactly: srcs hold
+                    // the renamed inputs the original key was built from.
+                    let key = ItKey::new(pc, instr, call_depth, srcs[0], srcs[1]);
+                    self.it.insert_branch(key, taken, seq);
+                }
+                if taken != pred_taken && !rob_entry!(self, idx).resolved_misp {
+                    rob_entry!(self, idx).resolved_misp = true;
+                    let redirect = if taken { instr.target } else { pc + 1 };
+                    let req = SquashReq {
+                        after_seq: seq,
+                        redirect,
+                        checkpoint: rob_pred_at!(self, idx).0,
+                        corrected: Some(taken),
+                    };
+                    if squash_req.is_none_or(|r| seq < r.after_seq) {
+                        *squash_req = Some(req);
+                    }
+                }
+            }
+            ExecClass::IndirectJump => {
+                let target = actual_target.expect("resolved ret");
+                if target != pred_next_pc && !rob_entry!(self, idx).resolved_misp {
+                    rob_entry!(self, idx).resolved_misp = true;
+                    let req = SquashReq {
+                        after_seq: seq,
+                        redirect: target,
+                        checkpoint: rob_pred_at!(self, idx).1,
+                        corrected: None,
+                    };
+                    if squash_req.is_none_or(|r| seq < r.after_seq) {
+                        *squash_req = Some(req);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pops every violation event whose `fire_at` has arrived and
+    /// squashes the offending loads, oldest load first. The scratch
+    /// buffer keeps this allocation-free.
+    fn fire_due_violations(&mut self) {
+        let cycle = self.cycle;
+        let mut due = std::mem::take(&mut self.scratch_due);
+        debug_assert!(due.is_empty());
+        while let Some(&e) = self.events.front() {
+            if e.fire_at > cycle {
+                break;
+            }
+            due.push(e);
+            self.events.pop_front();
+        }
         due.sort_unstable_by_key(|e| e.load_seq);
-        for ev in due {
+        for ev in due.drain(..) {
             let Some(idx) = self.rob_index(ev.load_seq) else { continue };
-            let d = &self.rob[idx];
+            let d = &rob_entry!(self, idx);
             if !d.instr.op.is_load() {
                 continue;
             }
@@ -1118,130 +2001,57 @@ impl<'p> Simulator<'p> {
             let req = SquashReq {
                 after_seq: ev.load_seq - 1,
                 redirect: d.pc,
-                checkpoint: d.pred.checkpoint,
+                checkpoint: rob_pred_at!(self, idx).0,
                 corrected: None,
             };
             self.squash(req);
         }
-
-        // Completions and branch resolution.
-        let mut squash_req: Option<SquashReq> = None;
-        for idx in 0..self.rob.len() {
-            let d = &self.rob[idx];
-            match d.state {
-                State::WaitInt => {
-                    if let Some(ig) = &d.integrated {
-                        if let ItOutput::Value(out) = ig.entry.out {
-                            if self.phys.ready_at[out.preg as usize] <= self.cycle {
-                                let d = &mut self.rob[idx];
-                                d.done_at = self.cycle;
-                                d.state = State::Done;
-                            }
-                        }
-                    }
-                }
-                State::Issued => {
-                    // Stores waiting on data learn their completion time
-                    // as soon as the producer has scheduled it.
-                    if d.instr.op.is_store() && d.done_at == NO_CYCLE {
-                        let data = d.srcs[1].expect("store has data");
-                        let ready = self.phys.ready_at[data.preg as usize];
-                        if ready != NO_CYCLE {
-                            let agen = d.agen_at;
-                            self.rob[idx].done_at = agen.max(ready);
-                        }
-                    }
-                    let d = &self.rob[idx];
-                    if d.done_at <= self.cycle {
-                        let seq = d.seq;
-                        let instr = d.instr;
-                        let outcome = d.outcome;
-                        let actual_target = d.actual_target;
-                        let pred = d.pred;
-                        let pc = d.pc;
-                        let key = d.it_key;
-                        {
-                            let d = &mut self.rob[idx];
-                            d.state = State::Done;
-                        }
-                        if let Some(out) = self.rob[idx].dst_new {
-                            self.refvec.mark_written(out);
-                        }
-                        match instr.exec_class() {
-                            ExecClass::CondBranch => {
-                                let taken = outcome.expect("resolved branch");
-                                if self.cfg.integration.enabled {
-                                    if let Some(key) = key {
-                                        self.it.insert_branch(key, taken, seq);
-                                    }
-                                }
-                                if taken != pred.taken && !self.rob[idx].resolved_misp {
-                                    self.rob[idx].resolved_misp = true;
-                                    let redirect =
-                                        if taken { instr.target } else { pc + 1 };
-                                    let req = SquashReq {
-                                        after_seq: seq,
-                                        redirect,
-                                        checkpoint: pred.checkpoint,
-                                        corrected: Some(taken),
-                                    };
-                                    if squash_req.is_none_or(|r| seq < r.after_seq) {
-                                        squash_req = Some(req);
-                                    }
-                                }
-                            }
-                            ExecClass::IndirectJump => {
-                                let target = actual_target.expect("resolved ret");
-                                if target != pred.next_pc && !self.rob[idx].resolved_misp {
-                                    self.rob[idx].resolved_misp = true;
-                                    let req = SquashReq {
-                                        after_seq: seq,
-                                        redirect: target,
-                                        checkpoint: pred.post_checkpoint,
-                                        corrected: None,
-                                    };
-                                    if squash_req.is_none_or(|r| seq < r.after_seq) {
-                                        squash_req = Some(req);
-                                    }
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        if let Some(req) = squash_req {
-            self.stats.squashes_branch += 1;
-            self.squash(req);
-        }
+        self.scratch_due = due;
     }
 
     // ----- squash ----------------------------------------------------------
 
     fn squash(&mut self, req: SquashReq) {
-        while self.rob.back().is_some_and(|d| d.seq > req.after_seq) {
-            let d = self.rob.pop_back().expect("checked non-empty");
-            if let Some(dst) = d.dst_log {
-                let old = d.dst_old.expect("renamed dst recorded its old mapping");
+        while self.rob_len > 0 && rob_entry!(self, self.rob_len - 1).seq > req.after_seq {
+            let d = &rob_entry!(self, self.rob_len - 1);
+            let (dst_log, dst_old, dst_new) = (d.dst_log, d.dst_old, d.dst_new);
+            let (holds_rs, holds_lsq) = (d.holds_rs, d.holds_lsq);
+            if let Some(dst) = dst_log {
+                let old = dst_old.expect("renamed dst recorded its old mapping");
                 self.map.set(dst, old);
-                let new = d.dst_new.expect("renamed dst allocated or integrated");
+                let new = dst_new.expect("renamed dst allocated or integrated");
                 self.refvec.unmap_squash(new);
             }
-            if d.holds_rs {
+            if holds_rs {
                 self.rs_used -= 1;
             }
-            if d.holds_lsq {
+            if holds_lsq {
                 self.lsq_used -= 1;
             }
+            self.rob_len -= 1;
         }
         self.sq.squash_younger(req.after_seq);
-        self.rename_mem.retain(|e| e.seq <= req.after_seq);
+        // Seq-ordered: squashed rename-overlay entries are a suffix.
+        while self.rename_mem.back().is_some_and(|e| e.seq > req.after_seq) {
+            self.rename_mem.pop_back();
+        }
+        // Purge squashed instructions from the eagerly-consumed
+        // scheduler lists. The completion heap, wake calendar and
+        // per-preg waiter lists are cleaned lazily at drain instead —
+        // sequence numbers are never reused, so stale entries are
+        // harmless.
+        self.ready_set.retain(|&(k, _)| k & ((1 << 62) - 1) <= req.after_seq);
+        self.wait_loads.retain(|&(s, ..)| s <= req.after_seq);
+        self.pending_store_data.retain(|&(s, _)| s <= req.after_seq);
+        self.pending_int.retain(|&(s, _)| s <= req.after_seq);
+        // Seq-ordered: squashed integration metadata is a suffix.
+        while self.integrated_meta.back().is_some_and(|&(s, _)| s > req.after_seq) {
+            self.integrated_meta.pop_back();
+        }
         self.events
             .retain(|e| e.load_seq <= req.after_seq && e.store_seq <= req.after_seq);
         self.frontend.repair(req.checkpoint, req.corrected);
-        self.fetch_queue.clear();
+        self.fq_len = 0;
         self.fetch_pc = req.redirect;
         self.fetch_blocked = false;
         self.cur_line = None;
@@ -1253,7 +2063,10 @@ impl<'p> Simulator<'p> {
 
     fn do_retire(&mut self) {
         for _ in 0..self.cfg.core.retire_width {
-            let Some(head) = self.rob.front() else { return };
+            if self.rob_len == 0 {
+                return;
+            }
+            let head = &rob_entry!(self, 0);
             if head.state != State::Done
                 || self.cycle < head.done_at.saturating_add(self.cfg.core.diva_delay)
             {
@@ -1271,8 +2084,10 @@ impl<'p> Simulator<'p> {
     /// DIVA-checks and retires the ROB head. Returns `false` when
     /// retirement must stall (write buffer) or the head was flushed.
     fn retire_head(&mut self) -> bool {
-        let head = self.rob.front().expect("caller checked");
+        debug_assert!(self.rob_len > 0, "caller checked");
+        let head = &rob_entry!(self, 0);
         let instr = head.instr;
+        let class = head.class;
         let pc = head.pc;
         let seq = head.seq;
 
@@ -1282,7 +2097,7 @@ impl<'p> Simulator<'p> {
         // flush and refetch from the correct PC.
         if pc != self.arch_next_pc {
             let redirect = self.arch_next_pc;
-            let checkpoint = head.pred.checkpoint;
+            let checkpoint = rob_pred_at!(self, 0).0;
             self.stats.squashes_diva += 1;
             self.squash(SquashReq { after_seq: seq - 1, redirect, checkpoint, corrected: None });
             return false;
@@ -1298,7 +2113,7 @@ impl<'p> Simulator<'p> {
         let mut golden_value: Option<u64> = None;
         let mut golden_ea: Option<u64> = None;
         let mut golden_taken: Option<bool> = None;
-        match instr.exec_class() {
+        match class {
             ExecClass::SimpleInt | ExecClass::Complex => {
                 golden_value = Some(semantics::alu(
                     instr.op,
@@ -1327,7 +2142,7 @@ impl<'p> Simulator<'p> {
             _ => {}
         }
 
-        let fault = match instr.exec_class() {
+        let fault = match class {
             ExecClass::SimpleInt | ExecClass::Complex | ExecClass::Load => {
                 let out = head.dst_new.expect("value op has dst");
                 Some(self.val(out)) != golden_value
@@ -1339,7 +2154,8 @@ impl<'p> Simulator<'p> {
         };
 
         if fault {
-            let integrated = head.integrated.is_some();
+            let integrated = head.integrated;
+            let checkpoint = rob_pred_at!(self, 0).0;
             self.stats.squashes_diva += 1;
             if integrated {
                 self.stats.integration.mis_integrations += 1;
@@ -1351,7 +2167,12 @@ impl<'p> Simulator<'p> {
                 } else {
                     self.stats.integration.register_mis_integrations += 1;
                 }
-                let ig = head.integrated.as_ref().expect("checked");
+                // The integrated head's metadata is the oldest in the
+                // seq-ordered side queue (the squash below drops it
+                // together with the head).
+                let (mseq, ig) =
+                    self.integrated_meta.front().expect("integrated head has metadata");
+                debug_assert_eq!(*mseq, seq);
                 let (key, out) = (ig.key, ig.entry.out);
                 self.it.invalidate(key, out);
             } else if instr.op.is_load() {
@@ -1362,7 +2183,7 @@ impl<'p> Simulator<'p> {
             let req = SquashReq {
                 after_seq: seq - 1, // flush includes the offender
                 redirect: pc,
-                checkpoint: head.pred.checkpoint,
+                checkpoint,
                 corrected: None,
             };
             self.squash(req);
@@ -1379,10 +2200,15 @@ impl<'p> Simulator<'p> {
             let data = gop2.expect("store data");
             self.arch_mem.store(instr.op, ea, data);
             let _ = self.sq.pop_retire(seq);
-            self.rename_mem.retain(|e| e.seq != seq);
+            if self.needs_golden {
+                // Stores retire in order and the overlay is seq-ordered,
+                // so the retiring store's entry is the front.
+                debug_assert!(self.rename_mem.front().is_some_and(|e| e.seq == seq));
+                self.rename_mem.pop_front();
+            }
         }
 
-        let head = self.rob.front().expect("still present");
+        let head = &rob_entry!(self, 0);
         // --- Architectural register update.
         if let Some(dst) = head.dst_log {
             self.arch_regs[dst.index()] =
@@ -1392,8 +2218,9 @@ impl<'p> Simulator<'p> {
         if instr.op.is_cond_branch() {
             self.stats.cond_branches_retired += 1;
             let taken = golden_taken.expect("cond branch");
-            self.frontend.resolve_cond(pc, head.pred.checkpoint, taken);
-            if taken != head.pred.taken {
+            let ckpt = rob_pred_at!(self, 0).0;
+            self.frontend.resolve_cond(pc, ckpt, taken);
+            if taken != head.pred_taken {
                 self.stats.branch_mispredicts += 1;
                 self.stats.resolution_latency_sum +=
                     head.done_at.saturating_sub(head.fetch_cycle);
@@ -1408,11 +2235,14 @@ impl<'p> Simulator<'p> {
             self.lsq_used -= 1;
         }
         // --- Integration accounting happens at retirement (§3.2).
-        if let Some(ig) = &head.integrated {
+        if head.integrated {
+            let (mseq, ig) =
+                self.integrated_meta.pop_front().expect("integrated head has metadata");
+            debug_assert_eq!(mseq, seq);
             self.stats.integration.record(ig.event);
         }
         // Advance the architectural PC chain.
-        self.arch_next_pc = match instr.exec_class() {
+        self.arch_next_pc = match class {
             ExecClass::CondBranch if golden_taken == Some(true) => instr.target,
             ExecClass::DirectJump => instr.target,
             ExecClass::IndirectJump => g1.expect("ret reads ra"),
@@ -1429,7 +2259,8 @@ impl<'p> Simulator<'p> {
         if instr.op == Opcode::Halt {
             self.halted = true;
         }
-        self.rob.pop_front();
+        self.rob_len -= 1;
+        self.rob_base += 1;
         true
     }
 
