@@ -11,18 +11,24 @@
 //! the new record.
 //!
 //! ```text
-//! perf [harness flags] [--warmup N] [--repeat K] [--out FILE] [--baseline FILE]
+//! perf [harness flags] [--workloads a,b,c] [--repeat K] [--out FILE] [--baseline FILE]
 //! ```
+//!
+//! `--workloads` restricts the measurement to a comma-separated list of
+//! benchmarks (validated with close-name suggestions), so a
+//! single-workload measurement does not pay for the full suite; warm-up
+//! is the shared harness `--warmup N` / `--warmup-mode` pair.
 //!
 //! Build with the fully-optimized profile when the numbers matter:
 //! `cargo run --profile release-lto -p rix-bench --bin perf`.
 
 use rix_bench::{Harness, Table, Trial};
 use rix_sim::SimConfig;
+use rix_workloads::Benchmark;
 
 struct PerfArgs {
     harness: Harness,
-    warmup: u64,
+    workloads: Option<Vec<Benchmark>>,
     repeat: usize,
     out: String,
     baseline: Option<String>,
@@ -30,7 +36,7 @@ struct PerfArgs {
 
 const PERF_USAGE: &str = "\
 perf-specific flags:\n\
-\x20 --warmup N              warm-up instructions discarded before timing (default 0)\n\
+\x20 --workloads a,b,c       measure only these benchmarks (comma-separated names)\n\
 \x20 --repeat K              timing repetitions per cell, best-of-K (default 3)\n\
 \x20 --out FILE              perf record to write (default BENCH_3.json)\n\
 \x20 --baseline FILE         previous perf record to compare against";
@@ -42,7 +48,7 @@ fn parse_args() -> Result<PerfArgs, String> {
         std::process::exit(0);
     }
     let mut rest = Vec::new();
-    let mut warmup = 0u64;
+    let mut workloads = None;
     let mut repeat = 3usize;
     let mut out = "BENCH_3.json".to_string();
     let mut baseline = None;
@@ -53,10 +59,18 @@ fn parse_args() -> Result<PerfArgs, String> {
     };
     while i < raw.len() {
         match raw[i].as_str() {
-            "--warmup" => {
-                let v = value(&raw, &mut i, "--warmup")?;
-                warmup =
-                    v.parse().map_err(|_| format!("--warmup takes a number, got `{v}`"))?;
+            "--workloads" => {
+                let v = value(&raw, &mut i, "--workloads")?;
+                let list = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|n| !n.is_empty())
+                    .map(rix_workloads::lookup)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err("--workloads takes a comma-separated list of names".into());
+                }
+                workloads = Some(list);
             }
             "--repeat" => {
                 let v = value(&raw, &mut i, "--repeat")?;
@@ -73,7 +87,10 @@ fn parse_args() -> Result<PerfArgs, String> {
         i += 1;
     }
     let harness = Harness::try_parse(rest)?;
-    Ok(PerfArgs { harness, warmup, repeat, out, baseline })
+    if workloads.is_some() && harness.filter.is_some() {
+        return Err("--workloads and --bench are mutually exclusive filters".into());
+    }
+    Ok(PerfArgs { harness, workloads, repeat, out, baseline })
 }
 
 /// Geometric mean of strictly positive samples (0 when empty).
@@ -96,6 +113,9 @@ fn json_f64(x: f64) -> String {
 /// A previous perf record, reduced to its per-cell KIPS numbers.
 struct BaselineRecord {
     file: String,
+    /// The record's `warmup_mode` field ("detailed" when absent —
+    /// records predating the field were all detailed).
+    warmup_mode: String,
     cells: Vec<(String, String, f64)>, // (bench, config, kips)
 }
 
@@ -127,7 +147,10 @@ impl BaselineRecord {
         if cells.is_empty() {
             return Err(format!("baseline `{path}` contains no perf cells"));
         }
-        Ok(Self { file: path.to_string(), cells })
+        let header = text.split("\"results\"").next().unwrap_or("");
+        let warmup_mode =
+            extract_str(header, "warmup_mode").unwrap_or_else(|| "detailed".to_string());
+        Ok(Self { file: path.to_string(), warmup_mode, cells })
     }
 
     fn kips(&self, bench: &str, config: &str) -> Option<f64> {
@@ -167,6 +190,19 @@ fn main() {
         }
     });
     let h = &args.harness;
+    let warmup_mode = match h.warmup_mode {
+        rix_bench::WarmupMode::Detailed => "detailed",
+        rix_bench::WarmupMode::Functional => "functional",
+    };
+    if let Some(b) = &baseline {
+        if b.warmup_mode != warmup_mode {
+            eprintln!(
+                "warning: baseline `{}` was measured with {} warm-up, this run uses {} — \
+                 the KIPS comparison mixes methodologies",
+                b.file, b.warmup_mode, warmup_mode
+            );
+        }
+    }
     let configs = [
         ("base".to_string(), SimConfig::baseline()),
         ("integration".to_string(), SimConfig::default()),
@@ -176,7 +212,10 @@ fn main() {
     // repetition: simulated results are deterministic across
     // repetitions (asserted below), so best-of-K only de-noises the
     // host-side timing.
-    let sweep = h.sweep().warmup(args.warmup).configs(configs.to_vec());
+    let mut sweep = h.sweep().configs(configs.to_vec());
+    if let Some(list) = &args.workloads {
+        sweep = sweep.benchmarks(list.iter().copied());
+    }
     let mut best: Vec<Trial> = sweep.run();
     for _ in 1..args.repeat {
         let again = sweep.run();
@@ -265,12 +304,18 @@ fn main() {
             json_f64(gmean(&speedups)),
         )
     });
+    // The warm-up mode is part of the measurement methodology (a
+    // functional warm-up measures a differently-prepared interval than
+    // a detailed one), so the record carries it: trajectory comparisons
+    // across modes are visible in the files, not silent.
     let record = format!(
         "{{\n  \"schema\":\"rix-perf/1\",\n  \"instructions\":{},\n  \"warmup\":{},\n  \
+         \"warmup_mode\":\"{}\",\n  \
          \"seed\":{},\n  \"threads\":{},\n  \"repeat\":{},\n{}  \"gmean_kips\":{},\n  \
          \"results\":[\n{}\n  ]\n}}\n",
         h.instructions,
-        args.warmup,
+        h.warmup,
+        warmup_mode,
         h.seed,
         h.threads,
         args.repeat,

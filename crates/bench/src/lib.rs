@@ -13,7 +13,11 @@
 //! Shared flags: `--instructions N` (retired instructions per run,
 //! default 100 000), `--seed S`, `--bench NAME` (filter to one
 //! benchmark, case-insensitive), `--threads N` (parallel trials),
-//! `--json` (machine-readable trial records instead of tables). All
+//! `--warmup N` (instructions discarded before measuring) with
+//! `--warmup-mode detailed|functional` (per-cell detailed warm-up vs
+//! one shared interpreter fast-forward per benchmark — see
+//! [`WarmupMode`]), `--json` (machine-readable trial records instead of
+//! tables). All
 //! binaries print aligned text tables whose rows/series match the
 //! paper's figures; trial order — and therefore every table — is
 //! independent of the thread count.
@@ -27,11 +31,41 @@
 //! performance regressions in the simulator itself are visible.
 
 use rix_integration::IntegrationConfig;
-use rix_isa::Program;
+use rix_isa::interp::Interp;
+use rix_isa::{ArchState, Program};
 use rix_sim::{RunResult, SimConfig, Simulator, StopWhen};
 use rix_workloads::Benchmark;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How a [`Sweep`] executes its warm-up phase.
+///
+/// The default, [`WarmupMode::Detailed`], is the historical behaviour:
+/// every (benchmark × config) cell runs its own warm-up on the detailed
+/// machine and measures with warm caches, predictors and integration
+/// table. [`WarmupMode::Functional`] instead **fast-forwards each
+/// (benchmark, seed) once** through the reference interpreter and boots
+/// every config arm of that row from the shared [`ArchState`]
+/// (`Simulator::from_arch_state`), so an N-config sweep pays one cheap
+/// functional warm-up instead of N detailed ones.
+///
+/// The trade-off is methodological, which is why functional warm-up is
+/// opt-in: a functionally fast-forwarded cell starts its measurement
+/// with **cold** microarchitectural structures (the architectural state
+/// is mid-program, the caches are not), so its absolute numbers are not
+/// comparable with detailed-warm-up numbers — but its *relative*
+/// comparisons across config arms share identical starting conditions,
+/// and the sweep's wall-clock drops by roughly the per-arm warm-up cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WarmupMode {
+    /// Per-cell warm-up on the detailed machine (the default; byte-
+    /// identical to sweeps before functional warm-up existed).
+    #[default]
+    Detailed,
+    /// One interpreter fast-forward per (benchmark, seed), forked across
+    /// every config arm.
+    Functional,
+}
 
 /// Common command-line options for the figure binaries.
 #[derive(Clone, Debug)]
@@ -48,6 +82,11 @@ pub struct Harness {
     pub threads: usize,
     /// Emit trial records as JSON instead of text tables.
     pub json: bool,
+    /// Warm-up instructions discarded before measuring (0 = cold).
+    pub warmup: u64,
+    /// How the warm-up executes (per-cell detailed vs shared
+    /// functional fast-forward).
+    pub warmup_mode: WarmupMode,
 }
 
 impl Default for Harness {
@@ -59,6 +98,8 @@ impl Default for Harness {
             diagnostics: false,
             threads: 1,
             json: false,
+            warmup: 0,
+            warmup_mode: WarmupMode::Detailed,
         }
     }
 }
@@ -74,6 +115,9 @@ impl Harness {
          \x20 --seed S                workload generator seed (default 7)\n\
          \x20 --bench NAME            restrict to one benchmark (case-insensitive)\n\
          \x20 --threads N             worker threads for the sweep (default 1)\n\
+         \x20 --warmup N              warm-up instructions discarded before measuring (default 0)\n\
+         \x20 --warmup-mode MODE      `detailed` (per cell, default) or `functional`\n\
+         \x20                         (one interpreter fast-forward shared by all config arms)\n\
          \x20 --json                  print trial records as JSON, not tables\n\
          \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
          \x20 --help, -h              this message"
@@ -135,6 +179,24 @@ impl Harness {
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| format!("--threads takes a count >= 1, got `{v}`"))?;
                 }
+                "--warmup" => {
+                    let v = value(&args, &mut i, "--warmup")?;
+                    h.warmup = v
+                        .parse()
+                        .map_err(|_| format!("--warmup takes a number, got `{v}`"))?;
+                }
+                "--warmup-mode" => {
+                    let v = value(&args, &mut i, "--warmup-mode")?;
+                    h.warmup_mode = match v.as_str() {
+                        "detailed" => WarmupMode::Detailed,
+                        "functional" => WarmupMode::Functional,
+                        _ => {
+                            return Err(format!(
+                                "--warmup-mode takes `detailed` or `functional`, got `{v}`"
+                            ))
+                        }
+                    };
+                }
                 "--json" => h.json = true,
                 "--diagnostics" => h.diagnostics = true,
                 other => return Err(format!("unknown argument `{other}`")),
@@ -162,7 +224,8 @@ impl Harness {
     }
 
     /// A [`Sweep`] over the selected benchmarks with this harness's
-    /// instruction budget, seed and thread count; add configs and run.
+    /// instruction budget, seed, thread count and warm-up settings; add
+    /// configs and run.
     #[must_use]
     pub fn sweep(&self) -> Sweep {
         Sweep::new()
@@ -170,6 +233,8 @@ impl Harness {
             .instructions(self.instructions)
             .seed(self.seed)
             .threads(self.threads)
+            .warmup(self.warmup)
+            .warmup_mode(self.warmup_mode)
     }
 }
 
@@ -183,9 +248,11 @@ pub struct Trial {
     /// The simulation outcome.
     pub result: RunResult,
     /// Wall-clock time this cell's simulation took (construction, warm-up
-    /// and measurement; excludes program generation, which is shared
-    /// across a grid row). Deliberately excluded from [`Trial::to_json`]
-    /// so the `--json` figure output stays deterministic.
+    /// and measurement; excludes work shared across a grid row — program
+    /// generation, and the per-benchmark interpreter fast-forward under
+    /// [`WarmupMode::Functional`]). Deliberately excluded from
+    /// [`Trial::to_json`] so the `--json` figure output stays
+    /// deterministic.
     pub wall: std::time::Duration,
 }
 
@@ -266,6 +333,7 @@ pub struct Sweep {
     configs: Vec<(String, SimConfig)>,
     instructions: u64,
     warmup: u64,
+    warmup_mode: WarmupMode,
     seed: u64,
     threads: usize,
 }
@@ -285,6 +353,7 @@ impl Sweep {
             configs: Vec::new(),
             instructions: 100_000,
             warmup: 0,
+            warmup_mode: WarmupMode::Detailed,
             seed: 7,
             threads: 1,
         }
@@ -329,6 +398,16 @@ impl Sweep {
         self
     }
 
+    /// How the warm-up executes: [`WarmupMode::Detailed`] (per cell, the
+    /// default) or [`WarmupMode::Functional`] (one interpreter
+    /// fast-forward per benchmark row, shared by every config arm). Has
+    /// no effect when [`Sweep::warmup`] is 0.
+    #[must_use]
+    pub fn warmup_mode(mut self, mode: WarmupMode) -> Self {
+        self.warmup_mode = mode;
+        self
+    }
+
     /// Workload generator seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -357,12 +436,51 @@ impl Sweep {
         // row share it read-only across workers.
         let programs: Vec<Program> =
             self.benchmarks.iter().map(|b| b.build(self.seed)).collect();
+        // Functional warm-up: fast-forward each (benchmark, seed) once
+        // through the interpreter; every config arm of the row forks
+        // from the shared snapshot. The fast-forward itself is shared
+        // work and therefore — like program generation — excluded from
+        // the per-cell wall clock.
+        let functional = self.warmup > 0 && self.warmup_mode == WarmupMode::Functional;
+        let warm_states: Vec<Option<ArchState>> = if functional {
+            let stack_top = self.configs[0].1.stack_top;
+            assert!(
+                self.configs.iter().all(|(_, c)| c.stack_top == stack_top),
+                "functional warm-up shares one interpreter run per benchmark, \
+                 so every config arm must agree on stack_top"
+            );
+            // The per-benchmark fast-forwards are independent, so they
+            // use the sweep's thread budget too (statically partitioned
+            // — interpreter warm-ups are near-uniform in cost): without
+            // this, serial warm-up would bound a wide sweep's speedup.
+            let mut states: Vec<Option<ArchState>> = vec![None; programs.len()];
+            let workers = self.threads.max(1).min(programs.len());
+            let chunk = programs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (progs, slots) in programs.chunks(chunk).zip(states.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (p, slot) in progs.iter().zip(slots) {
+                            *slot = Some(Interp::new(p, stack_top).fast_forward(self.warmup));
+                        }
+                    });
+                }
+            });
+            states
+        } else {
+            vec![None; programs.len()]
+        };
         let run_cell = |i: usize| -> Trial {
             let bench = self.benchmarks[i / ncfg];
             let (label, cfg) = &self.configs[i % ncfg];
             let program = &programs[i / ncfg];
             let start = std::time::Instant::now();
-            let result = if self.warmup == 0 {
+            let result = if let Some(state) = &warm_states[i / ncfg] {
+                // Boot the detailed machine at the fast-forwarded
+                // architectural boundary (cold microarchitecture) and
+                // measure from there.
+                let mut sim = Simulator::from_arch_state(program, *cfg, state);
+                sim.run_budget(self.instructions)
+            } else if self.warmup == 0 {
                 // The exact one-shot path, so a warm-up-free sweep is
                 // byte-identical to the historical serial loops.
                 Simulator::new(program, *cfg).run(self.instructions)
@@ -545,6 +663,73 @@ mod tests {
         assert!(Harness::try_parse(args("--threads 0")).unwrap_err().contains(">= 1"));
         let err = Harness::try_parse(args("--bench vortx")).unwrap_err();
         assert!(err.contains("vortex"), "suggests the close name: {err}");
+    }
+
+    #[test]
+    fn try_parse_warmup_flags() {
+        let args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let h = Harness::try_parse(args("--warmup 30000")).unwrap();
+        assert_eq!(h.warmup, 30_000);
+        assert_eq!(h.warmup_mode, WarmupMode::Detailed, "detailed stays the default");
+        let h = Harness::try_parse(args("--warmup 1000 --warmup-mode functional")).unwrap();
+        assert_eq!(h.warmup_mode, WarmupMode::Functional);
+        let h = Harness::try_parse(args("--warmup-mode detailed")).unwrap();
+        assert_eq!(h.warmup_mode, WarmupMode::Detailed);
+        assert!(Harness::try_parse(args("--warmup-mode sampled"))
+            .unwrap_err()
+            .contains("detailed"));
+        assert!(Harness::try_parse(args("--warmup lots")).unwrap_err().contains("number"));
+    }
+
+    #[test]
+    fn functional_warmup_forks_one_fast_forward_per_row() {
+        let benches: Vec<_> = rix_workloads::all_benchmarks().into_iter().take(2).collect();
+        let sweep = Sweep::new()
+            .benchmarks(benches.clone())
+            .config("base", SimConfig::baseline())
+            .config("integration", SimConfig::default())
+            .instructions(2_000)
+            .warmup(3_000)
+            .warmup_mode(WarmupMode::Functional);
+        let trials = sweep.clone().run();
+        assert_eq!(trials.len(), 4);
+        for t in &trials {
+            assert!(
+                t.result.stats.retired >= 2_000,
+                "{}/{} measured a full budget",
+                t.bench,
+                t.config_label
+            );
+        }
+        // Every arm of a row forks from the same architectural boundary:
+        // the measured interval starts at warm-up retirement, so the two
+        // arms of one benchmark retire the same instruction stream and
+        // the trials are deterministic across thread counts.
+        let again = sweep.threads(3).run();
+        for (a, b) in trials.iter().zip(&again) {
+            assert_eq!(a.result, b.result, "{}/{}", a.bench, a.config_label);
+        }
+        // And the functional path actually took the fast-forward route:
+        // its cells start from a mid-program state, so they differ from
+        // a cold (no-warm-up) sweep of the same budget.
+        let cold = Sweep::new()
+            .benchmarks(benches)
+            .config("base", SimConfig::baseline())
+            .instructions(2_000)
+            .run();
+        assert_ne!(cold[0].result, trials[0].result);
+    }
+
+    #[test]
+    fn functional_warmup_with_empty_grid_is_empty() {
+        // The empty-grid early return fires before any warm-up work, in
+        // every mode.
+        let trials = Sweep::new()
+            .benchmarks(rix_workloads::all_benchmarks().into_iter().take(1))
+            .warmup(1_000)
+            .warmup_mode(WarmupMode::Functional)
+            .run();
+        assert!(trials.is_empty(), "no configs -> no trials, no panic");
     }
 
     #[test]

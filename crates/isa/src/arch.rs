@@ -1,0 +1,348 @@
+//! Architectural state: the portable truth shared by every execution
+//! engine.
+//!
+//! [`ArchState`] is the complete architectural snapshot of a program at a
+//! retirement boundary — program counter, the 64 logical registers, the
+//! memory image, and the retired-instruction position. The reference
+//! interpreter ([`crate::interp::Interp`]) *is* a thin stepper over one;
+//! the out-of-order simulator retires into one and can boot from one
+//! mid-program (`Simulator::from_arch_state`); checkpoints serialise one
+//! to disk; and the sweep layer forks one warm-up across config arms.
+//!
+//! Two engines agree architecturally **iff** their `ArchState`s compare
+//! equal — equality covers the memory image word-for-word, not just the
+//! registers.
+//!
+//! ```
+//! use rix_isa::{ArchState, Asm, reg};
+//! use rix_isa::interp::Interp;
+//!
+//! let mut a = Asm::new();
+//! a.addq_i(reg::R1, reg::ZERO, 7);
+//! a.halt();
+//! let p = a.assemble()?;
+//! let mut i = Interp::new(&p, 0x8000);
+//! let state: ArchState = i.fast_forward(1); // run 1 instruction
+//! assert_eq!(state.reg(reg::R1), 7);
+//! assert_eq!(state.retired, 1);
+//! // The snapshot round-trips through its hand-rolled JSON form.
+//! assert_eq!(ArchState::from_json(&state.to_json())?, state);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::json::Json;
+use crate::program::Program;
+use crate::reg::{LogReg, NUM_LOG_REGS, SP};
+use crate::{DataAddr, InstAddr};
+use std::collections::BTreeMap;
+
+/// Words per 4 KB page.
+pub const WORDS_PER_PAGE: usize = 512;
+/// Page number = byte address >> this.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A sparse, page-granular memory image of 64-bit words. Uninitialised
+/// words read as zero; two images are equal **iff** every word reads
+/// equal (an explicitly written zero is indistinguishable from an
+/// untouched word, so equality and serialisation consider non-zero
+/// words only).
+///
+/// Pages are kept in a `BTreeMap`, so iteration — and therefore the
+/// serialised form — is deterministic regardless of write order.
+#[derive(Clone, Debug, Default)]
+pub struct MemImage {
+    pages: BTreeMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+}
+
+impl MemImage {
+    /// An empty (all-zero) image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the naturally-aligned word containing `addr`.
+    #[must_use]
+    pub fn read_word(&self, addr: DataAddr) -> u64 {
+        let idx = ((addr >> 3) as usize) & (WORDS_PER_PAGE - 1);
+        self.pages.get(&(addr >> PAGE_SHIFT)).map_or(0, |p| p[idx])
+    }
+
+    /// Writes the naturally-aligned word containing `addr`.
+    pub fn write_word(&mut self, addr: DataAddr, value: u64) {
+        let idx = ((addr >> 3) as usize) & (WORDS_PER_PAGE - 1);
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; WORDS_PER_PAGE]))[idx] = value;
+    }
+
+    /// Seeds the image from an assembled program's data segments.
+    pub fn load_segments(&mut self, segments: &[crate::program::DataSegment]) {
+        for seg in segments {
+            for (i, &w) in seg.words.iter().enumerate() {
+                self.write_word(seg.base + 8 * i as u64, w);
+            }
+        }
+    }
+
+    /// Iterates the non-zero words as `(byte address, word)`, in
+    /// ascending address order.
+    pub fn words(&self) -> impl Iterator<Item = (DataAddr, u64)> + '_ {
+        self.pages.iter().flat_map(|(&page, words)| {
+            words
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != 0)
+                .map(move |(i, &w)| ((page << PAGE_SHIFT) | (i as u64) << 3, w))
+        })
+    }
+
+    /// Iterates the resident pages as `(page number, words)`, in
+    /// ascending page order — the bulk-copy path used to seed a
+    /// simulator `DataStore` without going word-by-word.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u64; WORDS_PER_PAGE])> {
+        self.pages.iter().map(|(&page, words)| (page, &**words))
+    }
+
+    /// Installs a whole page at once (the bulk path back *from* a
+    /// `DataStore` dump).
+    pub fn set_page(&mut self, page: u64, words: [u64; WORDS_PER_PAGE]) {
+        self.pages.insert(page, Box::new(words));
+    }
+
+    /// Number of resident pages (all-zero pages may count).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl PartialEq for MemImage {
+    fn eq(&self, other: &Self) -> bool {
+        // Word-for-word over the non-zero words: resident-but-zero pages
+        // (a zero stored over a fresh page) must not break equality.
+        self.words().eq(other.words())
+    }
+}
+
+impl Eq for MemImage {}
+
+impl FromIterator<(DataAddr, u64)> for MemImage {
+    fn from_iter<T: IntoIterator<Item = (DataAddr, u64)>>(iter: T) -> Self {
+        let mut img = Self::new();
+        for (addr, word) in iter {
+            img.write_word(addr, word);
+        }
+        img
+    }
+}
+
+/// A complete architectural snapshot at a retirement boundary.
+///
+/// See the [module docs](self) for the role this plays across the
+/// workspace. Serialises with [`ArchState::to_json`] /
+/// [`ArchState::from_json`] (hand-rolled, dependency-free, exact-`u64`
+/// round trip).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchState {
+    /// The next instruction to execute (for a halted state: the
+    /// instruction after the `halt`).
+    pub pc: InstAddr,
+    /// The 64 logical registers, by flat index.
+    pub regs: [u64; NUM_LOG_REGS],
+    /// Instructions retired to reach this state, counted from program
+    /// entry.
+    pub retired: u64,
+    /// Whether a `halt` has retired.
+    pub halted: bool,
+    /// The memory image (initial data segments plus every retired
+    /// store).
+    pub mem: MemImage,
+}
+
+impl ArchState {
+    /// The state of `program` before any instruction executes: PC at the
+    /// entry point, registers zero except the stack pointer, memory
+    /// seeded from the data segments.
+    #[must_use]
+    pub fn initial(program: &Program, stack_top: u64) -> Self {
+        let mut regs = [0u64; NUM_LOG_REGS];
+        regs[SP.index()] = stack_top;
+        let mut mem = MemImage::new();
+        mem.load_segments(program.data_segments());
+        Self { pc: program.entry(), regs, retired: 0, halted: false, mem }
+    }
+
+    /// Register value by name.
+    #[must_use]
+    pub fn reg(&self, r: LogReg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Memory word containing `addr` (zero when untouched).
+    #[must_use]
+    pub fn mem_word(&self, addr: DataAddr) -> u64 {
+        self.mem.read_word(addr)
+    }
+
+    /// Serialises the snapshot as a JSON object: scalars, the full
+    /// register file, and the non-zero memory words as `[address, word]`
+    /// pairs in ascending address order (so equal states serialise to
+    /// identical bytes).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            r#"{{"pc":{},"retired":{},"halted":{},"regs":["#,
+            self.pc, self.retired, self.halted
+        );
+        for (i, r) in self.regs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{r}");
+        }
+        out.push_str("],\"mem\":[");
+        for (i, (addr, word)) in self.mem.words().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{addr},{word}]");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot serialised by [`ArchState::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Reads a snapshot out of an already-parsed [`Json`] value (e.g. a
+    /// field of an enclosing document, like a checkpoint's `"arch"`).
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let pc = v.req_u64("pc")?;
+        let retired = v.req_u64("retired")?;
+        let halted = v
+            .req("halted")?
+            .as_bool()
+            .ok_or_else(|| "key `halted` is not a bool".to_string())?;
+        let regs_json = v
+            .req("regs")?
+            .as_arr()
+            .ok_or_else(|| "key `regs` is not an array".to_string())?;
+        if regs_json.len() != NUM_LOG_REGS {
+            return Err(format!("expected {NUM_LOG_REGS} registers, got {}", regs_json.len()));
+        }
+        let mut regs = [0u64; NUM_LOG_REGS];
+        for (i, r) in regs_json.iter().enumerate() {
+            regs[i] = r.as_u64().ok_or_else(|| format!("register {i} is not a u64"))?;
+        }
+        let mut mem = MemImage::new();
+        for (i, cell) in v
+            .req("mem")?
+            .as_arr()
+            .ok_or_else(|| "key `mem` is not an array".to_string())?
+            .iter()
+            .enumerate()
+        {
+            let pair = cell.as_arr().filter(|p| p.len() == 2);
+            let (addr, word) = pair
+                .and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?)))
+                .ok_or_else(|| format!("mem entry {i} is not an [address, word] pair"))?;
+            mem.write_word(addr, word);
+        }
+        Ok(Self { pc, regs, retired, halted, mem })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg;
+
+    #[test]
+    fn image_zero_fill_and_roundtrip() {
+        let mut m = MemImage::new();
+        assert_eq!(m.read_word(0x1234), 0);
+        m.write_word(0x1000, 42);
+        m.write_word(0x0ff8, 7);
+        assert_eq!(m.read_word(0x1000), 42);
+        assert_eq!(m.read_word(0x1004), 42, "word-aligned access");
+        assert_eq!(m.resident_pages(), 2);
+        let words: Vec<_> = m.words().collect();
+        assert_eq!(words, vec![(0x0ff8, 7), (0x1000, 42)], "ascending address order");
+    }
+
+    #[test]
+    fn image_equality_ignores_explicit_zeros() {
+        let mut a = MemImage::new();
+        let b = MemImage::new();
+        a.write_word(0x9000, 0); // resident page, all-zero
+        assert_eq!(a, b);
+        a.write_word(0x9000, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn image_from_iterator_and_pages() {
+        let img: MemImage = vec![(0x2000u64, 5u64), (0x2008, 6)].into_iter().collect();
+        assert_eq!(img.read_word(0x2008), 6);
+        let pages: Vec<_> = img.pages().map(|(p, _)| p).collect();
+        assert_eq!(pages, vec![2]);
+        let mut copy = MemImage::new();
+        for (p, words) in img.pages() {
+            copy.set_page(p, *words);
+        }
+        assert_eq!(copy, img);
+    }
+
+    #[test]
+    fn initial_state_seeds_sp_and_segments() {
+        let mut a = Asm::new();
+        a.data(0x3000, vec![11, 12]);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let s = ArchState::initial(&p, 0x8000);
+        assert_eq!(s.pc, p.entry());
+        assert_eq!(s.reg(reg::SP), 0x8000);
+        assert_eq!(s.reg(reg::R1), 0);
+        assert_eq!(s.mem_word(0x3008), 12);
+        assert_eq!(s.retired, 0);
+        assert!(!s.halted);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut s = ArchState::initial(&p, 0x0800_0000);
+        s.regs[5] = u64::MAX;
+        s.regs[63] = 0x8000_0000_0000_0001;
+        s.mem.write_word(0xffff_ffff_ffff_f000, u64::MAX - 1);
+        s.retired = 123_456;
+        s.halted = true;
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        let back = ArchState::from_json(&j).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), j, "canonical form is stable");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(ArchState::from_json("{}").is_err());
+        assert!(ArchState::from_json(r#"{"pc":0,"retired":0,"halted":true,"regs":[1],"mem":[]}"#)
+            .unwrap_err()
+            .contains("64 registers"));
+        let mut asm = Asm::new();
+        asm.halt();
+        let mut ok = ArchState::initial(&asm.assemble().unwrap(), 0).to_json();
+        ok.truncate(ok.len() - 1);
+        assert!(ArchState::from_json(&ok).is_err());
+    }
+}

@@ -1,19 +1,32 @@
 //! A simple in-order reference interpreter.
 //!
 //! [`Interp`] executes a [`Program`] functionally, one instruction at a
-//! time, with no microarchitecture at all. The simulator's test suite
-//! cross-validates the out-of-order core against it: whatever speculation,
-//! integration, or mis-integration happened along the way, the retired
-//! architectural state must match this interpreter exactly.
+//! time, with no microarchitecture at all — it is a thin stepper over an
+//! [`ArchState`]. The simulator's test suite cross-validates the
+//! out-of-order core against it: whatever speculation, integration, or
+//! mis-integration happened along the way, the retired architectural
+//! state must match this interpreter exactly.
+//!
+//! Because the interpreter and the simulator share [`ArchState`], the
+//! interpreter doubles as the **functional fast-forward** engine:
+//! [`Interp::fast_forward`] advances `n` instructions at interpreter
+//! speed and returns a snapshot that `Simulator::from_arch_state` can
+//! boot the detailed machine from — one cheap warm-up shared by every
+//! config arm of a sweep, instead of one detailed warm-up per arm.
 
+use crate::arch::ArchState;
 use crate::instr::Operand;
 use crate::opcode::{ExecClass, Opcode};
 use crate::program::Program;
-use crate::reg::{LogReg, NUM_LOG_REGS, SP};
+use crate::reg::LogReg;
 use crate::{semantics, InstAddr};
-use std::collections::HashMap;
 
 /// Why the interpreter stopped.
+///
+/// This is the *functional* stop reason — distinct from the simulator's
+/// `rix_sim::StopReason`, which reports why a cycle-level session ended.
+/// The facade prelude re-exports this type as `InterpStopReason` to keep
+/// the two apart.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
     /// Executed a `halt`.
@@ -24,78 +37,112 @@ pub enum StopReason {
     FellOffProgram,
 }
 
-/// The reference interpreter.
+/// The reference interpreter: a [`Program`] plus the [`ArchState`] it
+/// steps.
 #[derive(Clone, Debug)]
 pub struct Interp<'p> {
     program: &'p Program,
-    pc: InstAddr,
-    regs: [u64; NUM_LOG_REGS],
-    mem: HashMap<u64, u64>,
-    steps: u64,
+    state: ArchState,
 }
 
 impl<'p> Interp<'p> {
-    /// Creates an interpreter with the stack pointer initialised to
-    /// `stack_top` and memory seeded from the program's data segments.
+    /// Creates an interpreter at the program's initial state, with the
+    /// stack pointer initialised to `stack_top` and memory seeded from
+    /// the program's data segments.
     #[must_use]
     pub fn new(program: &'p Program, stack_top: u64) -> Self {
-        let mut regs = [0u64; NUM_LOG_REGS];
-        regs[SP.index()] = stack_top;
-        let mut mem = HashMap::new();
-        for seg in program.data_segments() {
-            for (i, &w) in seg.words.iter().enumerate() {
-                mem.insert(seg.base + 8 * i as u64, w);
-            }
-        }
-        Self { program, pc: program.entry(), regs, mem, steps: 0 }
+        Self { program, state: ArchState::initial(program, stack_top) }
+    }
+
+    /// Resumes an interpreter from an existing architectural snapshot
+    /// (e.g. one dumped by the detailed simulator or loaded from a
+    /// checkpoint).
+    #[must_use]
+    pub fn from_arch_state(program: &'p Program, state: ArchState) -> Self {
+        Self { program, state }
+    }
+
+    /// The current architectural state.
+    #[must_use]
+    pub fn arch_state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Consumes the interpreter into its architectural state.
+    #[must_use]
+    pub fn into_arch_state(self) -> ArchState {
+        self.state
     }
 
     /// Current register value.
     #[must_use]
     pub fn reg(&self, r: LogReg) -> u64 {
-        self.regs[r.index()]
+        self.state.regs[r.index()]
     }
 
     /// Current memory word (zero when untouched).
     #[must_use]
     pub fn mem_word(&self, addr: u64) -> u64 {
-        *self.mem.get(&(addr & !7)).unwrap_or(&0)
+        self.state.mem.read_word(addr)
     }
 
     /// Instructions executed so far.
     #[must_use]
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.state.retired
     }
 
     /// Current program counter.
     #[must_use]
     pub fn pc(&self) -> InstAddr {
-        self.pc
+        self.state.pc
+    }
+
+    /// Whether a `halt` has executed.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.state.halted
     }
 
     fn read(&self, r: LogReg) -> u64 {
         if r.is_zero() {
             0
         } else {
-            self.regs[r.index()]
+            self.state.regs[r.index()]
         }
     }
 
     fn write(&mut self, r: LogReg, v: u64) {
         if !r.is_zero() {
-            self.regs[r.index()] = v;
+            self.state.regs[r.index()] = v;
         }
+    }
+
+    /// Advances up to `n` instructions and returns a snapshot of the
+    /// reached architectural state — the functional-warm-up entry point
+    /// (see the [module docs](self)).
+    ///
+    /// Equivalent to [`Interp::run`]`(n)` followed by
+    /// [`Interp::arch_state`]`.clone()`; stops early at a `halt` or on
+    /// falling off the program, which the snapshot's `halted` flag / `pc`
+    /// reflect.
+    #[must_use]
+    pub fn fast_forward(&mut self, n: u64) -> ArchState {
+        let _ = self.run(n);
+        self.state.clone()
     }
 
     /// Runs up to `max_steps` instructions.
     pub fn run(&mut self, max_steps: u64) -> StopReason {
+        if self.state.halted {
+            return StopReason::Halted;
+        }
         for _ in 0..max_steps {
-            let Some(i) = self.program.fetch(self.pc) else {
+            let Some(i) = self.program.fetch(self.state.pc) else {
                 return StopReason::FellOffProgram;
             };
-            self.steps += 1;
-            let mut next = self.pc + 1;
+            self.state.retired += 1;
+            let mut next = self.state.pc + 1;
             match i.exec_class() {
                 ExecClass::SimpleInt | ExecClass::Complex => {
                     let a = self.read(i.src1.expect("ALU src1"));
@@ -109,7 +156,7 @@ impl<'p> Interp<'p> {
                 ExecClass::Load => {
                     let base = self.read(i.src1.expect("load base"));
                     let ea = semantics::effective_addr(i.op, base, i.disp);
-                    let word = self.mem_word(ea);
+                    let word = self.state.mem.read_word(ea);
                     self.write(
                         i.dst.expect("load dst"),
                         semantics::load_from_word(i.op, ea, word),
@@ -119,9 +166,10 @@ impl<'p> Interp<'p> {
                     let base = self.read(i.src1.expect("store base"));
                     let data = self.read(i.src2_reg().expect("store data"));
                     let ea = semantics::effective_addr(i.op, base, i.disp);
-                    let word = self.mem_word(ea);
-                    self.mem
-                        .insert(ea & !7, semantics::merge_store(i.op, ea, word, data));
+                    let word = self.state.mem.read_word(ea);
+                    self.state
+                        .mem
+                        .write_word(ea & !7, semantics::merge_store(i.op, ea, word, data));
                 }
                 ExecClass::CondBranch => {
                     let c = self.read(i.src1.expect("branch cond"));
@@ -131,7 +179,7 @@ impl<'p> Interp<'p> {
                 }
                 ExecClass::DirectJump => {
                     if i.op == Opcode::Jsr {
-                        self.write(i.dst.expect("jsr writes ra"), self.pc + 1);
+                        self.write(i.dst.expect("jsr writes ra"), self.state.pc + 1);
                     }
                     next = i.target;
                 }
@@ -140,10 +188,15 @@ impl<'p> Interp<'p> {
                 }
                 ExecClass::Syscall | ExecClass::Nop => {}
             }
+            // The PC always advances past the executed instruction —
+            // including the halt, mirroring how the detailed simulator's
+            // architectural PC chain retires it — so snapshots from both
+            // engines compare equal.
+            self.state.pc = next;
             if i.op == Opcode::Halt {
+                self.state.halted = true;
                 return StopReason::Halted;
             }
-            self.pc = next;
         }
         StopReason::StepLimit
     }
@@ -170,6 +223,8 @@ mod tests {
         let mut interp = Interp::new(&p, 0x1000);
         assert_eq!(interp.run(1000), StopReason::Halted);
         assert_eq!(interp.reg(reg::R2), 15);
+        assert!(interp.halted());
+        assert_eq!(interp.run(1000), StopReason::Halted, "halt is sticky");
     }
 
     #[test]
@@ -227,5 +282,51 @@ mod tests {
         let mut i = Interp::new(&p, 0);
         assert_eq!(i.run(10), StopReason::StepLimit);
         assert_eq!(i.steps(), 10);
+    }
+
+    #[test]
+    fn fast_forward_snapshots_and_resumes() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 5);
+        a.label("loop");
+        a.addq(reg::R2, reg::R2, reg::R1);
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let p = a.assemble().unwrap();
+
+        // Fast-forward 7 instructions, snapshot, resume from the
+        // snapshot in a second interpreter: the final states agree with
+        // an uninterrupted run.
+        let mut whole = Interp::new(&p, 0x1000);
+        assert_eq!(whole.run(1_000), StopReason::Halted);
+
+        let mut first = Interp::new(&p, 0x1000);
+        let mid = first.fast_forward(7);
+        assert_eq!(mid.retired, 7);
+        assert!(!mid.halted);
+        let mut second = Interp::from_arch_state(&p, mid);
+        assert_eq!(second.run(1_000), StopReason::Halted);
+        assert_eq!(second.arch_state(), whole.arch_state());
+
+        // Fast-forwarding the first interpreter to completion also
+        // converges, and reports the halt in the snapshot.
+        let done = first.fast_forward(1_000);
+        assert!(done.halted);
+        assert_eq!(&done, whole.arch_state());
+        assert_eq!(done.pc, whole.pc(), "pc rests past the halt");
+    }
+
+    #[test]
+    fn halted_snapshot_retires_the_halt() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p, 0);
+        let s = i.fast_forward(10);
+        assert!(s.halted);
+        assert_eq!(s.retired, 2, "nop + halt both count");
+        assert_eq!(s.pc, 2, "pc past the halt");
     }
 }

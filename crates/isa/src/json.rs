@@ -1,0 +1,312 @@
+//! A minimal, dependency-free JSON reader for the repo's own formats.
+//!
+//! Several `rix` types serialise themselves with hand-rolled writers
+//! ([`crate::ArchState::to_json`], `RunResult::to_json`, the perf
+//! records); this module is the matching reader, used wherever a
+//! round-trip back into Rust is needed (checkpoint restore, baseline
+//! comparison). It is deliberately small:
+//!
+//! * numbers keep their **raw text** so `u64` values round-trip exactly
+//!   (an `f64` intermediate would corrupt 64-bit memory words above
+//!   2^53),
+//! * objects preserve key order as a plain `Vec` (our writers never emit
+//!   duplicate keys),
+//! * errors carry a byte offset, enough to debug a corrupt file.
+//!
+//! ```
+//! use rix_isa::json::Json;
+//! let v = Json::parse(r#"{"pc":3,"mem":[[4096,18446744073709551615]]}"#).unwrap();
+//! assert_eq!(v.get("pc").and_then(Json::as_u64), Some(3));
+//! let cell = &v.get("mem").unwrap().as_arr().unwrap()[0];
+//! assert_eq!(cell.as_arr().unwrap()[1].as_u64(), Some(u64::MAX));
+//! ```
+
+/// A parsed JSON value. Numbers are kept as raw text (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw text (`"42"`, `"-1.5e3"`).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object (`None` for other variants).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::get`], but a missing key is an error naming it.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    /// The value as an exact `u64` (numbers only).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (numbers only).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `self[key]` as an exact `u64`, with an error naming
+    /// the key on a miss or a non-number.
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| format!("key `{key}` is not a u64"))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("invalid number at byte {start}"))?;
+            Ok(Json::Num(raw.to_string()))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at byte {pos}", *c as char, pos = *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, "\"")?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        // Our writers only escape control characters;
+                        // surrogate pairs are not produced and map to
+                        // the replacement character if encountered.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences are
+                // copied verbatim).
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}", pos = *pos))?;
+                let c = s.chars().next().expect("non-empty by the match");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap().as_bool(), Some(false));
+        assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Json::parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(Json::parse(r#""a\"b""#).unwrap().as_str(), Some("a\"b"));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let v = Json::parse(&format!("{}", u64::MAX)).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = Json::parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn containers_and_lookup() {
+        let v = Json::parse(r#"{"a":[1,2,{"b":false}],"c":"x"}"#).unwrap();
+        assert_eq!(v.req_u64("a").unwrap_err(), "key `a` is not a u64");
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        assert!(v.get("missing").is_none());
+        assert!(v.req("missing").unwrap_err().contains("missing"));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").unwrap_err().contains("trailing"));
+        assert!(Json::parse("\"abc").unwrap_err().contains("unterminated"));
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn control_escape_roundtrip() {
+        // The writers escape control characters as \u00XX.
+        let v = Json::parse("\"a\\u000ab\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\nb"));
+    }
+}

@@ -24,6 +24,10 @@
 //! * [`semantics`] — pure functional evaluation (ALU results, branch
 //!   conditions, effective addresses) shared by the out-of-order core and
 //!   the DIVA checker,
+//! * [`ArchState`] — the portable architectural snapshot (PC, logical
+//!   registers, memory image, retired position) shared by the
+//!   interpreter, the out-of-order core, checkpoints and the sweep
+//!   layer, with an exact hand-rolled JSON round trip (see [`json`]),
 //! * [`Asm`] — a tiny assembler with labels for building [`Program`]s,
 //! * [`encode`] — a dense 64-bit binary encoding with lossless round-trip,
 //!   used by the encoder/decoder tests and the instruction-cache model
@@ -43,15 +47,18 @@
 //! assert_eq!(program.len(), 4);
 //! ```
 
+pub mod arch;
 pub mod asm;
 pub mod encode;
 pub mod instr;
 pub mod interp;
+pub mod json;
 pub mod opcode;
 pub mod program;
 pub mod reg;
 pub mod semantics;
 
+pub use arch::{ArchState, MemImage};
 pub use asm::{Asm, AsmError};
 pub use instr::{Instr, Operand};
 pub use opcode::{ExecClass, Opcode};

@@ -7,11 +7,15 @@
 //! through the store queue, not through this store.
 
 use rix_isa::semantics;
-use rix_isa::Opcode;
+use rix_isa::{MemImage, Opcode};
 use std::cell::Cell;
 
 const WORDS_PER_PAGE: usize = 512; // 4 KB pages
 const PAGE_SHIFT: u32 = 12;
+
+// The bulk image paths copy whole pages, so the two layouts must agree.
+const _: () = assert!(WORDS_PER_PAGE == rix_isa::arch::WORDS_PER_PAGE);
+const _: () = assert!(PAGE_SHIFT == rix_isa::arch::PAGE_SHIFT);
 
 /// Fibonacci multiplicative hash constant (2^64 / φ).
 const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -173,6 +177,31 @@ impl DataStore {
         }
     }
 
+    /// Bulk-seeds the store from an architectural [`MemImage`]
+    /// (page-granular copies, not word-by-word writes) — the restore
+    /// path of checkpoints and functional fast-forward warm-up.
+    /// Existing pages that also appear in the image are overwritten;
+    /// pages absent from the image are left untouched, so seed a fresh
+    /// store when the image is the complete memory state.
+    pub fn load_image(&mut self, img: &MemImage) {
+        for (page, words) in img.pages() {
+            let di = self.find(page).unwrap_or_else(|| self.insert_page(page));
+            *self.pages[di as usize] = *words;
+        }
+    }
+
+    /// Dumps the store's full contents as an architectural [`MemImage`]
+    /// (page-granular copies). The image's canonical ordering makes the
+    /// dump independent of this store's internal page order.
+    #[must_use]
+    pub fn dump_image(&self) -> MemImage {
+        let mut img = MemImage::new();
+        for (di, &page) in self.keys.iter().enumerate() {
+            img.set_page(page, *self.pages[di]);
+        }
+        img
+    }
+
     /// Number of resident 4 KB pages.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
@@ -248,6 +277,38 @@ mod tests {
         assert_eq!(m.read_word(0x2000), 10);
         assert_eq!(m.read_word(0x2008), 20);
         assert_eq!(m.read_word(0x2010), 30);
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let mut m = DataStore::new();
+        m.write_word(0x1000, 7);
+        m.write_word(0x4_2000, u64::MAX);
+        m.write_word(0x0ff8, 3);
+        let img = m.dump_image();
+        assert_eq!(
+            img.words().collect::<Vec<_>>(),
+            vec![(0x0ff8, 3), (0x1000, 7), (0x4_2000, u64::MAX)],
+        );
+        let mut back = DataStore::new();
+        back.load_image(&img);
+        assert_eq!(back.read_word(0x1000), 7);
+        assert_eq!(back.read_word(0x4_2000), u64::MAX);
+        assert_eq!(back.read_word(0x0ff8), 3);
+        assert_eq!(back.read_word(0x9_9000), 0, "untouched words stay zero");
+        assert_eq!(back.dump_image(), img);
+    }
+
+    #[test]
+    fn load_image_overwrites_matching_pages() {
+        let mut m = DataStore::new();
+        m.write_word(0x1000, 1);
+        m.write_word(0x1008, 2);
+        let mut img = rix_isa::MemImage::new();
+        img.write_word(0x1000, 9); // page 1: replaces the whole page
+        m.load_image(&img);
+        assert_eq!(m.read_word(0x1000), 9);
+        assert_eq!(m.read_word(0x1008), 0, "page copy is wholesale");
     }
 
     proptest! {

@@ -1,0 +1,367 @@
+//! On-disk session checkpoints.
+//!
+//! A [`Checkpoint`] is everything a simulation session needs to continue
+//! in another process: the [`ArchState`] at a retirement boundary, the
+//! statistics accumulated so far (every raw counter, losslessly — the
+//! figure-facing [`SimStats::to_json`] serialises derived metrics and is
+//! not invertible), and the absolute cycle count. It serialises to a
+//! single hand-rolled JSON document (schema `rix-ckpt/1`) that
+//! `python3 -m json.tool` — and [`rix_isa::json`] — can read back.
+//!
+//! The contract (see [`Simulator::checkpoint`]): a session that
+//! checkpoints and keeps running is byte-identical to one that saves the
+//! checkpoint, reloads it elsewhere, and resumes.
+//!
+//! [`Simulator::checkpoint`]: crate::Simulator::checkpoint
+//!
+//! ```
+//! use rix_sim::{Checkpoint, SimConfig, Simulator, StopWhen};
+//! use rix_isa::{Asm, reg};
+//!
+//! let mut a = Asm::new();
+//! a.addq_i(reg::R1, reg::ZERO, 500);
+//! a.label("loop");
+//! a.subq_i(reg::R1, reg::R1, 1);
+//! a.bne(reg::R1, "loop");
+//! a.halt();
+//! let p = a.assemble()?;
+//!
+//! let mut live = Simulator::new(&p, SimConfig::default());
+//! live.run_until(&StopWhen::RetiredAtLeast(200));
+//! let ck = live.checkpoint();
+//! // ... the live session keeps running; elsewhere, the round trip:
+//! let restored = Checkpoint::from_json(&ck.to_json()).unwrap();
+//! let mut resumed = Simulator::from_checkpoint(&p, SimConfig::default(), &restored);
+//! let a = live.run_budget(1_000_000);
+//! let b = resumed.run_budget(1_000_000);
+//! assert_eq!(a.to_json(), b.to_json()); // byte-identical
+//! # Ok::<(), rix_isa::AsmError>(())
+//! ```
+
+use crate::stats::SimStats;
+use rix_integration::IntegrationStats;
+use rix_isa::json::Json;
+use rix_isa::{ArchState, Program};
+use rix_mem::{CacheStats, Cycle, MemSystemStats};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A serialisable session snapshot at a retirement boundary. See the
+/// [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The architectural state (PC, registers, memory, retired
+    /// position).
+    pub arch: ArchState,
+    /// Every statistics counter accumulated since the last
+    /// `reset_stats` (or construction), losslessly.
+    pub stats: SimStats,
+    /// The absolute machine cycle at capture.
+    pub cycle: Cycle,
+    /// [`fingerprint`] of the program the snapshot belongs to. An
+    /// `ArchState` is meaningless against any other instruction stream,
+    /// so `Simulator::from_checkpoint` refuses a mismatch instead of
+    /// running garbage.
+    pub program_hash: u64,
+}
+
+/// A 64-bit FNV-1a fingerprint of a program's identity: entry point,
+/// instruction stream (dense encoding) and initial data image. Stored
+/// in every [`Checkpoint`] and checked at restore, so a checkpoint
+/// saved from one (benchmark, seed) cannot silently resume against
+/// another.
+#[must_use]
+pub fn fingerprint(program: &Program) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    mix(program.entry());
+    mix(program.len() as u64);
+    for &i in program.instrs() {
+        // Assembled instructions always encode (the codec is lossless
+        // over the ISA); fold a sentinel rather than fail on a
+        // hand-built exotic one.
+        mix(rix_isa::encode::encode(i).unwrap_or(u64::MAX));
+    }
+    for seg in program.data_segments() {
+        mix(seg.base);
+        mix(seg.words.len() as u64);
+        for &w in &seg.words {
+            mix(w);
+        }
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Serialises the checkpoint as a `rix-ckpt/1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"schema":"rix-ckpt/1","cycle":{},"program_hash":{},"stats":{},"arch":{}}}"#,
+            self.cycle,
+            self.program_hash,
+            stats_to_json(&self.stats),
+            self.arch.to_json(),
+        )
+    }
+
+    /// Parses a checkpoint serialised by [`Checkpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        match v.req("schema")?.as_str() {
+            Some("rix-ckpt/1") => {}
+            other => return Err(format!("unsupported checkpoint schema {other:?}")),
+        }
+        Ok(Self {
+            cycle: v.req_u64("cycle")?,
+            program_hash: v.req_u64("program_hash")?,
+            stats: stats_from_json(v.req("stats")?)?,
+            arch: ArchState::from_json_value(v.req("arch")?)?,
+        })
+    }
+
+    /// Writes the checkpoint to `path`, with a trailing newline.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Reads a checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("cannot read checkpoint {:?}: {e}", path.as_ref()))?;
+        Self::from_json(text.trim_end())
+    }
+}
+
+// ----- lossless SimStats serialisation ----------------------------------
+
+fn hist_json<const N: usize>(h: &[[u64; 2]; N]) -> String {
+    let cells: Vec<String> = h.iter().map(|[d, r]| format!("[{d},{r}]")).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn hist_from_json<const N: usize>(v: &Json, key: &str) -> Result<[[u64; 2]; N], String> {
+    let arr = v
+        .req(key)?
+        .as_arr()
+        .filter(|a| a.len() == N)
+        .ok_or_else(|| format!("key `{key}` is not a {N}-entry histogram"))?;
+    let mut out = [[0u64; 2]; N];
+    for (i, cell) in arr.iter().enumerate() {
+        let pair = cell.as_arr().filter(|p| p.len() == 2);
+        let (d, r) = pair
+            .and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?)))
+            .ok_or_else(|| format!("`{key}`[{i}] is not a [direct, reverse] pair"))?;
+        out[i] = [d, r];
+    }
+    Ok(out)
+}
+
+fn cache_json(c: CacheStats) -> String {
+    format!(r#"{{"hits":{},"misses":{},"writebacks":{}}}"#, c.hits, c.misses, c.writebacks)
+}
+
+fn cache_from_json(v: &Json, key: &str) -> Result<CacheStats, String> {
+    let c = v.req(key)?;
+    Ok(CacheStats {
+        hits: c.req_u64("hits")?,
+        misses: c.req_u64("misses")?,
+        writebacks: c.req_u64("writebacks")?,
+    })
+}
+
+/// Serialises **every raw counter** of [`SimStats`] (unlike the
+/// figure-facing [`SimStats::to_json`], which emits derived metrics and
+/// drops some raw sums).
+fn stats_to_json(s: &SimStats) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        concat!(
+            r#"{{"cycles":{},"retired":{},"fetched":{},"executed":{},"#,
+            r#""loads_executed":{},"loads_retired":{},"stores_retired":{},"#,
+            r#""cond_branches_retired":{},"branch_mispredicts":{},"#,
+            r#""resolution_latency_sum":{},"squashes_branch":{},"#,
+            r#""squashes_memorder":{},"squashes_diva":{},"rs_occupancy_sum":{},"#,
+            r#""rob_occupancy_sum":{},"stalls_preg":{},"stalls_rob":{},"#,
+            r#""stalls_rs":{},"stalls_lsq":{},"stalls_writebuf":{}"#
+        ),
+        s.cycles,
+        s.retired,
+        s.fetched,
+        s.executed,
+        s.loads_executed,
+        s.loads_retired,
+        s.stores_retired,
+        s.cond_branches_retired,
+        s.branch_mispredicts,
+        s.resolution_latency_sum,
+        s.squashes_branch,
+        s.squashes_memorder,
+        s.squashes_diva,
+        s.rs_occupancy_sum,
+        s.rob_occupancy_sum,
+        s.stalls_preg,
+        s.stalls_rob,
+        s.stalls_rs,
+        s.stalls_lsq,
+        s.stalls_writebuf,
+    );
+    let i = &s.integration;
+    let _ = write!(
+        out,
+        concat!(
+            r#","integration":{{"direct":{},"reverse":{},"retired":{},"#,
+            r#""mis_integrations":{},"load_mis_integrations":{},"#,
+            r#""register_mis_integrations":{},"suppressed":{},"#,
+            r#""by_type":{},"by_distance":{},"by_status":{},"by_refcount":{}}}"#
+        ),
+        i.direct,
+        i.reverse,
+        i.retired,
+        i.mis_integrations,
+        i.load_mis_integrations,
+        i.register_mis_integrations,
+        i.suppressed,
+        hist_json(&i.by_type),
+        hist_json(&i.by_distance),
+        hist_json(&i.by_status),
+        hist_json(&i.by_refcount),
+    );
+    let m = &s.mem;
+    let _ = write!(
+        out,
+        concat!(
+            r#","mem":{{"l1i":{},"l1d":{},"l2":{},"itlb_misses":{},"#,
+            r#""dtlb_misses":{},"mshr_merges":{},"write_buffer_stalls":{},"#,
+            r#""backside_busy":{},"membus_busy":{}}}}}"#
+        ),
+        cache_json(m.l1i),
+        cache_json(m.l1d),
+        cache_json(m.l2),
+        m.itlb_misses,
+        m.dtlb_misses,
+        m.mshr_merges,
+        m.write_buffer_stalls,
+        m.backside_busy,
+        m.membus_busy,
+    );
+    out
+}
+
+fn stats_from_json(v: &Json) -> Result<SimStats, String> {
+    let iv = v.req("integration")?;
+    let integration = IntegrationStats {
+        direct: iv.req_u64("direct")?,
+        reverse: iv.req_u64("reverse")?,
+        retired: iv.req_u64("retired")?,
+        mis_integrations: iv.req_u64("mis_integrations")?,
+        load_mis_integrations: iv.req_u64("load_mis_integrations")?,
+        register_mis_integrations: iv.req_u64("register_mis_integrations")?,
+        suppressed: iv.req_u64("suppressed")?,
+        by_type: hist_from_json(iv, "by_type")?,
+        by_distance: hist_from_json(iv, "by_distance")?,
+        by_status: hist_from_json(iv, "by_status")?,
+        by_refcount: hist_from_json(iv, "by_refcount")?,
+    };
+    let mv = v.req("mem")?;
+    let mem = MemSystemStats {
+        l1i: cache_from_json(mv, "l1i")?,
+        l1d: cache_from_json(mv, "l1d")?,
+        l2: cache_from_json(mv, "l2")?,
+        itlb_misses: mv.req_u64("itlb_misses")?,
+        dtlb_misses: mv.req_u64("dtlb_misses")?,
+        mshr_merges: mv.req_u64("mshr_merges")?,
+        write_buffer_stalls: mv.req_u64("write_buffer_stalls")?,
+        backside_busy: mv.req_u64("backside_busy")?,
+        membus_busy: mv.req_u64("membus_busy")?,
+    };
+    Ok(SimStats {
+        cycles: v.req_u64("cycles")?,
+        retired: v.req_u64("retired")?,
+        fetched: v.req_u64("fetched")?,
+        executed: v.req_u64("executed")?,
+        loads_executed: v.req_u64("loads_executed")?,
+        loads_retired: v.req_u64("loads_retired")?,
+        stores_retired: v.req_u64("stores_retired")?,
+        cond_branches_retired: v.req_u64("cond_branches_retired")?,
+        branch_mispredicts: v.req_u64("branch_mispredicts")?,
+        resolution_latency_sum: v.req_u64("resolution_latency_sum")?,
+        squashes_branch: v.req_u64("squashes_branch")?,
+        squashes_memorder: v.req_u64("squashes_memorder")?,
+        squashes_diva: v.req_u64("squashes_diva")?,
+        rs_occupancy_sum: v.req_u64("rs_occupancy_sum")?,
+        rob_occupancy_sum: v.req_u64("rob_occupancy_sum")?,
+        stalls_preg: v.req_u64("stalls_preg")?,
+        stalls_rob: v.req_u64("stalls_rob")?,
+        stalls_rs: v.req_u64("stalls_rs")?,
+        stalls_lsq: v.req_u64("stalls_lsq")?,
+        stalls_writebuf: v.req_u64("stalls_writebuf")?,
+        integration,
+        mem,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::pipeline::Simulator;
+    use crate::session::StopWhen;
+    use rix_isa::{reg, Asm};
+
+    fn busy_program() -> rix_isa::Program {
+        let mut a = Asm::new();
+        a.data(0x4000, (0..32).map(|i| i * 3).collect::<Vec<u64>>());
+        a.addq_i(reg::R1, reg::ZERO, 200); // trips
+        a.addq_i(reg::R2, reg::ZERO, 0x4000);
+        a.label("loop");
+        a.ldq(reg::R3, 0, reg::R2);
+        a.addq_i(reg::R3, reg::R3, 1);
+        a.stq(reg::R3, 0, reg::R2);
+        a.lda(reg::SP, -16, reg::SP);
+        a.stq(reg::R3, 8, reg::SP);
+        a.ldq(reg::R4, 8, reg::SP);
+        a.lda(reg::SP, 16, reg::SP);
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn stats_serde_is_lossless() {
+        let p = busy_program();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        sim.run_until(&StopWhen::RetiredAtLeast(600));
+        let ck = sim.checkpoint();
+        assert!(ck.stats.retired >= 600);
+        assert!(ck.stats.integration.integrations() > 0, "exercise the histograms");
+        let back = Checkpoint::from_json(&ck.to_json()).expect("parses");
+        assert_eq!(back, ck);
+        assert_eq!(back.to_json(), ck.to_json());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_self_describing() {
+        let p = busy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        sim.run_until(&StopWhen::RetiredAtLeast(100));
+        let j = sim.checkpoint().to_json();
+        assert!(j.contains(r#""schema":"rix-ckpt/1""#));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(rix_isa::json::Json::parse(&j).is_ok());
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        let err = Checkpoint::from_json(r#"{"schema":"rix-perf/1"}"#).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+}

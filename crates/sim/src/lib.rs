@@ -48,12 +48,14 @@
 //! # Ok::<(), rix_isa::AsmError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod lsq;
 pub mod pipeline;
 pub mod session;
 pub mod stats;
 
+pub use checkpoint::Checkpoint;
 pub use config::{CoreConfig, IssueConfig, SimConfig};
 pub use lsq::{Cht, StoreQueue};
 pub use pipeline::Simulator;

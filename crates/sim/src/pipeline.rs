@@ -27,10 +27,12 @@
 //! entirely: a value integration completes as soon as the shared physical
 //! register is ready; a branch integration resolves *at rename*.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::lsq::{Cht, StoreQueue};
 use crate::session::{StopReason, StopWhen};
 use crate::stats::{RunResult, SimStats};
+use rix_isa::ArchState;
 use rix_frontend::{FrontEnd, SpecCheckpoint};
 use rix_integration::{
     IntegrationKind, It, ItEntry, ItKey, ItOutput, Lisp, MapTable, PregRef, RefVector,
@@ -270,6 +272,14 @@ pub struct Simulator<'p> {
     last_retire_cycle: Cycle,
     /// Memory-system counters at the last `reset_stats`.
     mem_base: rix_mem::MemSystemStats,
+    /// Memory-system counters carried in from a restored checkpoint
+    /// (the fresh `MemSystem` starts at zero, so the pre-checkpoint
+    /// accumulation is added back into every delta).
+    mem_carry: rix_mem::MemSystemStats,
+    /// Instructions retired since **program entry** — the architectural
+    /// position, unaffected by [`Simulator::reset_stats`] and carried
+    /// across checkpoint restores (unlike `stats.retired`).
+    retired_total: u64,
     seq_next: u64,
     // Front end.
     frontend: FrontEnd,
@@ -397,7 +407,8 @@ pub struct Simulator<'p> {
 }
 
 impl<'p> Simulator<'p> {
-    /// Builds a simulator over `program` with the given configuration.
+    /// Builds a simulator over `program` with the given configuration,
+    /// at the program's initial architectural state.
     ///
     /// # Panics
     ///
@@ -405,6 +416,49 @@ impl<'p> Simulator<'p> {
     /// plus the in-flight window.
     #[must_use]
     pub fn new(program: &'p Program, cfg: SimConfig) -> Self {
+        let mut regs = [0u64; rix_isa::reg::NUM_LOG_REGS];
+        regs[rix_isa::reg::SP.index()] = cfg.stack_top;
+        let mut arch_mem = DataStore::new();
+        arch_mem.load_segments(program.data_segments());
+        Self::boot(program, cfg, &regs, arch_mem, program.entry(), 0, false)
+    }
+
+    /// Boots the detailed machine **mid-program** from an architectural
+    /// snapshot: registers, memory and PC come from `state` (the
+    /// physical registers mapped to the logical file are seeded with the
+    /// architectural values), while every microarchitectural structure —
+    /// caches, TLBs, predictors, the integration table, the reference
+    /// vector — starts cold, exactly as at construction.
+    ///
+    /// This is the landing half of **functional fast-forward warm-up**:
+    /// `Interp::fast_forward(n)` produces the state at interpreter
+    /// speed, and the detailed session picks up from it. A session
+    /// booted this way retires into exactly the architectural states the
+    /// interpreter visits from `state` onward (`ArchState::retired`
+    /// positions continue from `state.retired`).
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::new`].
+    #[must_use]
+    pub fn from_arch_state(program: &'p Program, cfg: SimConfig, state: &ArchState) -> Self {
+        let mut arch_mem = DataStore::new();
+        arch_mem.load_image(&state.mem);
+        Self::boot(program, cfg, &state.regs, arch_mem, state.pc, state.retired, state.halted)
+    }
+
+    /// The shared construction path of [`Simulator::new`] and
+    /// [`Simulator::from_arch_state`]: identical cold microarchitecture,
+    /// parameterised only by the architectural boot state.
+    fn boot(
+        program: &'p Program,
+        cfg: SimConfig,
+        regs: &[u64; rix_isa::reg::NUM_LOG_REGS],
+        arch_mem: DataStore,
+        pc: InstAddr,
+        retired_total: u64,
+        halted: bool,
+    ) -> Self {
         assert!(
             cfg.num_pregs >= rix_isa::reg::NUM_LOG_REGS + cfg.core.rob_entries + 8,
             "physical register file too small for the window"
@@ -420,15 +474,13 @@ impl<'p> Simulator<'p> {
             let log = rix_isa::LogReg::new(i as u8);
             let r = refvec.alloc().expect("reset allocation");
             refvec.mark_written(r);
-            let init = if log == rix_isa::reg::SP { cfg.stack_top } else { 0 };
+            let init = regs[i];
             phys.val[r.preg as usize] = init;
             phys.ready_at[r.preg as usize] = 0;
             golden[r.preg as usize] = init;
             arch_regs[i] = init;
             map.set(log, r);
         }
-        let mut arch_mem = DataStore::new();
-        arch_mem.load_segments(program.data_segments());
         let it_ways = ic.it_ways.min(ic.it_entries);
         Self {
             program,
@@ -437,9 +489,11 @@ impl<'p> Simulator<'p> {
             cycle_base: 0,
             last_retire_cycle: 0,
             mem_base: rix_mem::MemSystemStats::default(),
+            mem_carry: rix_mem::MemSystemStats::default(),
+            retired_total,
             seq_next: 1,
             frontend: FrontEnd::default(),
-            fetch_pc: program.entry(),
+            fetch_pc: pc,
             fq_slots: Vec::new(),
             fq_ckpts: Vec::new(),
             fq_mask: cfg.core.fetch_queue.next_power_of_two() - 1,
@@ -483,11 +537,11 @@ impl<'p> Simulator<'p> {
             scratch_comp: Vec::new(),
             scratch_wakes: Vec::new(),
             arch_regs,
-            arch_next_pc: program.entry(),
+            arch_next_pc: pc,
             arch_mem,
             mem: MemSystem::new(cfg.mem),
             stats: SimStats::default(),
-            halted: false,
+            halted,
         }
     }
 
@@ -599,6 +653,7 @@ impl<'p> Simulator<'p> {
     pub fn reset_stats(&mut self) {
         self.cycle_base = self.cycle;
         self.mem_base = self.mem.stats();
+        self.mem_carry = rix_mem::MemSystemStats::default();
         self.stats = SimStats::default();
     }
 
@@ -619,6 +674,95 @@ impl<'p> Simulator<'p> {
         self.result()
     }
 
+    /// The current architectural state: PC, logical registers, memory
+    /// image and retired position, exactly as retirement has committed
+    /// them. The snapshot is always at a retirement boundary —
+    /// in-flight (speculative, unretired) work is not part of it — and
+    /// equals what [`rix_isa::interp::Interp::fast_forward`] reports at
+    /// the same retired position.
+    #[must_use]
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            pc: self.arch_next_pc,
+            regs: self.arch_regs,
+            retired: self.retired_total,
+            halted: self.halted,
+            mem: self.arch_mem.dump_image(),
+        }
+    }
+
+    /// Instructions retired since program entry (the architectural
+    /// position): unaffected by [`Simulator::reset_stats`], continues
+    /// across [`Simulator::from_arch_state`] / checkpoint restores.
+    #[must_use]
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total
+    }
+
+    /// Captures the session as an on-disk-serialisable [`Checkpoint`]
+    /// (architectural state + accumulated statistics + absolute cycle)
+    /// at the current retirement boundary, **draining in-flight state**:
+    /// speculative, unretired work is discarded, and the live session is
+    /// re-synchronised to exactly the machine a
+    /// [`Simulator::from_checkpoint`] restore produces (cold caches,
+    /// predictors and integration table; warm statistics).
+    ///
+    /// That re-synchronisation is what makes checkpoints exact:
+    /// continuing this session after `checkpoint()` is **byte-identical**
+    /// to saving the checkpoint, reloading it in a fresh process, and
+    /// resuming there — the session that never left memory and the
+    /// session that round-tripped through disk produce the same
+    /// [`RunResult::to_json`]. The cost is that a checkpoint, like any
+    /// restore, is a full pipeline flush plus cold microarchitectural
+    /// structures, so place checkpoints between measurement intervals,
+    /// not inside one.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.stats.mem = self.mem_stats_delta();
+        let ck = Checkpoint {
+            arch: self.arch_state(),
+            stats: self.stats.clone(),
+            cycle: self.cycle,
+            program_hash: crate::checkpoint::fingerprint(self.program),
+        };
+        *self = Self::from_checkpoint(self.program, self.cfg, &ck);
+        ck
+    }
+
+    /// Restores a session from a [`Checkpoint`] over the same program
+    /// and configuration: the architectural state boots via
+    /// [`Simulator::from_arch_state`], and the statistics — including
+    /// the absolute cycle count and the memory-hierarchy counters —
+    /// continue from the captured values, so the eventual
+    /// [`RunResult`] covers the whole logical run, not just the
+    /// post-restore segment.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::new`]; additionally panics when `program` does
+    /// not match the checkpoint's recorded
+    /// [`fingerprint`](crate::checkpoint::fingerprint) — an
+    /// architectural snapshot is meaningless against any other
+    /// instruction stream, so a wrong program (or the same benchmark at
+    /// a different seed) is refused instead of run.
+    #[must_use]
+    pub fn from_checkpoint(program: &'p Program, cfg: SimConfig, ck: &Checkpoint) -> Self {
+        assert_eq!(
+            crate::checkpoint::fingerprint(program),
+            ck.program_hash,
+            "checkpoint belongs to a different program (same benchmark name but a \
+             different seed, or a different benchmark entirely)"
+        );
+        let mut sim = Self::from_arch_state(program, cfg, &ck.arch);
+        sim.stats = ck.stats.clone();
+        sim.cycle = ck.cycle;
+        sim.cycle_base = ck.cycle - ck.stats.cycles;
+        sim.last_retire_cycle = ck.cycle;
+        // The fresh MemSystem's counters restart at zero; the carry adds
+        // the pre-checkpoint accumulation back into every delta.
+        sim.mem_carry = ck.stats.mem;
+        sim
+    }
+
     /// Whether no instruction has retired for the deadlock window.
     #[must_use]
     pub fn deadlocked(&self) -> bool {
@@ -626,25 +770,30 @@ impl<'p> Simulator<'p> {
     }
 
     /// Memory-hierarchy counters accumulated since the last
-    /// [`Simulator::reset_stats`].
+    /// [`Simulator::reset_stats`], plus any carry restored from a
+    /// checkpoint (the restored `MemSystem` restarts at zero).
     fn mem_stats_delta(&mut self) -> rix_mem::MemSystemStats {
         let now = self.mem.stats();
         let b = &self.mem_base;
-        let cache = |n: rix_mem::CacheStats, b: rix_mem::CacheStats| rix_mem::CacheStats {
-            hits: n.hits - b.hits,
-            misses: n.misses - b.misses,
-            writebacks: n.writebacks - b.writebacks,
+        let c = &self.mem_carry;
+        let cache = |n: rix_mem::CacheStats,
+                     b: rix_mem::CacheStats,
+                     c: rix_mem::CacheStats| rix_mem::CacheStats {
+            hits: n.hits - b.hits + c.hits,
+            misses: n.misses - b.misses + c.misses,
+            writebacks: n.writebacks - b.writebacks + c.writebacks,
         };
         rix_mem::MemSystemStats {
-            l1i: cache(now.l1i, b.l1i),
-            l1d: cache(now.l1d, b.l1d),
-            l2: cache(now.l2, b.l2),
-            itlb_misses: now.itlb_misses - b.itlb_misses,
-            dtlb_misses: now.dtlb_misses - b.dtlb_misses,
-            mshr_merges: now.mshr_merges - b.mshr_merges,
-            write_buffer_stalls: now.write_buffer_stalls - b.write_buffer_stalls,
-            backside_busy: now.backside_busy - b.backside_busy,
-            membus_busy: now.membus_busy - b.membus_busy,
+            l1i: cache(now.l1i, b.l1i, c.l1i),
+            l1d: cache(now.l1d, b.l1d, c.l1d),
+            l2: cache(now.l2, b.l2, c.l2),
+            itlb_misses: now.itlb_misses - b.itlb_misses + c.itlb_misses,
+            dtlb_misses: now.dtlb_misses - b.dtlb_misses + c.dtlb_misses,
+            mshr_merges: now.mshr_merges - b.mshr_merges + c.mshr_merges,
+            write_buffer_stalls: now.write_buffer_stalls - b.write_buffer_stalls
+                + c.write_buffer_stalls,
+            backside_busy: now.backside_busy - b.backside_busy + c.backside_busy,
+            membus_busy: now.membus_busy - b.membus_busy + c.membus_busy,
         }
     }
 
@@ -2249,6 +2398,7 @@ impl<'p> Simulator<'p> {
             _ => pc + 1,
         };
         self.stats.retired += 1;
+        self.retired_total += 1;
         self.stats.integration.retired += 1;
         if instr.op.is_load() {
             self.stats.loads_retired += 1;

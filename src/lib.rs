@@ -74,6 +74,70 @@
 //! cycle-safety stop condition), but hand-rolled loops over benchmarks
 //! and configs are better expressed as a `Sweep`, which adds warm-up
 //! and threading for free.
+//!
+//! ## Fast-forward warm-up, checkpoint, fork a sweep
+//!
+//! Architectural state is one shared type, [`ArchState`] — PC, logical
+//! registers, memory image, retired position — that every engine speaks:
+//! the reference interpreter ([`Interp`]) is a thin stepper over one,
+//! the detailed simulator retires into one and can boot from one
+//! mid-program, and sessions serialise one to disk inside a
+//! [`Checkpoint`].
+//!
+//! [`ArchState`]: isa::ArchState
+//! [`Interp`]: isa::interp::Interp
+//! [`Checkpoint`]: sim::Checkpoint
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! let program = by_name("gcc").expect("known workload").build(7);
+//!
+//! // 1. Fast-forward the warm-up at interpreter speed (no
+//! //    microarchitecture simulated at all) ...
+//! let warm = Interp::new(&program, SimConfig::default().stack_top).fast_forward(30_000);
+//! assert_eq!(warm.retired, 30_000);
+//!
+//! // 2. ... fork every config arm from the shared snapshot ...
+//! let mut base = Simulator::from_arch_state(&program, SimConfig::baseline(), &warm);
+//! let mut full = Simulator::from_arch_state(&program, SimConfig::default(), &warm);
+//! base.run_until(&StopWhen::RetiredAtLeast(10_000));
+//! full.run_until(&StopWhen::RetiredAtLeast(10_000));
+//!
+//! // 3. ... and both arms retire into exactly the architectural states
+//! //    the interpreter visits (equality covers memory, not just
+//! //    registers).
+//! let pos = base.arch_state().retired;
+//! let reference = Interp::new(&program, SimConfig::default().stack_top).fast_forward(pos);
+//! assert_eq!(base.arch_state(), reference);
+//!
+//! // 4. Checkpoint a session mid-run: save, reload, resume — the disk
+//! //    round trip is byte-identical to never having stopped.
+//! let ck = full.checkpoint();
+//! let restored = Checkpoint::from_json(&ck.to_json()).expect("lossless");
+//! let mut resumed = Simulator::from_checkpoint(&program, SimConfig::default(), &restored);
+//! // (the budget counts the ~10k instructions already measured, so aim
+//! // past them to actually simulate on both sides)
+//! assert_eq!(full.run_budget(15_000).to_json(), resumed.run_budget(15_000).to_json());
+//! ```
+//!
+//! The sweep layer packages step 1–2 as
+//! [`Sweep::warmup_mode`]`(`[`WarmupMode::Functional`]`)`: one
+//! interpreter fast-forward per (benchmark, seed), shared by every
+//! config arm, instead of one detailed warm-up per cell.
+//!
+//! [`Sweep::warmup_mode`]: bench::Sweep::warmup_mode
+//! [`WarmupMode::Functional`]: bench::WarmupMode::Functional
+//!
+//! **Warm-up migration note:** `Sweep`'s default is unchanged —
+//! [`WarmupMode::Detailed`](bench::WarmupMode::Detailed) runs the
+//! warm-up on the detailed machine per cell, and warm-up-free sweeps
+//! stay byte-identical to earlier releases. Functional warm-up is
+//! **opt-in** because it changes methodology: the measured interval
+//! starts with cold caches/predictors/integration table, so absolute
+//! numbers shift (relative comparisons across arms share identical
+//! starting conditions, and the sweep's wall clock drops by roughly the
+//! per-arm warm-up cost).
 
 pub use rix_bench as bench;
 pub use rix_frontend as frontend;
@@ -84,10 +148,19 @@ pub use rix_sim as sim;
 pub use rix_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and tests.
+///
+/// Two stop-reason types coexist here, one per engine:
+/// [`StopReason`](rix_sim::StopReason) is why a **cycle-level session**
+/// returned (halt / retired threshold / cycle threshold / deadlock),
+/// while [`InterpStopReason`](rix_isa::interp::StopReason) is why the
+/// **functional interpreter** stopped (halt / step limit / fell off the
+/// program). The interpreter's type is re-exported under the `Interp`
+/// prefix so the two never shadow each other.
 pub mod prelude {
-    pub use rix_bench::{trials_json, Harness, Sweep, Trial};
+    pub use rix_bench::{trials_json, Harness, Sweep, Trial, WarmupMode};
     pub use rix_integration::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
-    pub use rix_isa::{reg, Asm, Instr, Opcode, Program};
-    pub use rix_sim::{RunResult, SimConfig, Simulator, StopReason, StopWhen};
+    pub use rix_isa::interp::{Interp, StopReason as InterpStopReason};
+    pub use rix_isa::{reg, ArchState, Asm, Instr, MemImage, Opcode, Program};
+    pub use rix_sim::{Checkpoint, RunResult, SimConfig, Simulator, StopReason, StopWhen};
     pub use rix_workloads::{all_benchmarks, by_name, lookup, Benchmark};
 }

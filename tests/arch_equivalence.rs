@@ -1,0 +1,157 @@
+//! Property test: for random generated programs, the out-of-order
+//! core's **retired `ArchState`** equals the reference interpreter's —
+//! mid-run at an arbitrary retirement boundary and at the final halt —
+//! under both the baseline and the full-integration configuration.
+//!
+//! This is stricter than `tests/differential.rs` (which compares final
+//! registers): `ArchState` equality covers the PC chain, the retired
+//! position, and the memory image word-for-word, and the mid-run probe
+//! checks a boundary the machine reaches with speculation still in
+//! flight around it.
+
+use proptest::prelude::*;
+use rix::prelude::*;
+
+const STACK_TOP: u64 = 0x0800_0000;
+
+/// One random body operation (a compact cousin of the generator in
+/// `tests/differential.rs`, biased toward memory traffic so the image
+/// comparison has something to chew on).
+#[derive(Clone, Debug)]
+enum BodyOp {
+    Alu(u8, u8, u8, u8),
+    AluImm(u8, u8, u8, i16),
+    Load(u8, u8, u16),
+    Store(u8, u8, u16),
+    Hammock(u8, i16, i16),
+    SaveRestore(u8, u8),
+}
+
+fn alu_opcode(kind: u8) -> Opcode {
+    match kind % 8 {
+        0 => Opcode::Addq,
+        1 => Opcode::Subq,
+        2 => Opcode::And,
+        3 => Opcode::Or,
+        4 => Opcode::Xor,
+        5 => Opcode::Mulq,
+        6 => Opcode::Cmplt,
+        _ => Opcode::Cmpeq,
+    }
+}
+
+fn gp(n: u8) -> rix::isa::LogReg {
+    rix::isa::LogReg::int(1 + (n % 12))
+}
+
+fn build(ops: &[BodyOp], trips: u8) -> Program {
+    let mut a = Asm::new();
+    for i in 0..13 {
+        a.addq_i(rix::isa::LogReg::int(1 + i), reg::ZERO, i32::from(i) * 41 + 3);
+    }
+    a.addq_i(rix::isa::LogReg::int(14), reg::ZERO, i32::from(trips % 8) + 2);
+    let mut label = 0usize;
+    a.label("loop");
+    for op in ops {
+        match *op {
+            BodyOp::Alu(k, d, x, y) => {
+                a.emit(rix::isa::Instr::alu_rr(alu_opcode(k), gp(d), gp(x), gp(y)));
+            }
+            BodyOp::AluImm(k, d, x, imm) => {
+                a.emit(rix::isa::Instr::alu_ri(alu_opcode(k), gp(d), gp(x), i32::from(imm)));
+            }
+            BodyOp::Load(d, b, off) => {
+                a.and_i(rix::isa::LogReg::int(15), gp(b), 0x3f8);
+                a.addq_i(rix::isa::LogReg::int(15), rix::isa::LogReg::int(15), 0x4000);
+                a.ldq(gp(d), i32::from(off % 64) * 8, rix::isa::LogReg::int(15));
+            }
+            BodyOp::Store(v, b, off) => {
+                a.and_i(rix::isa::LogReg::int(15), gp(b), 0x3f8);
+                a.addq_i(rix::isa::LogReg::int(15), rix::isa::LogReg::int(15), 0x4000);
+                a.stq(gp(v), i32::from(off % 64) * 8, rix::isa::LogReg::int(15));
+            }
+            BodyOp::Hammock(c, ia, ib) => {
+                label += 1;
+                let arm = format!("arm{label}");
+                let join = format!("join{label}");
+                a.and_i(rix::isa::LogReg::int(15), gp(c), 3);
+                a.beq(rix::isa::LogReg::int(15), arm.clone());
+                a.addq_i(gp(c.wrapping_add(1)), gp(c), i32::from(ia));
+                a.br(join.clone());
+                a.label(arm);
+                a.addq_i(gp(c.wrapping_add(1)), gp(c), i32::from(ib));
+                a.label(join);
+            }
+            BodyOp::SaveRestore(v, w) => {
+                a.lda(reg::SP, -16, reg::SP);
+                a.stq(gp(v), 0, reg::SP);
+                a.stq(gp(w), 8, reg::SP);
+                a.addq_i(gp(v), reg::ZERO, 1);
+                a.addq_i(gp(w), reg::ZERO, 2);
+                a.ldq(gp(v), 0, reg::SP);
+                a.ldq(gp(w), 8, reg::SP);
+                a.lda(reg::SP, 16, reg::SP);
+            }
+        }
+    }
+    a.subq_i(rix::isa::LogReg::int(14), rix::isa::LogReg::int(14), 1);
+    a.bne(rix::isa::LogReg::int(14), "loop");
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(k, d, x, y)| BodyOp::Alu(k, d, x, y)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>())
+            .prop_map(|(k, d, x, i)| BodyOp::AluImm(k, d, x, i)),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(d, b, o)| BodyOp::Load(d, b, o)),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(v, b, o)| BodyOp::Store(v, b, o)),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(v, b, o)| BodyOp::Store(v, b, o)),
+        (any::<u8>(), -20i16..20, -20i16..20)
+            .prop_map(|(c, x, y)| BodyOp::Hammock(c, x, y)),
+        (any::<u8>(), any::<u8>()).prop_map(|(v, w)| BodyOp::SaveRestore(v, w)),
+    ]
+}
+
+fn arch_agrees(program: &Program, cfg: SimConfig) -> Result<(), TestCaseError> {
+    let mut reference = Interp::new(program, STACK_TOP);
+    let stop = reference.run(200_000);
+    prop_assert_eq!(stop, InterpStopReason::Halted, "reference halts");
+    let total = reference.steps();
+
+    // Mid-run probe: stop the detailed machine at an arbitrary
+    // retirement boundary (it may overshoot the ask by retire-width),
+    // then fast-forward a fresh interpreter to the exact position.
+    let mut sim = Simulator::new(program, cfg);
+    sim.run_until(&StopWhen::RetiredAtLeast(total / 2));
+    let mid = sim.arch_state();
+    let expected_mid = Interp::new(program, STACK_TOP).fast_forward(mid.retired);
+    prop_assert_eq!(&mid, &expected_mid, "mid-run arch state diverged");
+
+    // Run the same session to the halt: the final states agree, halt
+    // flag, retired count and memory image included.
+    sim.run_until(&StopWhen::RetiredAtLeast(total + 8));
+    prop_assert!(sim.halted(), "pipeline halts");
+    let fin = sim.arch_state();
+    prop_assert_eq!(&fin, reference.arch_state(), "final arch state diverged");
+    prop_assert_eq!(fin.retired, total, "every instruction retired exactly once");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random programs retire into interpreter states under the baseline
+    /// and the full integration machine.
+    #[test]
+    fn random_programs_retire_into_interpreter_states(
+        ops in proptest::collection::vec(body_op(), 1..20),
+        trips in any::<u8>(),
+    ) {
+        let program = build(&ops, trips);
+        arch_agrees(&program, SimConfig::baseline())?;
+        arch_agrees(&program, SimConfig::default())?;
+    }
+}

@@ -1,0 +1,120 @@
+//! Checkpoint round-trip: checkpoint mid-run → save → load → resume
+//! produces a `RunResult::to_json()` **byte-identical** to the
+//! uninterrupted session.
+//!
+//! "Uninterrupted" is the session that called `checkpoint()` and kept
+//! running in the same process, never touching disk; the resumed session
+//! reconstructs itself in a "different process" (a fresh `Simulator`)
+//! from the file. `Simulator::checkpoint` re-synchronises the live
+//! session to exactly the state a restore produces — that contract is
+//! what these tests pin down.
+
+use rix::prelude::*;
+
+const SEED: u64 = 7;
+
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rix_ckpt_{tag}_{}.json", std::process::id()))
+}
+
+#[test]
+fn save_load_resume_is_byte_identical() {
+    for bench in ["gcc", "vortex", "mcf"] {
+        let program = by_name(bench).expect("known benchmark").build(SEED);
+        for (label, cfg) in
+            [("base", SimConfig::baseline()), ("integration", SimConfig::default())]
+        {
+            let mut live = Simulator::new(&program, cfg);
+            live.run_until(&StopWhen::RetiredAtLeast(8_000));
+            let ck = live.checkpoint();
+            assert!(ck.arch.retired >= 8_000);
+
+            let path = ckpt_path(&format!("{bench}_{label}"));
+            ck.save(&path).expect("write checkpoint");
+            let loaded = Checkpoint::load(&path).expect("read checkpoint");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded, ck, "disk round trip is lossless");
+
+            let mut resumed = Simulator::from_checkpoint(&program, cfg, &loaded);
+            let a = live.run_budget(20_000);
+            let b = resumed.run_budget(20_000);
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{bench}/{label}: resumed session drifted from the uninterrupted one"
+            );
+            assert!(b.stats.retired >= 20_000, "stats continue across the restore");
+        }
+    }
+}
+
+/// A checkpoint refuses to resume against the wrong program: the
+/// snapshot records a fingerprint of the instruction stream + data
+/// image, and `from_checkpoint` checks it.
+#[test]
+#[should_panic(expected = "different program")]
+fn restore_rejects_the_wrong_program() {
+    let bench = by_name("gcc").expect("known benchmark");
+    let program = bench.build(SEED);
+    let mut sim = Simulator::new(&program, SimConfig::default());
+    sim.run_until(&StopWhen::RetiredAtLeast(1_000));
+    let ck = sim.checkpoint();
+    let other = bench.build(SEED + 1); // same benchmark, different seed
+    let _ = Simulator::from_checkpoint(&other, SimConfig::default(), &ck);
+}
+
+/// Checkpointing inside a measurement interval (after `reset_stats`)
+/// carries the partial counters — including the memory-hierarchy block,
+/// which restarts at zero in the restored `MemSystem` — across the
+/// restore.
+#[test]
+fn checkpoint_mid_measurement_carries_stats() {
+    let program = by_name("mcf").expect("known benchmark").build(SEED);
+    let cfg = SimConfig::default();
+    let mut live = Simulator::new(&program, cfg);
+    live.run_until(&StopWhen::RetiredAtLeast(3_000));
+    live.reset_stats();
+    live.run_until(&StopWhen::RetiredAtLeast(4_000));
+    let ck = live.checkpoint();
+    assert!(ck.stats.mem.l1d.misses > 0, "mcf misses inside the measured segment");
+    assert!(ck.stats.retired >= 4_000 && ck.stats.retired < ck.arch.retired);
+
+    let mut resumed = Simulator::from_checkpoint(&program, cfg, &ck);
+    let a = live.run_budget(10_000);
+    let b = resumed.run_budget(10_000);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(
+        b.stats.mem.l1d.misses >= ck.stats.mem.l1d.misses,
+        "memory counters accumulate on top of the carried block"
+    );
+}
+
+/// The serialised form is plain JSON that the in-repo reader — and
+/// therefore `python3 -m json.tool`, which CI runs on a saved file —
+/// accepts, and it is stable: parse → serialise is the identity.
+#[test]
+fn checkpoint_file_is_canonical_json() {
+    let program = by_name("crafty").expect("known benchmark").build(SEED);
+    let mut sim = Simulator::new(&program, SimConfig::default());
+    sim.run_until(&StopWhen::RetiredAtLeast(2_000));
+    let ck = sim.checkpoint();
+    let text = ck.to_json();
+    let parsed = rix::isa::json::Json::parse(&text).expect("well-formed JSON");
+    assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some("rix-ckpt/1"));
+    assert_eq!(Checkpoint::from_json(&text).expect("parses").to_json(), text);
+
+    // A halted session checkpoints and restores too (and stays halted).
+    let mut a = Asm::new();
+    a.addq_i(reg::R1, reg::ZERO, 3);
+    a.halt();
+    let tiny = a.assemble().expect("assembles");
+    let mut sim = Simulator::new(&tiny, SimConfig::default());
+    sim.run_until(&StopWhen::RetiredAtLeast(100));
+    assert!(sim.halted());
+    let ck = sim.checkpoint();
+    assert!(ck.arch.halted);
+    assert_eq!(ck.arch.retired, 2);
+    let mut resumed = Simulator::from_checkpoint(&tiny, SimConfig::default(), &ck);
+    assert!(resumed.halted());
+    assert_eq!(resumed.run_budget(100).to_json(), sim.run_budget(100).to_json());
+}
