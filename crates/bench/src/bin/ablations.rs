@@ -13,44 +13,29 @@
 //!    to stack-pointer stores/adjusts to save IT capacity; the
 //!    generalised all-invertible scope trades capacity for coverage.
 
-use rix_bench::{amean, trials_json, Harness, Table, Trial};
-use rix_integration::{IntegrationConfig, ReverseScope};
-use rix_sim::SimConfig;
+use rix_bench::{amean, ExperimentSpec, Harness, Table, Trial};
+
+/// The committed experiment this binary drives: one group (one axis)
+/// per ablation study, every point over the headline `plus_reverse`
+/// configuration.
+const SPEC: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/ablations.json"));
 
 const GEN_BITS: [u32; 4] = [1, 2, 3, 4];
 const COUNT_BITS: [u32; 4] = [1, 2, 3, 4];
 const PIPE_DEPTHS: [u64; 4] = [0, 2, 4, 8];
-const REV_SCOPES: [(&str, ReverseScope); 3] = [
-    ("off", ReverseScope::Off),
-    ("stack pointer", ReverseScope::StackPointer),
-    ("all invertible", ReverseScope::AllInvertible),
-];
+const REV_SCOPES: [&str; 3] = ["off", "stack pointer", "all invertible"];
 
 fn main() {
     let h = Harness::from_args();
-
-    // Grid columns: every ablation point of all four studies.
-    let mut cfgs: Vec<(String, SimConfig)> = Vec::new();
-    for bits in GEN_BITS {
-        let ic = IntegrationConfig::plus_reverse().with_gen_bits(bits);
-        cfgs.push((format!("gen{bits}"), SimConfig::default().with_integration(ic)));
-    }
-    for bits in COUNT_BITS {
-        let ic = IntegrationConfig { count_bits: bits, ..IntegrationConfig::plus_reverse() };
-        cfgs.push((format!("cnt{bits}"), SimConfig::default().with_integration(ic)));
-    }
-    for depth in PIPE_DEPTHS {
-        let ic = IntegrationConfig::plus_reverse().with_pipeline_depth(depth);
-        cfgs.push((format!("pipe{depth}"), SimConfig::default().with_integration(ic)));
-    }
-    for (name, scope) in REV_SCOPES {
-        let ic = IntegrationConfig { reverse: scope, ..IntegrationConfig::plus_reverse() };
-        cfgs.push((format!("rev:{name}"), SimConfig::default().with_integration(ic)));
-    }
-    let ncfg = cfgs.len();
-    let trials = h.sweep().configs(cfgs).run();
-    if h.json {
-        println!("{}", trials_json(&trials));
+    let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
+    let ncfg = spec.arms().expect("spec parsed").len();
+    rix_bench::expect_arm_count(
+        "ablations",
+        ncfg,
+        GEN_BITS.len() + COUNT_BITS.len() + PIPE_DEPTHS.len() + REV_SCOPES.len(),
+    );
+    if h.emit_trials(&trials) {
         return;
     }
 
@@ -116,7 +101,7 @@ fn main() {
 
     // --- 4. reverse scope ----------------------------------------------
     let mut rev_t = Table::new(&["reverse scope", "rate%", "reverse%", "mis/M"]);
-    for (name, _) in REV_SCOPES {
+    for name in REV_SCOPES {
         let mut rates = Vec::new();
         let mut revs = Vec::new();
         let mut mis = Vec::new();

@@ -1,0 +1,176 @@
+//! `exp` — the spec-driven experiment runner.
+//!
+//! One entry point for every experiment the repo can express as a
+//! `rix-exp/1` spec file (see [`rix_bench::spec`]): the committed figure
+//! specs under `specs/`, and any spec you write yourself.
+//!
+//! ```text
+//! exp run <spec.json> [--dry-run | --list-arms] [harness flags]
+//! ```
+//!
+//! * `exp run spec.json` — run the experiment; print a long-form result
+//!   table (bench × arm, IPC and counts).
+//! * `--dry-run` — parse and validate the spec (arms materialised,
+//!   benchmarks resolved, sweep shape checked), print its summary and
+//!   fingerprint, run nothing. Checkpoint files are *not* required to
+//!   exist for a dry run.
+//! * `--list-arms` — print every materialised arm label in grid order.
+//! * `--json` — print the `rix-exp-result/1` document (canonical spec +
+//!   fingerprint + trial records) instead of the table.
+//! * `--output FILE` — also write that document to FILE (the table
+//!   stays on stdout).
+//!
+//! The spec owns the experiment's parameters; explicitly-given harness
+//! flags (`--instructions`, `--seed`, `--warmup`, `--warmup-mode`)
+//! override it, and `--bench`/`--threads` narrow and parallelise the
+//! run. Results embed the spec fingerprint, so a record names exactly
+//! the experiment that produced it.
+
+use rix_bench::{trials_json, ExperimentSpec, Harness, Table, Trial};
+
+const EXP_USAGE: &str = "\
+usage: exp run <spec.json> [flags]\n\
+\n\
+exp-specific flags:\n\
+\x20 --dry-run               validate the spec and print its summary; run nothing\n\
+\x20 --list-arms             print the materialised arm labels; run nothing\n\
+\n\
+plus the shared harness flags (see below); explicitly-given\n\
+--instructions/--seed/--warmup/--warmup-mode override the spec's values.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{EXP_USAGE}\n\n{}", Harness::usage());
+    std::process::exit(2);
+}
+
+fn result_doc(spec: &ExperimentSpec, trials: &[Trial]) -> String {
+    use rix_isa::json::Json;
+    format!(
+        "{{\n  \"schema\":\"rix-exp-result/1\",\n  \"name\":{},\n  \
+         \"spec_fingerprint\":\"{}\",\n  \"spec\":{},\n  \"trials\":{}\n}}",
+        spec.name
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |n| Json::Str(n.clone()).dump()),
+        spec.fingerprint_hex(),
+        spec.to_json(),
+        trials_json(trials),
+    )
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{EXP_USAGE}\n\n{}", Harness::usage());
+        std::process::exit(0);
+    }
+    if raw.is_empty() {
+        fail("no command given");
+    }
+    if raw[0] != "run" {
+        fail(&format!("unknown command `{}` (expected `run`)", raw[0]));
+    }
+    let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
+        fail("`exp run` needs a spec file path");
+    };
+    let mut dry_run = false;
+    let mut list_arms = false;
+    let mut rest = Vec::new();
+    for a in &raw[2..] {
+        match a.as_str() {
+            "--dry-run" => dry_run = true,
+            "--list-arms" => list_arms = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    let h = match Harness::try_parse(rest) {
+        Ok(h) => h,
+        Err(msg) => fail(&msg),
+    };
+
+    let mut spec = match ExperimentSpec::load(path) {
+        Ok(s) => s,
+        Err(msg) => fail(&msg),
+    };
+    spec.apply_harness(&h);
+    let arms = match spec.arms() {
+        Ok(a) => a,
+        Err(msg) => fail(&msg),
+    };
+    let sweep = spec.sweep(&h);
+
+    if list_arms {
+        println!(
+            "{} arms of `{}` ({}):",
+            arms.len(),
+            spec.name.as_deref().unwrap_or(path),
+            spec.fingerprint_hex()
+        );
+        for (i, (label, _)) in arms.iter().enumerate() {
+            println!("  [{i:>2}] {label}");
+        }
+        return;
+    }
+    if dry_run {
+        // Validate the static sweep shape too (duplicate labels, empty
+        // grids, …) — everything short of running or touching
+        // checkpoint files.
+        if let Err(msg) = sweep.validate() {
+            fail(&msg);
+        }
+        // Count what this invocation would actually run: the spec's
+        // benchmarks narrowed by the `--bench` filter, like the sweep.
+        let nbench = spec
+            .benchmarks
+            .iter()
+            .filter(|b| h.filter.as_deref().is_none_or(|f| f.eq_ignore_ascii_case(b.name)))
+            .count();
+        println!(
+            "spec OK: {} ({})",
+            spec.name.as_deref().unwrap_or(path),
+            spec.fingerprint_hex()
+        );
+        println!(
+            "  benchmarks: {}  arms: {}  cells: {}  instructions: {}  warmup: {} ({})  seed: {}",
+            nbench,
+            arms.len(),
+            nbench * arms.len(),
+            spec.instructions,
+            spec.warmup,
+            spec.warmup_mode.name(),
+            spec.seed,
+        );
+        return;
+    }
+
+    let trials = match sweep.try_run() {
+        Ok(t) => t,
+        Err(msg) => fail(&msg),
+    };
+    let doc = result_doc(&spec, &trials);
+    if let Some(out) = &h.output {
+        if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+            fail(&format!("cannot write `{out}`: {e}"));
+        }
+    }
+    if h.json {
+        println!("{doc}");
+        return;
+    }
+
+    println!(
+        "experiment: {} ({})",
+        spec.name.as_deref().unwrap_or(path),
+        spec.fingerprint_hex()
+    );
+    let mut table = Table::new(&["bench", "config", "IPC", "retired", "cycles"]);
+    for t in &trials {
+        table.row(vec![
+            t.bench.to_string(),
+            t.config_label.clone(),
+            format!("{:.3}", t.result.ipc()),
+            t.result.stats.retired.to_string(),
+            t.result.stats.cycles.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

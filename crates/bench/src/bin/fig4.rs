@@ -11,23 +11,21 @@
 //! resolution latency, fetched-instruction delta, and reservation-station
 //! occupancy.
 
-use rix_bench::{amean, figure4_arms, gmean_speedup, speedup_pct, trials_json, Harness, Table};
-use rix_sim::SimConfig;
+use rix_bench::{amean, gmean_speedup, speedup_pct, ExperimentSpec, Harness, Table};
+
+/// The committed experiment this binary drives: baseline, then
+/// (realistic, oracle) per extension arm. Edit the spec (and rebuild)
+/// to change the experiment; `exp run specs/fig4.json` runs the same
+/// grid without the figure rendering.
+const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig4.json"));
 
 fn main() {
     let h = Harness::from_args();
-    let arms = figure4_arms();
-
-    // Grid columns: baseline, then (realistic, oracle) per arm.
-    let mut cfgs: Vec<(String, SimConfig)> = vec![("base".into(), SimConfig::baseline())];
-    for (name, ic) in &arms {
-        cfgs.push(((*name).to_string(), SimConfig::default().with_integration(*ic)));
-        cfgs.push((format!("{name}*"), SimConfig::default().with_integration(ic.with_oracle())));
-    }
-    let ncfg = cfgs.len();
-    let trials = h.sweep().configs(cfgs).run();
-    if h.json {
-        println!("{}", trials_json(&trials));
+    let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
+    let ncfg = spec.arms().expect("spec parsed").len();
+    rix_bench::expect_arm_count("fig4", ncfg, 9);
+    let narms = (ncfg - 1) / 2; // baseline + (realistic, oracle) pairs
+    if h.emit_trials(&trials) {
         return;
     }
 
@@ -42,8 +40,8 @@ fn main() {
         "bench", "baseIPC", "IPC", "resolve0", "resolve1", "fetch%", "RS0", "RS1",
     ]);
 
-    let mut per_arm_speedups: Vec<Vec<f64>> = vec![Vec::new(); arms.len() * 2];
-    let mut per_arm_rates: Vec<Vec<f64>> = vec![Vec::new(); arms.len()];
+    let mut per_arm_speedups: Vec<Vec<f64>> = vec![Vec::new(); narms * 2];
+    let mut per_arm_rates: Vec<Vec<f64>> = vec![Vec::new(); narms];
     let mut reverse_rates: Vec<f64> = Vec::new();
     let mut mis_rates: Vec<f64> = Vec::new();
 
@@ -53,7 +51,7 @@ fn main() {
         let mut srow = vec![bench.to_string()];
         let mut rrow = vec![bench.to_string()];
         let mut final_run = None;
-        for ai in 0..arms.len() {
+        for ai in 0..narms {
             let real = &row_trials[1 + 2 * ai].result;
             let oracle = &row_trials[2 + 2 * ai].result;
             let sp_real = speedup_pct(real, base);
@@ -64,7 +62,7 @@ fn main() {
             per_arm_speedups[ai * 2 + 1].push(sp_orac);
             let rate = real.stats.integration.rate() * 100.0;
             per_arm_rates[ai].push(rate);
-            if ai < arms.len() - 1 {
+            if ai < narms - 1 {
                 rrow.push(format!("{rate:.1}%"));
             } else {
                 rrow.push(format!(

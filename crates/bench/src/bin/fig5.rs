@@ -12,9 +12,12 @@
 //! * **Refcount** — reference count after integration (sharing degree,
 //!   i.e. how many counter bits matter).
 
-use rix_bench::{trials_json, Harness, Table};
+use rix_bench::{ExperimentSpec, Harness, Table};
 use rix_integration::{stats, IntegrationType, ResultStatus};
-use rix_sim::SimConfig;
+
+/// The committed experiment this binary drives: the single default-
+/// configuration arm whose retirement stream the tables break down.
+const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig5.json"));
 
 fn pct(n: u64, d: u64) -> String {
     if d == 0 {
@@ -26,9 +29,9 @@ fn pct(n: u64, d: u64) -> String {
 
 fn main() {
     let h = Harness::from_args();
-    let trials = h.sweep().config("default", SimConfig::default()).run();
-    if h.json {
-        println!("{}", trials_json(&trials));
+    let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
+    rix_bench::expect_arm_count("fig5", spec.arms().expect("spec parsed").len(), 1);
+    if h.emit_trials(&trials) {
         return;
     }
 

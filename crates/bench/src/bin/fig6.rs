@@ -9,43 +9,23 @@
 //! entries (the 4K point also uses 4K physical registers), measuring the
 //! temporal locality of integration.
 
-use rix_bench::{gmean_speedup, speedup_pct, trials_json, Harness, Table};
-use rix_integration::IntegrationConfig;
-use rix_sim::SimConfig;
+use rix_bench::{gmean_speedup, speedup_pct, ExperimentSpec, Harness, Table};
+
+/// The committed experiment this binary drives: baseline, then (real,
+/// oracle) per associativity point, then (real, oracle) per size point
+/// (the 4K-entry size point zips in a 4K-register file, §3.4).
+const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig6.json"));
+
+/// Associativity and size points per sweep (the spec's two groups).
+const N_ASSOC: usize = 4;
+const N_SIZE: usize = 4;
 
 fn main() {
     let h = Harness::from_args();
-
-    let assoc_points: Vec<(&str, usize, usize)> =
-        vec![("1-way", 1024, 1), ("2-way", 1024, 2), ("4-way", 1024, 4), ("full", 1024, 1024)];
-    let size_points: Vec<(&str, usize, usize)> =
-        vec![("64", 64, 64), ("256", 256, 256), ("1K", 1024, 1024), ("4K", 4096, 4096)];
-
-    // Grid columns: baseline, (real, oracle) per associativity point,
-    // then (real, oracle) per size point.
-    let mut cfgs: Vec<(String, SimConfig)> = vec![("base".into(), SimConfig::baseline())];
-    for (name, entries, ways) in &assoc_points {
-        let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
-        cfgs.push(((*name).to_string(), SimConfig::default().with_integration(ic)));
-        cfgs.push((format!("{name}*"), SimConfig::default().with_integration(ic.with_oracle())));
-    }
-    for (name, entries, ways) in &size_points {
-        let ic = IntegrationConfig::plus_reverse().with_it_geometry(*entries, *ways);
-        // The 4K-entry point uses a 4K-register file (§3.4).
-        let pregs = if *entries >= 4096 { 4096 } else { 1024 };
-        cfgs.push((
-            format!("sz{name}"),
-            SimConfig::default().with_integration(ic).with_pregs(pregs),
-        ));
-        cfgs.push((
-            format!("sz{name}*"),
-            SimConfig::default().with_integration(ic.with_oracle()).with_pregs(pregs),
-        ));
-    }
-    let ncfg = cfgs.len();
-    let trials = h.sweep().configs(cfgs).run();
-    if h.json {
-        println!("{}", trials_json(&trials));
+    let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
+    let ncfg = spec.arms().expect("spec parsed").len();
+    rix_bench::expect_arm_count("fig6", ncfg, 1 + 2 * N_ASSOC + 2 * N_SIZE);
+    if h.emit_trials(&trials) {
         return;
     }
 
@@ -53,15 +33,15 @@ fn main() {
         "bench", "1-way", "1-way*", "2-way", "2-way*", "4-way", "4-way*", "full", "full*",
     ]);
     let mut size = Table::new(&["bench", "64", "64*", "256", "256*", "1K", "1K*", "4K", "4K*"]);
-    let mut assoc_means = vec![Vec::new(); assoc_points.len() * 2];
-    let mut size_means = vec![Vec::new(); size_points.len() * 2];
+    let mut assoc_means = vec![Vec::new(); N_ASSOC * 2];
+    let mut size_means = vec![Vec::new(); N_SIZE * 2];
 
     for row_trials in trials.chunks(ncfg) {
         let bench = row_trials[0].bench;
         let base = &row_trials[0].result;
 
         let mut arow = vec![bench.to_string()];
-        for i in 0..assoc_points.len() {
+        for i in 0..N_ASSOC {
             let real = &row_trials[1 + 2 * i].result;
             let orac = &row_trials[2 + 2 * i].result;
             let (sr, so) = (speedup_pct(real, base), speedup_pct(orac, base));
@@ -72,9 +52,9 @@ fn main() {
         }
         assoc.row(arow);
 
-        let size_off = 1 + 2 * assoc_points.len();
+        let size_off = 1 + 2 * N_ASSOC;
         let mut srow = vec![bench.to_string()];
-        for i in 0..size_points.len() {
+        for i in 0..N_SIZE {
             let real = &row_trials[size_off + 2 * i].result;
             let orac = &row_trials[size_off + 2 * i + 1].result;
             let (sr, so) = (speedup_pct(real, base), speedup_pct(orac, base));

@@ -12,35 +12,21 @@
 //! reduction) recovers most of the loss from a 25% issue-width cut or a
 //! 50% buffering cut.
 
-use rix_bench::{gmean_speedup, speedup_pct, trials_json, Harness, Table};
-use rix_sim::{CoreConfig, SimConfig};
+use rix_bench::{gmean_speedup, speedup_pct, ExperimentSpec, Harness, Table};
+
+/// The committed experiment this binary drives: the reference machine,
+/// then (none, integration, oracle) per core design point.
+const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig7.json"));
+
+/// Core design points (the spec's core axis).
+const N_CORES: usize = 4;
 
 fn main() {
     let h = Harness::from_args();
-    let cores: Vec<(&str, CoreConfig)> = vec![
-        ("base", CoreConfig::default()),
-        ("RS", CoreConfig::rs20()),
-        ("IW", CoreConfig::iw3()),
-        ("IW+RS", CoreConfig::iw3_rs20()),
-    ];
-
-    // Grid columns: the reference machine, then (none, integration,
-    // oracle) per core design point.
-    let mut cfgs: Vec<(String, SimConfig)> = vec![("reference".into(), SimConfig::baseline())];
-    for (name, core) in &cores {
-        cfgs.push(((*name).to_string(), SimConfig::baseline().with_core(*core)));
-        cfgs.push((format!("{name}+i"), SimConfig::default().with_core(*core)));
-        cfgs.push((
-            format!("{name}*"),
-            SimConfig::default()
-                .with_integration(rix_integration::IntegrationConfig::default().with_oracle())
-                .with_core(*core),
-        ));
-    }
-    let ncfg = cfgs.len();
-    let trials = h.sweep().configs(cfgs).run();
-    if h.json {
-        println!("{}", trials_json(&trials));
+    let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
+    let ncfg = spec.arms().expect("spec parsed").len();
+    rix_bench::expect_arm_count("fig7", ncfg, 1 + 3 * N_CORES);
+    if h.emit_trials(&trials) {
         return;
     }
 
@@ -48,7 +34,7 @@ fn main() {
         "bench", "base", "base+i", "base*", "RS", "RS+i", "RS*", "IW", "IW+i", "IW*", "IW+RS",
         "IW+RS+i", "IW+RS*",
     ]);
-    let mut means: Vec<Vec<f64>> = vec![Vec::new(); cores.len() * 3];
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); N_CORES * 3];
     let mut base_ipcs: Vec<String> = Vec::new();
 
     for row_trials in trials.chunks(ncfg) {
@@ -56,7 +42,7 @@ fn main() {
         let reference = &row_trials[0].result;
         base_ipcs.push(format!("{}={:.2}", bench, reference.ipc()));
         let mut row = vec![bench.to_string()];
-        for ci in 0..cores.len() {
+        for ci in 0..N_CORES {
             for k in 0..3 {
                 let r = &row_trials[1 + ci * 3 + k].result;
                 let sp = speedup_pct(r, reference);

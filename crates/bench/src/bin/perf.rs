@@ -38,7 +38,7 @@ const PERF_USAGE: &str = "\
 perf-specific flags:\n\
 \x20 --workloads a,b,c       measure only these benchmarks (comma-separated names)\n\
 \x20 --repeat K              timing repetitions per cell, best-of-K (default 3)\n\
-\x20 --out FILE              perf record to write (default BENCH_3.json)\n\
+\x20 --out FILE              alias of the shared --output (default BENCH_3.json)\n\
 \x20 --baseline FILE         previous perf record to compare against";
 
 fn parse_args() -> Result<PerfArgs, String> {
@@ -50,7 +50,7 @@ fn parse_args() -> Result<PerfArgs, String> {
     let mut rest = Vec::new();
     let mut workloads = None;
     let mut repeat = 3usize;
-    let mut out = "BENCH_3.json".to_string();
+    let mut out = None;
     let mut baseline = None;
     let mut i = 0;
     let value = |raw: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -80,7 +80,7 @@ fn parse_args() -> Result<PerfArgs, String> {
                     .filter(|&k| k >= 1)
                     .ok_or_else(|| format!("--repeat takes a count >= 1, got `{v}`"))?;
             }
-            "--out" => out = value(&raw, &mut i, "--out")?,
+            "--out" => out = Some(value(&raw, &mut i, "--out")?),
             "--baseline" => baseline = Some(value(&raw, &mut i, "--baseline")?),
             other => rest.push(other.to_string()),
         }
@@ -90,6 +90,15 @@ fn parse_args() -> Result<PerfArgs, String> {
     if workloads.is_some() && harness.filter.is_some() {
         return Err("--workloads and --bench are mutually exclusive filters".into());
     }
+    // The record path is the shared `--output` flag; `--out` remains as
+    // the historical alias. Giving both would silently drop one, so it
+    // is an error instead.
+    if out.is_some() && harness.output.is_some() {
+        return Err("--out is an alias of --output; give only one of them".into());
+    }
+    let out = out
+        .or_else(|| harness.output.clone())
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     Ok(PerfArgs { harness, workloads, repeat, out, baseline })
 }
 
@@ -190,10 +199,7 @@ fn main() {
         }
     });
     let h = &args.harness;
-    let warmup_mode = match h.warmup_mode {
-        rix_bench::WarmupMode::Detailed => "detailed",
-        rix_bench::WarmupMode::Functional => "functional",
-    };
+    let warmup_mode = h.warmup_mode.name();
     if let Some(b) = &baseline {
         if b.warmup_mode != warmup_mode {
             eprintln!(

@@ -9,6 +9,12 @@
 //! | `fig6` | Figure 6 — IT associativity (1/2/4/full) and size (64/256/1K/4K) sweeps |
 //! | `fig7` | Figure 7 — reduced-complexity execution engines (base / RS / IW / IW+RS) with and without integration |
 //! | `perf` | Simulator-throughput harness — simulated KIPS per workload under the base and integration configs, written as a `BENCH_*.json` perf record (`--baseline` chains records into a trajectory) |
+//! | `exp`  | The spec-driven runner: `exp run spec.json` executes any `rix-exp/1` experiment spec ([`ExperimentSpec`]) on the shared engine, with `--dry-run`, `--list-arms`, `--json` and `--output` |
+//!
+//! The figure binaries are themselves spec-driven: each embeds its
+//! committed `specs/<name>.json` and adds only the figure-specific
+//! table rendering, so the experiment definition is data shared with
+//! `exp`.
 //!
 //! Shared flags: `--instructions N` (retired instructions per run,
 //! default 100 000), `--seed S`, `--bench NAME` (filter to one
@@ -25,15 +31,24 @@
 //! The experiment layer is the [`Sweep`] builder: declare a
 //! (benchmark × config) grid, an instruction budget, an optional
 //! warm-up, and a thread count, and get back ordered [`Trial`] records.
+//! Config grids are declared as a [`ParamSpace`] (named [`Axis`] values
+//! over config fields, crossed/zipped/chained), and whole experiments
+//! as serializable [`ExperimentSpec`] documents.
 //!
 //! The Criterion benches (`cargo bench -p rix-bench`) measure the
 //! simulator's own throughput per subsystem and end-to-end, so
 //! performance regressions in the simulator itself are visible.
 
+pub mod space;
+pub mod spec;
+
+pub use space::{Axis, AxisValue, ParamSpace};
+pub use spec::ExperimentSpec;
+
 use rix_integration::IntegrationConfig;
 use rix_isa::interp::Interp;
 use rix_isa::{ArchState, Program};
-use rix_sim::{RunResult, SimConfig, Simulator, StopWhen};
+use rix_sim::{Checkpoint, RunResult, SimConfig, Simulator, StopWhen};
 use rix_workloads::Benchmark;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -56,7 +71,16 @@ use std::sync::Mutex;
 /// comparable with detailed-warm-up numbers — but its *relative*
 /// comparisons across config arms share identical starting conditions,
 /// and the sweep's wall-clock drops by roughly the per-arm warm-up cost.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// A third mode, [`WarmupMode::Checkpoint`], skips warm-up execution
+/// entirely: every config arm of a benchmark row boots from a saved
+/// PR-4 [`Checkpoint`] (`<dir>/<bench>-s<seed>.ckpt.json`, see
+/// [`checkpoint_path`]), so the warm-up cost is paid **once, offline**
+/// and amortised across every sweep that forks from the same snapshots
+/// — the building block for checkpoint-seeded sampled grids and
+/// multi-process dispatch. Like functional warm-up, the microarchitecture
+/// starts cold at the snapshot boundary; the `warmup` instruction count
+/// is ignored in this mode (the checkpoint decides the boundary).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum WarmupMode {
     /// Per-cell warm-up on the detailed machine (the default; byte-
     /// identical to sweeps before functional warm-up existed).
@@ -65,6 +89,52 @@ pub enum WarmupMode {
     /// One interpreter fast-forward per (benchmark, seed), forked across
     /// every config arm.
     Functional,
+    /// Fork every config arm from a saved checkpoint per benchmark,
+    /// loaded from `dir`.
+    Checkpoint {
+        /// Directory holding one `<bench>-s<seed>.ckpt.json` per
+        /// benchmark of the sweep.
+        dir: String,
+    },
+}
+
+impl WarmupMode {
+    /// The mode's stable name (CLI value, spec value, perf-record
+    /// field). [`WarmupMode::Checkpoint`]'s directory is not part of the
+    /// name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Detailed => "detailed",
+            Self::Functional => "functional",
+            Self::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
+/// Guard for the figure binaries' renderers: each renders a fixed table
+/// shape (hard-coded headers and column offsets), so a committed spec
+/// that materialises a different arm count must fail loudly — editing
+/// the spec without updating the rendering would otherwise silently
+/// drop the new arms from the tables. Exits with status 2 and a message
+/// naming both sides; `exp run` renders any arm count generically.
+pub fn expect_arm_count(figure: &str, actual: usize, expected: usize) {
+    if actual != expected {
+        eprintln!(
+            "error: {figure}'s committed spec materialises {actual} arms but this binary's \
+             tables render exactly {expected}; update the rendering alongside the spec, or \
+             use `exp run specs/{figure}.json` for generic output"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The on-disk location of the checkpoint
+/// [`WarmupMode::Checkpoint`] expects for `(bench, seed)` under `dir`:
+/// `<dir>/<bench>-s<seed>.ckpt.json`.
+#[must_use]
+pub fn checkpoint_path(dir: &str, bench: &str, seed: u64) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{bench}-s{seed}.ckpt.json"))
 }
 
 /// Common command-line options for the figure binaries.
@@ -85,8 +155,31 @@ pub struct Harness {
     /// Warm-up instructions discarded before measuring (0 = cold).
     pub warmup: u64,
     /// How the warm-up executes (per-cell detailed vs shared
-    /// functional fast-forward).
+    /// functional fast-forward vs checkpoint forking).
     pub warmup_mode: WarmupMode,
+    /// Also write the run's JSON (trial records, or the perf record) to
+    /// this file; the stdout text table is preserved.
+    pub output: Option<String>,
+    /// Which flags were given explicitly on the command line (vs left at
+    /// their defaults) — what an [`ExperimentSpec`] lets the CLI
+    /// override.
+    pub given: GivenFlags,
+}
+
+/// Tracks which [`Harness`] flags the command line set explicitly.
+/// Spec-driven binaries use this to decide precedence: the committed
+/// spec provides the experiment's parameters, and only explicitly-given
+/// flags override them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GivenFlags {
+    /// `--instructions` was given.
+    pub instructions: bool,
+    /// `--seed` was given.
+    pub seed: bool,
+    /// `--warmup` was given.
+    pub warmup: bool,
+    /// `--warmup-mode` was given.
+    pub warmup_mode: bool,
 }
 
 impl Default for Harness {
@@ -100,6 +193,8 @@ impl Default for Harness {
             json: false,
             warmup: 0,
             warmup_mode: WarmupMode::Detailed,
+            output: None,
+            given: GivenFlags::default(),
         }
     }
 }
@@ -116,9 +211,11 @@ impl Harness {
          \x20 --bench NAME            restrict to one benchmark (case-insensitive)\n\
          \x20 --threads N             worker threads for the sweep (default 1)\n\
          \x20 --warmup N              warm-up instructions discarded before measuring (default 0)\n\
-         \x20 --warmup-mode MODE      `detailed` (per cell, default) or `functional`\n\
-         \x20                         (one interpreter fast-forward shared by all config arms)\n\
+         \x20 --warmup-mode MODE      `detailed` (per cell, default), `functional`\n\
+         \x20                         (one interpreter fast-forward shared by all config arms),\n\
+         \x20                         or `checkpoint:DIR` (fork every arm from saved checkpoints)\n\
          \x20 --json                  print trial records as JSON, not tables\n\
+         \x20 --output FILE           also write the run's JSON to FILE (table stays on stdout)\n\
          \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
          \x20 --help, -h              this message"
     }
@@ -159,11 +256,13 @@ impl Harness {
                     h.instructions = v
                         .parse()
                         .map_err(|_| format!("--instructions takes a number, got `{v}`"))?;
+                    h.given.instructions = true;
                 }
                 "--seed" => {
                     let v = value(&args, &mut i, "--seed")?;
                     h.seed =
                         v.parse().map_err(|_| format!("--seed takes a number, got `{v}`"))?;
+                    h.given.seed = true;
                 }
                 "--bench" => {
                     let v = value(&args, &mut i, "--bench")?;
@@ -184,20 +283,27 @@ impl Harness {
                     h.warmup = v
                         .parse()
                         .map_err(|_| format!("--warmup takes a number, got `{v}`"))?;
+                    h.given.warmup = true;
                 }
                 "--warmup-mode" => {
                     let v = value(&args, &mut i, "--warmup-mode")?;
-                    h.warmup_mode = match v.as_str() {
-                        "detailed" => WarmupMode::Detailed,
-                        "functional" => WarmupMode::Functional,
+                    h.warmup_mode = match (v.as_str(), v.split_once(':')) {
+                        ("detailed", _) => WarmupMode::Detailed,
+                        ("functional", _) => WarmupMode::Functional,
+                        (_, Some(("checkpoint", dir))) if !dir.is_empty() => {
+                            WarmupMode::Checkpoint { dir: dir.to_string() }
+                        }
                         _ => {
                             return Err(format!(
-                                "--warmup-mode takes `detailed` or `functional`, got `{v}`"
+                                "--warmup-mode takes `detailed`, `functional` or \
+                                 `checkpoint:DIR`, got `{v}`"
                             ))
                         }
                     };
+                    h.given.warmup_mode = true;
                 }
                 "--json" => h.json = true,
+                "--output" => h.output = Some(value(&args, &mut i, "--output")?),
                 "--diagnostics" => h.diagnostics = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -234,7 +340,29 @@ impl Harness {
             .seed(self.seed)
             .threads(self.threads)
             .warmup(self.warmup)
-            .warmup_mode(self.warmup_mode)
+            .warmup_mode(self.warmup_mode.clone())
+    }
+
+    /// The shared JSON output behaviour of the figure binaries: writes
+    /// [`trials_json`] to [`Harness::output`] when set (always, so a
+    /// file is produced in both table and `--json` mode), prints it to
+    /// stdout under `--json`. Returns `true` when the caller should skip
+    /// its text tables (`--json` mode).
+    ///
+    /// Exits with status 1 when the output file cannot be written (the
+    /// figure binaries have no recovery path for a failed write).
+    pub fn emit_trials(&self, trials: &[Trial]) -> bool {
+        let json = trials_json(trials);
+        if let Some(path) = &self.output {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+        if self.json {
+            println!("{json}");
+        }
+        self.json
     }
 }
 
@@ -336,6 +464,8 @@ pub struct Sweep {
     warmup_mode: WarmupMode,
     seed: u64,
     threads: usize,
+    stop: Option<StopWhen>,
+    err: Option<String>,
 }
 
 impl Default for Sweep {
@@ -356,6 +486,8 @@ impl Sweep {
             warmup_mode: WarmupMode::Detailed,
             seed: 7,
             threads: 1,
+            stop: None,
+            err: None,
         }
     }
 
@@ -366,13 +498,16 @@ impl Sweep {
         self
     }
 
-    /// Sets the labelled configurations (grid columns).
+    /// Sets the labelled configurations (grid columns). Replaces any
+    /// earlier `.space()`/`.configs()` arms — including a deferred
+    /// space error.
     #[must_use]
     pub fn configs<L: Into<String>>(
         mut self,
         configs: impl IntoIterator<Item = (L, SimConfig)>,
     ) -> Self {
         self.configs = configs.into_iter().map(|(l, c)| (l.into(), c)).collect();
+        self.err = None;
         self
     }
 
@@ -380,6 +515,39 @@ impl Sweep {
     #[must_use]
     pub fn config(mut self, label: impl Into<String>, cfg: SimConfig) -> Self {
         self.configs.push((label.into(), cfg));
+        self
+    }
+
+    /// Sets the configurations from a [`ParamSpace`]: every labelled arm
+    /// of the space becomes a grid column. A malformed space (bad field
+    /// path, unknown preset, zip-length mismatch, …) is reported by
+    /// [`Sweep::try_run`] rather than here, so builder chains stay
+    /// infallible. Replaces any earlier arms — and any earlier deferred
+    /// error.
+    #[must_use]
+    pub fn space(mut self, space: ParamSpace) -> Self {
+        match space.into_arms() {
+            Ok(arms) => {
+                self.configs = arms;
+                self.err = None;
+            }
+            Err(e) => {
+                self.configs = Vec::new();
+                self.err = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Replaces the per-cell measurement condition: instead of the
+    /// [`StopWhen::budget`] of [`Sweep::instructions`], each cell runs
+    /// until `stop` is satisfied (or the program halts / the machine
+    /// deadlocks). The instruction budget is ignored for measurement
+    /// when a stop condition is set; warm-up still uses
+    /// [`Sweep::warmup`].
+    #[must_use]
+    pub fn stop(mut self, stop: StopWhen) -> Self {
+        self.stop = Some(stop);
         self
     }
 
@@ -423,19 +591,113 @@ impl Sweep {
         self
     }
 
+    /// Validates the sweep's shape without running anything: a deferred
+    /// [`ParamSpace`] error, an empty benchmark or configuration list,
+    /// duplicate configuration labels, an unbuildable configuration
+    /// ([`SimConfig::validate`] per arm), a zero-instruction
+    /// measurement, and functional-warm-up `stack_top` disagreement are
+    /// all reported with a descriptive message instead of panicking or
+    /// silently producing an empty run. ([`WarmupMode::Checkpoint`] files are
+    /// checked by [`Sweep::try_run`], not here, so a spec can be
+    /// validated before its checkpoints exist.)
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(e) = &self.err {
+            return Err(e.clone());
+        }
+        if self.benchmarks.is_empty() {
+            return Err("sweep has no benchmarks: add .benchmarks(...), or loosen the \
+                        benchmark filter that removed them all"
+                .to_string());
+        }
+        if self.configs.is_empty() {
+            return Err(
+                "sweep has no configurations: add .config(...), .configs(...) or .space(...)"
+                    .to_string(),
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (label, cfg) in &self.configs {
+            if !seen.insert(label.as_str()) {
+                return Err(format!(
+                    "duplicate configuration label `{label}`: every arm of a sweep needs a \
+                     distinct label"
+                ));
+            }
+            // Well-typed is not buildable: catch constructor panics
+            // (register-file floor, cache/IT/LISP geometry, predictor
+            // table sizes) here, with the arm named, instead of inside
+            // a worker thread.
+            cfg.validate().map_err(|e| format!("configuration `{label}`: {e}"))?;
+        }
+        if self.instructions == 0 && self.stop.is_none() {
+            return Err("zero-instruction budget: set .instructions(n) or a .stop(...) \
+                        condition, otherwise every trial measures nothing"
+                .to_string());
+        }
+        if self.warmup > 0 && self.warmup_mode == WarmupMode::Functional {
+            let stack_top = self.configs[0].1.stack_top;
+            if !self.configs.iter().all(|(_, c)| c.stack_top == stack_top) {
+                return Err("functional warm-up shares one interpreter run per benchmark, \
+                            so every config arm must agree on stack_top"
+                    .to_string());
+            }
+        }
+        Ok(())
+    }
+
     /// Runs every (benchmark × config) cell and returns the trials in
     /// bench-major grid order, independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid sweep (see [`Sweep::validate`]) or a
+    /// missing/mismatched warm-up checkpoint; [`Sweep::try_run`] is the
+    /// error-returning form.
     #[must_use]
     pub fn run(&self) -> Vec<Trial> {
+        self.try_run().unwrap_or_else(|e| panic!("invalid sweep: {e}"))
+    }
+
+    /// As [`Sweep::run`], but an invalid sweep — or a missing or
+    /// mismatched [`WarmupMode::Checkpoint`] file — returns a
+    /// descriptive error instead of panicking.
+    pub fn try_run(&self) -> Result<Vec<Trial>, String> {
+        self.validate()?;
         let ncfg = self.configs.len();
         let total = self.benchmarks.len() * ncfg;
-        if total == 0 {
-            return Vec::new();
-        }
         // Build each benchmark's program once; the cells of its grid
         // row share it read-only across workers.
         let programs: Vec<Program> =
             self.benchmarks.iter().map(|b| b.build(self.seed)).collect();
+        // Checkpoint warm-up: load one saved snapshot per benchmark row
+        // up front (serial — loads are cheap next to simulation), so a
+        // missing or mismatched file fails the whole sweep with a
+        // nameable error before any cell runs.
+        let ckpts: Vec<Option<Checkpoint>> =
+            if let WarmupMode::Checkpoint { dir } = &self.warmup_mode {
+                self.benchmarks
+                    .iter()
+                    .zip(&programs)
+                    .map(|(b, p)| {
+                        let path = checkpoint_path(dir, b.name, self.seed);
+                        let ck = Checkpoint::load(&path).map_err(|e| {
+                            format!("warm-up checkpoint for `{}`: {e}", b.name)
+                        })?;
+                        if rix_sim::checkpoint::fingerprint(p) != ck.program_hash {
+                            return Err(format!(
+                                "warm-up checkpoint {} belongs to a different program than \
+                                 `{}` at seed {} (wrong benchmark, or saved at another seed)",
+                                path.display(),
+                                b.name,
+                                self.seed
+                            ));
+                        }
+                        Ok(Some(ck))
+                    })
+                    .collect::<Result<_, String>>()?
+            } else {
+                vec![None; programs.len()]
+            };
         // Functional warm-up: fast-forward each (benchmark, seed) once
         // through the interpreter; every config arm of the row forks
         // from the shared snapshot. The fast-forward itself is shared
@@ -444,11 +706,6 @@ impl Sweep {
         let functional = self.warmup > 0 && self.warmup_mode == WarmupMode::Functional;
         let warm_states: Vec<Option<ArchState>> = if functional {
             let stack_top = self.configs[0].1.stack_top;
-            assert!(
-                self.configs.iter().all(|(_, c)| c.stack_top == stack_top),
-                "functional warm-up shares one interpreter run per benchmark, \
-                 so every config arm must agree on stack_top"
-            );
             // The per-benchmark fast-forwards are independent, so they
             // use the sweep's thread budget too (statically partitioned
             // — interpreter warm-ups are near-uniform in cost): without
@@ -469,35 +726,57 @@ impl Sweep {
         } else {
             vec![None; programs.len()]
         };
+        // The per-cell measurement interval: the stop condition when one
+        // is set, the canonical instruction budget otherwise.
+        let measure = |sim: &mut Simulator| -> RunResult {
+            match &self.stop {
+                Some(stop) => {
+                    sim.run_until(stop);
+                    sim.result()
+                }
+                None => sim.run_budget(self.instructions),
+            }
+        };
         let run_cell = |i: usize| -> Trial {
             let bench = self.benchmarks[i / ncfg];
             let (label, cfg) = &self.configs[i % ncfg];
             let program = &programs[i / ncfg];
             let start = std::time::Instant::now();
-            let result = if let Some(state) = &warm_states[i / ncfg] {
+            let result = if let Some(ck) = &ckpts[i / ncfg] {
+                // Fork the arm from the saved snapshot (cold
+                // microarchitecture at the checkpoint boundary) and
+                // measure fresh from there.
+                let mut sim = Simulator::from_checkpoint(program, *cfg, ck);
+                sim.reset_stats();
+                measure(&mut sim)
+            } else if let Some(state) = &warm_states[i / ncfg] {
                 // Boot the detailed machine at the fast-forwarded
                 // architectural boundary (cold microarchitecture) and
                 // measure from there.
                 let mut sim = Simulator::from_arch_state(program, *cfg, state);
-                sim.run_budget(self.instructions)
+                measure(&mut sim)
             } else if self.warmup == 0 {
-                // The exact one-shot path, so a warm-up-free sweep is
-                // byte-identical to the historical serial loops.
-                Simulator::new(program, *cfg).run(self.instructions)
+                if self.stop.is_none() {
+                    // The exact one-shot path, so a warm-up-free sweep
+                    // is byte-identical to the historical serial loops.
+                    Simulator::new(program, *cfg).run(self.instructions)
+                } else {
+                    measure(&mut Simulator::new(program, *cfg))
+                }
             } else {
                 let mut sim = Simulator::new(program, *cfg);
                 // Budget safety nets on both phases, so a cell that
                 // crawls without deadlocking cannot hang the sweep.
                 sim.run_until(&StopWhen::budget(self.warmup));
                 sim.reset_stats();
-                sim.run_budget(self.instructions)
+                measure(&mut sim)
             };
             let wall = start.elapsed();
             Trial { bench: bench.name, config_label: label.clone(), result, wall }
         };
         let threads = self.threads.max(1).min(total);
         if threads == 1 {
-            return (0..total).map(run_cell).collect();
+            return Ok((0..total).map(run_cell).collect());
         }
         // Shared work queue: an atomic cursor over the grid; each
         // worker claims the next cell and writes its own result slot.
@@ -515,14 +794,14 @@ impl Sweep {
                 });
             }
         });
-        slots
+        Ok(slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot never poisoned")
                     .expect("every cell was claimed and completed")
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -675,10 +954,30 @@ mod tests {
         assert_eq!(h.warmup_mode, WarmupMode::Functional);
         let h = Harness::try_parse(args("--warmup-mode detailed")).unwrap();
         assert_eq!(h.warmup_mode, WarmupMode::Detailed);
+        let h = Harness::try_parse(args("--warmup-mode checkpoint:ckpts/fig4")).unwrap();
+        assert_eq!(h.warmup_mode, WarmupMode::Checkpoint { dir: "ckpts/fig4".into() });
         assert!(Harness::try_parse(args("--warmup-mode sampled"))
             .unwrap_err()
             .contains("detailed"));
+        assert!(Harness::try_parse(args("--warmup-mode checkpoint:"))
+            .unwrap_err()
+            .contains("checkpoint:DIR"));
         assert!(Harness::try_parse(args("--warmup lots")).unwrap_err().contains("number"));
+    }
+
+    #[test]
+    fn try_parse_output_and_given_flags() {
+        let args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let h = Harness::try_parse(args("--output /tmp/fig.json")).unwrap();
+        assert_eq!(h.output.as_deref(), Some("/tmp/fig.json"));
+        assert_eq!(h.given, GivenFlags::default(), "--output is not a spec override");
+
+        let h = Harness::try_parse(args("-n 5000 --warmup 100")).unwrap();
+        assert!(h.given.instructions && h.given.warmup);
+        assert!(!h.given.seed && !h.given.warmup_mode);
+        let h = Harness::try_parse(args("--seed 9 --warmup-mode functional")).unwrap();
+        assert!(h.given.seed && h.given.warmup_mode);
+        assert!(!h.given.instructions);
     }
 
     #[test]
@@ -721,15 +1020,69 @@ mod tests {
     }
 
     #[test]
-    fn functional_warmup_with_empty_grid_is_empty() {
-        // The empty-grid early return fires before any warm-up work, in
-        // every mode.
+    fn validation_rejects_degenerate_sweeps_descriptively() {
+        let one_bench = || rix_workloads::all_benchmarks().into_iter().take(1);
+        // No configurations (the old behaviour silently produced an
+        // empty run).
+        let err = Sweep::new().benchmarks(one_bench()).try_run().unwrap_err();
+        assert!(err.contains("no configurations"), "{err}");
+        // No benchmarks.
+        let err = Sweep::new().config("base", SimConfig::baseline()).try_run().unwrap_err();
+        assert!(err.contains("no benchmarks"), "{err}");
+        // Duplicate labels.
+        let err = Sweep::new()
+            .benchmarks(one_bench())
+            .config("base", SimConfig::baseline())
+            .config("base", SimConfig::default())
+            .try_run()
+            .unwrap_err();
+        assert!(err.contains("duplicate configuration label `base`"), "{err}");
+        // Zero-instruction budget...
+        let err = Sweep::new()
+            .benchmarks(one_bench())
+            .config("base", SimConfig::baseline())
+            .instructions(0)
+            .try_run()
+            .unwrap_err();
+        assert!(err.contains("zero-instruction budget"), "{err}");
+        // ... unless an explicit stop condition takes over measurement.
         let trials = Sweep::new()
+            .benchmarks(one_bench())
+            .config("base", SimConfig::baseline())
+            .instructions(0)
+            .stop(StopWhen::CyclesAtLeast(500))
+            .try_run()
+            .unwrap();
+        assert_eq!(trials.len(), 1);
+        assert!(trials[0].result.stats.cycles >= 500);
+    }
+
+    #[test]
+    fn stop_condition_replaces_the_budget() {
+        let sweep = Sweep::new()
             .benchmarks(rix_workloads::all_benchmarks().into_iter().take(1))
-            .warmup(1_000)
-            .warmup_mode(WarmupMode::Functional)
-            .run();
-        assert!(trials.is_empty(), "no configs -> no trials, no panic");
+            .config("base", SimConfig::baseline())
+            .instructions(1_000_000) // would run far longer than the stop
+            .stop(StopWhen::CyclesAtLeast(2_000));
+        let trials = sweep.run();
+        assert!(trials[0].result.stats.cycles >= 2_000);
+        assert!(
+            trials[0].result.stats.cycles < 100_000,
+            "the stop condition, not the budget, ended the cell: {}",
+            trials[0].result.stats.cycles
+        );
+    }
+
+    #[test]
+    fn checkpoint_warmup_reports_missing_files() {
+        let err = Sweep::new()
+            .benchmarks(rix_workloads::all_benchmarks().into_iter().take(1))
+            .config("base", SimConfig::baseline())
+            .warmup_mode(WarmupMode::Checkpoint { dir: "/nonexistent-ckpt-dir".into() })
+            .try_run()
+            .unwrap_err();
+        assert!(err.contains("warm-up checkpoint for `bzip2`"), "{err}");
+        assert!(err.contains("bzip2-s7.ckpt.json"), "names the expected file: {err}");
     }
 
     #[test]

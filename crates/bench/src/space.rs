@@ -1,0 +1,478 @@
+//! Parameter spaces: named axes over [`SimConfig`] fields.
+//!
+//! A [`ParamSpace`] is a declarative description of a set of labelled
+//! configuration arms — the columns of a [`Sweep`](crate::Sweep) grid.
+//! Spaces are built from [`Axis`] values (an axis names a config field
+//! and the values to sweep it over) composed by **cross product**
+//! ([`ParamSpace::cross`]: every existing arm × every axis point) or
+//! **zipping** ([`ParamSpace::zip`]: pairwise, for fields that move
+//! together, like Figure 6's 4K-entry IT requiring a 4K-register file),
+//! and concatenated with [`ParamSpace::chain`] for irregular grids
+//! ("the baseline, then the real arms").
+//!
+//! ```
+//! use rix_bench::{Axis, ParamSpace};
+//! use rix_sim::SimConfig;
+//!
+//! // Figure 6's IT-size axis: fully-associative tables of four sizes,
+//! // the register file zipped to grow with the 4K point.
+//! let arms = ParamSpace::base(SimConfig::default())
+//!     .cross(&Axis::new("it_entries", [64u64, 256, 1024, 4096]))
+//!     .zip(&Axis::new("it_ways", [64u64, 256, 1024, 4096]))
+//!     .zip(&Axis::new("num_pregs", [1024u64, 1024, 1024, 4096]))
+//!     .into_arms()
+//!     .unwrap();
+//! assert_eq!(arms.len(), 4);
+//! assert_eq!(arms[0].0, "it_entries=64");
+//! assert_eq!(arms[3].1.integration.it_entries, 4096);
+//! assert_eq!(arms[3].1.num_pregs, 4096);
+//! assert_eq!(arms[0].1.num_pregs, 1024);
+//! ```
+//!
+//! Field paths resolve exactly like [`SimConfig::set_path`]: a full
+//! dotted path (`"integration.it_entries"`) or an unambiguous leaf name
+//! (`"it_entries"`). Errors — unknown fields, unknown presets, zip
+//! length mismatches, duplicate labels — are deferred to
+//! [`ParamSpace::into_arms`] (or the sweep's
+//! [`try_run`](crate::Sweep::try_run)), so builder chains stay
+//! infallible.
+
+use rix_isa::json::Json;
+use rix_sim::SimConfig;
+
+/// One sweepable value: the JSON-typed scalars a config field can take.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxisValue {
+    /// An unsigned integer (entries, widths, latencies, sizes).
+    U64(u64),
+    /// A flag (`enabled`, `shared_ldst`, …).
+    Bool(bool),
+    /// An enum name (`"oracle"`, `"stack_pointer"`, …).
+    Str(String),
+}
+
+impl AxisValue {
+    /// The value as the [`Json`] scalar [`SimConfig::set_path`] expects.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Self::U64(n) => Json::Num(n.to_string()),
+            Self::Bool(b) => Json::Bool(*b),
+            Self::Str(s) => Json::Str(s.clone()),
+        }
+    }
+
+    /// The value as it appears in a default arm label.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match self {
+            Self::U64(n) => n.to_string(),
+            Self::Bool(b) => b.to_string(),
+            Self::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl From<u64> for AxisValue {
+    fn from(n: u64) -> Self {
+        Self::U64(n)
+    }
+}
+
+impl From<u32> for AxisValue {
+    fn from(n: u32) -> Self {
+        Self::U64(u64::from(n))
+    }
+}
+
+impl From<usize> for AxisValue {
+    fn from(n: usize) -> Self {
+        Self::U64(n as u64)
+    }
+}
+
+impl From<bool> for AxisValue {
+    fn from(b: bool) -> Self {
+        Self::Bool(b)
+    }
+}
+
+impl From<&str> for AxisValue {
+    fn from(s: &str) -> Self {
+        Self::Str(s.to_string())
+    }
+}
+
+impl From<String> for AxisValue {
+    fn from(s: String) -> Self {
+        Self::Str(s)
+    }
+}
+
+/// One point of an [`Axis`]: a label fragment plus what it does to the
+/// configuration, applied in order — optional preset replacement, then
+/// field assignments, then a partial-config JSON patch.
+#[derive(Clone, Debug, Default)]
+pub struct AxisPoint {
+    /// The label fragment this point contributes to the arm label.
+    pub label: String,
+    /// Replace the whole configuration with this named preset first.
+    pub preset: Option<String>,
+    /// Then set these fields by path.
+    pub sets: Vec<(String, Json)>,
+    /// Then apply this partial-config object
+    /// ([`SimConfig::apply_json`]).
+    pub patch: Option<Json>,
+    /// A construction error (e.g. malformed patch text) to surface when
+    /// the space materialises.
+    pub err: Option<String>,
+}
+
+impl AxisPoint {
+    /// Applies the point to `cfg`, in preset → sets → patch order.
+    fn apply(&self, cfg: &mut SimConfig) -> Result<(), String> {
+        if let Some(e) = &self.err {
+            return Err(e.clone());
+        }
+        if let Some(name) = &self.preset {
+            *cfg = SimConfig::preset(name)?;
+        }
+        for (path, value) in &self.sets {
+            cfg.set_path(path, value)?;
+        }
+        if let Some(patch) = &self.patch {
+            cfg.apply_json(patch)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named axis: one config field (or one richer patch per point) and
+/// the points to sweep it over.
+#[derive(Clone, Debug)]
+pub struct Axis {
+    /// The axis name (used in error messages; the field path for
+    /// [`Axis::new`] axes).
+    pub name: String,
+    /// The points, in sweep order.
+    pub points: Vec<AxisPoint>,
+}
+
+impl Axis {
+    /// An axis over one config field. `path` resolves like
+    /// [`SimConfig::set_path`] (full dotted path or unambiguous leaf
+    /// name); each point's default label fragment is `path=value`
+    /// (override with [`Axis::with_labels`]).
+    #[must_use]
+    pub fn new(path: &str, values: impl IntoIterator<Item = impl Into<AxisValue>>) -> Self {
+        let points = values
+            .into_iter()
+            .map(Into::into)
+            .map(|v: AxisValue| AxisPoint {
+                label: format!("{path}={}", v.display()),
+                sets: vec![(path.to_string(), v.to_json_value())],
+                ..AxisPoint::default()
+            })
+            .collect();
+        Self { name: path.to_string(), points }
+    }
+
+    /// An axis whose points are named presets: `(label fragment, preset
+    /// name)` pairs. Crossing a preset axis *replaces* the configuration
+    /// at each point (later axes then modify it), which is how "the four
+    /// Figure 4 arms" is one axis.
+    #[must_use]
+    pub fn presets<L: Into<String>, P: Into<String>>(
+        name: &str,
+        pairs: impl IntoIterator<Item = (L, P)>,
+    ) -> Self {
+        let points = pairs
+            .into_iter()
+            .map(|(l, p)| AxisPoint {
+                label: l.into(),
+                preset: Some(p.into()),
+                ..AxisPoint::default()
+            })
+            .collect();
+        Self { name: name.to_string(), points }
+    }
+
+    /// An axis whose points are partial-config JSON patches: `(label
+    /// fragment, patch text)` pairs, each patch a (possibly partial)
+    /// [`SimConfig`] object. Malformed patch text is reported when the
+    /// space materialises.
+    #[must_use]
+    pub fn patches<L: Into<String>, P: Into<String>>(
+        name: &str,
+        pairs: impl IntoIterator<Item = (L, P)>,
+    ) -> Self {
+        let points = pairs
+            .into_iter()
+            .map(|(l, p)| {
+                let text = p.into();
+                match Json::parse(&text) {
+                    Ok(patch) => AxisPoint {
+                        label: l.into(),
+                        patch: Some(patch),
+                        ..AxisPoint::default()
+                    },
+                    Err(e) => AxisPoint {
+                        label: l.into(),
+                        err: Some(format!("malformed patch: {e}")),
+                        ..AxisPoint::default()
+                    },
+                }
+            })
+            .collect();
+        Self { name: name.to_string(), points }
+    }
+
+    /// Replaces the label fragments (must match the point count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label count differs from the point count — a
+    /// static construction bug, not a data error.
+    #[must_use]
+    pub fn with_labels(mut self, labels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        assert_eq!(
+            labels.len(),
+            self.points.len(),
+            "axis `{}`: {} labels for {} points",
+            self.name,
+            labels.len(),
+            self.points.len()
+        );
+        for (p, l) in self.points.iter_mut().zip(labels) {
+            p.label = l;
+        }
+        self
+    }
+}
+
+/// Joins two arm-label fragments: empty fragments vanish, fragments
+/// opening with punctuation (`"*"`, `"+i"`, `":off"`) glue directly as
+/// suffixes, everything else joins with `/`.
+#[must_use]
+pub fn join_labels(a: &str, b: &str) -> String {
+    if a.is_empty() {
+        return b.to_string();
+    }
+    if b.is_empty() {
+        return a.to_string();
+    }
+    if b.starts_with(|c: char| !c.is_ascii_alphanumeric()) {
+        format!("{a}{b}")
+    } else {
+        format!("{a}/{b}")
+    }
+}
+
+/// A set of labelled [`SimConfig`] arms under construction. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ParamSpace {
+    inner: Result<Vec<(String, SimConfig)>, String>,
+}
+
+impl ParamSpace {
+    /// A single unlabelled arm: the canvas [`ParamSpace::cross`] draws
+    /// on (the first crossed axis's fragments become the labels).
+    #[must_use]
+    pub fn base(cfg: SimConfig) -> Self {
+        Self { inner: Ok(vec![(String::new(), cfg)]) }
+    }
+
+    /// A single labelled arm.
+    #[must_use]
+    pub fn point(label: impl Into<String>, cfg: SimConfig) -> Self {
+        Self { inner: Ok(vec![(label.into(), cfg)]) }
+    }
+
+    /// A space that reports `err` when it materialises — how fallible
+    /// space *construction* (a bad group base in a spec, say) defers
+    /// its error to [`ParamSpace::into_arms`] like every other
+    /// construction problem.
+    #[must_use]
+    pub fn invalid(err: impl Into<String>) -> Self {
+        Self { inner: Err(err.into()) }
+    }
+
+    /// One arm per `(label, preset name)` pair.
+    #[must_use]
+    pub fn presets<L: Into<String>, P: AsRef<str>>(
+        pairs: impl IntoIterator<Item = (L, P)>,
+    ) -> Self {
+        let mut arms = Vec::new();
+        for (label, preset) in pairs {
+            match SimConfig::preset(preset.as_ref()) {
+                Ok(cfg) => arms.push((label.into(), cfg)),
+                Err(e) => return Self::invalid(e),
+            }
+        }
+        Self { inner: Ok(arms) }
+    }
+
+    /// Cross product: every current arm × every point of `axis`, in
+    /// arm-major order, labels joined by [`join_labels`].
+    #[must_use]
+    pub fn cross(self, axis: &Axis) -> Self {
+        let Ok(arms) = self.inner else { return self };
+        let mut out = Vec::with_capacity(arms.len() * axis.points.len());
+        for (label, cfg) in &arms {
+            for point in &axis.points {
+                let mut cfg = *cfg;
+                if let Err(e) = point.apply(&mut cfg) {
+                    return Self {
+                        inner: Err(format!("axis `{}`, point `{}`: {e}", axis.name, point.label)),
+                    };
+                }
+                out.push((join_labels(label, &point.label), cfg));
+            }
+        }
+        Self { inner: Ok(out) }
+    }
+
+    /// Zip: applies `axis`'s points to the current arms **pairwise**
+    /// (point *i* onto arm *i*), for fields that move together along an
+    /// existing axis. The point count must match the arm count; zipped
+    /// labels are kept from the existing arms (the zipped field is a
+    /// dependent detail, not a new dimension).
+    #[must_use]
+    pub fn zip(self, axis: &Axis) -> Self {
+        let Ok(arms) = self.inner else { return self };
+        if arms.len() != axis.points.len() {
+            return Self {
+                inner: Err(format!(
+                    "axis `{}` zips {} points onto {} arms: zip requires equal lengths",
+                    axis.name,
+                    axis.points.len(),
+                    arms.len()
+                )),
+            };
+        }
+        let mut out = Vec::with_capacity(arms.len());
+        for ((label, cfg), point) in arms.iter().zip(&axis.points) {
+            let mut cfg = *cfg;
+            if let Err(e) = point.apply(&mut cfg) {
+                return Self {
+                    inner: Err(format!("axis `{}`, point `{}`: {e}", axis.name, point.label)),
+                };
+            }
+            out.push((label.clone(), cfg));
+        }
+        Self { inner: Ok(out) }
+    }
+
+    /// Concatenates another space's arms after this one's (irregular
+    /// grids: "the baseline arm, then the swept arms").
+    #[must_use]
+    pub fn chain(self, other: ParamSpace) -> Self {
+        match (self.inner, other.inner) {
+            (Ok(mut a), Ok(b)) => {
+                a.extend(b);
+                Self { inner: Ok(a) }
+            }
+            (Err(e), _) | (_, Err(e)) => Self { inner: Err(e) },
+        }
+    }
+
+    /// Materialises the arms: every `(label, config)` pair in order, or
+    /// the first deferred construction error.
+    pub fn into_arms(self) -> Result<Vec<(String, SimConfig)>, String> {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_integration::Suppression;
+
+    #[test]
+    fn scalar_axis_crosses_with_default_labels() {
+        let arms = ParamSpace::base(SimConfig::default())
+            .cross(&Axis::new("it_entries", [256u64, 1024]))
+            .cross(&Axis::new("gen_bits", [1u32, 4]))
+            .into_arms()
+            .unwrap();
+        assert_eq!(arms.len(), 4);
+        assert_eq!(arms[0].0, "it_entries=256/gen_bits=1");
+        assert_eq!(arms[3].0, "it_entries=1024/gen_bits=4");
+        assert_eq!(arms[1].1.integration.it_entries, 256);
+        assert_eq!(arms[1].1.integration.gen_bits, 4);
+    }
+
+    #[test]
+    fn preset_axis_replaces_then_later_axes_modify() {
+        let oracle = Axis::patches(
+            "suppression",
+            [("", "{}"), ("*", r#"{"integration":{"suppression":"oracle"}}"#)],
+        );
+        let arms = ParamSpace::base(SimConfig::default())
+            .cross(&Axis::presets("arm", [("squash", "squash_reuse"), ("+reverse", "plus_reverse")]))
+            .cross(&oracle)
+            .into_arms()
+            .unwrap();
+        let labels: Vec<&str> = arms.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["squash", "squash*", "+reverse", "+reverse*"]);
+        assert_eq!(arms[1].1.integration.suppression, Suppression::Oracle);
+        assert!(!arms[1].1.integration.general_reuse, "preset survived the patch");
+        assert_eq!(arms[2].1.integration.suppression, Suppression::Lisp);
+    }
+
+    #[test]
+    fn zip_requires_matching_lengths() {
+        let err = ParamSpace::base(SimConfig::default())
+            .cross(&Axis::new("it_entries", [64u64, 256]))
+            .zip(&Axis::new("num_pregs", [1024u64, 1024, 4096]))
+            .into_arms()
+            .unwrap_err();
+        assert!(err.contains("zip"), "{err}");
+        assert!(err.contains("3 points onto 2 arms"), "{err}");
+    }
+
+    #[test]
+    fn errors_are_deferred_and_name_the_axis() {
+        let err = ParamSpace::base(SimConfig::default())
+            .cross(&Axis::new("it_entrees", [64u64]))
+            .into_arms()
+            .unwrap_err();
+        assert!(err.contains("axis `it_entrees`"), "{err}");
+        assert!(err.contains("it_entries"), "suggests the real field: {err}");
+
+        let err = ParamSpace::presets([("x", "no_such_preset")]).into_arms().unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+
+        let err = ParamSpace::base(SimConfig::default())
+            .cross(&Axis::patches("p", [("bad", "{not json")]))
+            .into_arms()
+            .unwrap_err();
+        assert!(err.contains("malformed patch"), "{err}");
+    }
+
+    #[test]
+    fn chain_concatenates() {
+        let arms = ParamSpace::point("base", SimConfig::baseline())
+            .chain(
+                ParamSpace::base(SimConfig::default())
+                    .cross(&Axis::new("pipeline_depth", [0u64, 4])),
+            )
+            .into_arms()
+            .unwrap();
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].0, "base");
+        assert!(!arms[0].1.integration.enabled);
+        assert_eq!(arms[2].1.integration.pipeline_depth, 4);
+    }
+
+    #[test]
+    fn join_label_rules() {
+        assert_eq!(join_labels("", "base"), "base");
+        assert_eq!(join_labels("RS", ""), "RS");
+        assert_eq!(join_labels("RS", "+i"), "RS+i");
+        assert_eq!(join_labels("squash", "*"), "squash*");
+        assert_eq!(join_labels("a", "b"), "a/b");
+    }
+}

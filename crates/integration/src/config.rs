@@ -1,5 +1,7 @@
 //! Integration configuration and the paper's experiment presets.
 
+use rix_isa::json::Json;
+
 /// How the integration table is indexed (§2.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndexScheme {
@@ -10,6 +12,26 @@ pub enum IndexScheme {
     /// instructions with the same operation can integrate each other's
     /// results, and save/restore pairs land in conflict-free sets.
     OpcodeDepth,
+}
+
+impl IndexScheme {
+    /// The scheme's stable JSON name.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Pc => "pc",
+            Self::OpcodeDepth => "opcode_depth",
+        }
+    }
+
+    /// Parses a JSON name produced by [`IndexScheme::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pc" => Ok(Self::Pc),
+            "opcode_depth" => Ok(Self::OpcodeDepth),
+            other => Err(format!("unknown index scheme `{other}` (expected `pc` or `opcode_depth`)")),
+        }
+    }
 }
 
 /// Which operations create reverse IT entries (§2.4).
@@ -25,6 +47,30 @@ pub enum ReverseScope {
     AllInvertible,
 }
 
+impl ReverseScope {
+    /// The scope's stable JSON name.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::StackPointer => "stack_pointer",
+            Self::AllInvertible => "all_invertible",
+        }
+    }
+
+    /// Parses a JSON name produced by [`ReverseScope::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(Self::Off),
+            "stack_pointer" => Ok(Self::StackPointer),
+            "all_invertible" => Ok(Self::AllInvertible),
+            other => Err(format!(
+                "unknown reverse scope `{other}` (expected `off`, `stack_pointer` or `all_invertible`)"
+            )),
+        }
+    }
+}
+
 /// How load mis-integrations are suppressed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Suppression {
@@ -36,6 +82,26 @@ pub enum Suppression {
     /// Oracle suppression: an integration is allowed only if its value
     /// will verify at DIVA (the paper's dark-bar configurations).
     Oracle,
+}
+
+impl Suppression {
+    /// The policy's stable JSON name.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Lisp => "lisp",
+            Self::Oracle => "oracle",
+        }
+    }
+
+    /// Parses a JSON name produced by [`Suppression::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lisp" => Ok(Self::Lisp),
+            "oracle" => Ok(Self::Oracle),
+            other => Err(format!("unknown suppression `{other}` (expected `lisp` or `oracle`)")),
+        }
+    }
 }
 
 /// Full configuration of the integration machinery.
@@ -179,6 +245,115 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_gen_bits(self, bits: u32) -> Self {
         Self { gen_bits: bits, ..self }
+    }
+
+    /// Checks that the machinery can actually be built (the IT, LISP
+    /// and reference-vector constructors would panic otherwise):
+    /// buildable IT geometry with a power-of-two set count, buildable
+    /// LISP geometry, and 1–8-bit counters. Checked even when
+    /// `enabled` is false — the simulator constructs the structures
+    /// either way.
+    pub fn validate(&self) -> Result<(), String> {
+        let ways = self.it_ways.min(self.it_entries);
+        if self.it_entries == 0 || ways == 0 || !self.it_entries.is_multiple_of(ways) {
+            return Err(format!(
+                "bad IT geometry: {} entries must be a non-zero multiple of {} ways",
+                self.it_entries, self.it_ways
+            ));
+        }
+        if !(self.it_entries / ways).is_power_of_two() {
+            return Err(format!(
+                "IT set count must be a power of two ({} entries / {} ways = {} sets)",
+                self.it_entries,
+                ways,
+                self.it_entries / ways
+            ));
+        }
+        if self.lisp_entries == 0
+            || self.lisp_ways == 0
+            || !self.lisp_entries.is_multiple_of(self.lisp_ways)
+        {
+            return Err(format!(
+                "bad LISP geometry: {} entries must be a non-zero multiple of {} ways",
+                self.lisp_entries, self.lisp_ways
+            ));
+        }
+        if !(1..=8).contains(&self.gen_bits) {
+            return Err(format!("gen_bits must be 1-8 (got {})", self.gen_bits));
+        }
+        if !(1..=8).contains(&self.count_bits) {
+            return Err(format!("count_bits must be 1-8 (got {})", self.count_bits));
+        }
+        Ok(())
+    }
+
+    /// The field names [`IntegrationConfig::apply_json`] accepts.
+    pub const KEYS: &'static [&'static str] = &[
+        "enabled",
+        "general_reuse",
+        "index",
+        "reverse",
+        "suppression",
+        "it_entries",
+        "it_ways",
+        "gen_bits",
+        "count_bits",
+        "lisp_entries",
+        "lisp_ways",
+        "pipeline_depth",
+    ];
+
+    /// Serialises the configuration as a JSON object (every field,
+    /// stable key order; enums by their stable names).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"enabled":{},"general_reuse":{},"index":"{}","reverse":"{}","#,
+                r#""suppression":"{}","it_entries":{},"it_ways":{},"gen_bits":{},"#,
+                r#""count_bits":{},"lisp_entries":{},"lisp_ways":{},"pipeline_depth":{}}}"#
+            ),
+            self.enabled,
+            self.general_reuse,
+            self.index.as_str(),
+            self.reverse.as_str(),
+            self.suppression.as_str(),
+            self.it_entries,
+            self.it_ways,
+            self.gen_bits,
+            self.count_bits,
+            self.lisp_entries,
+            self.lisp_ways,
+            self.pipeline_depth,
+        )
+    }
+
+    /// Applies a (possibly partial) JSON object: present keys overwrite,
+    /// omitted keys keep their current value, unknown keys are rejected
+    /// with an error naming them.
+    pub fn apply_json(&mut self, v: &Json) -> Result<(), String> {
+        use rix_isa::json::{expect_bool, expect_str, expect_u64};
+        let Json::Obj(fields) = v else {
+            return Err("integration config must be a JSON object".to_string());
+        };
+        for (k, val) in fields {
+            match k.as_str() {
+                "enabled" => self.enabled = expect_bool(k, val)?,
+                "general_reuse" => self.general_reuse = expect_bool(k, val)?,
+                "index" => self.index = IndexScheme::parse(&expect_str(k, val)?)?,
+                "reverse" => self.reverse = ReverseScope::parse(&expect_str(k, val)?)?,
+                "suppression" => self.suppression = Suppression::parse(&expect_str(k, val)?)?,
+                "it_entries" => self.it_entries = expect_u64(k, val)? as usize,
+                "it_ways" => self.it_ways = expect_u64(k, val)? as usize,
+                "gen_bits" => self.gen_bits = expect_u64(k, val)? as u32,
+                "count_bits" => self.count_bits = expect_u64(k, val)? as u32,
+                "lisp_entries" => self.lisp_entries = expect_u64(k, val)? as usize,
+                "lisp_ways" => self.lisp_ways = expect_u64(k, val)? as usize,
+                "pipeline_depth" => self.pipeline_depth = expect_u64(k, val)?,
+                other => return Err(rix_isa::json::unknown_key(other, Self::KEYS)),
+            }
+        }
+        Ok(())
     }
 
     /// The four extension arms of Figure 4, in order, with their paper

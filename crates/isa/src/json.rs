@@ -111,6 +111,46 @@ impl Json {
         }
     }
 
+    /// Serialises the value back to compact JSON. Numbers are emitted as
+    /// their preserved raw text, so `parse` → `dump` round-trips 64-bit
+    /// integers exactly; strings re-escape quotes, backslashes and
+    /// control characters. `parse(v.dump()) == v` for any parsed `v`.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(raw) => raw.clone(),
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            Json::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Json::dump).collect();
+                format!("[{}]", body.join(","))
+            }
+            Json::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", Json::Str(k.clone()).dump(), v.dump()))
+                    .collect();
+                format!("{{{}}}", body.join(","))
+            }
+        }
+    }
+
     /// Convenience: `self[key]` as an exact `u64`, with an error naming
     /// the key on a miss or a non-number.
     pub fn req_u64(&self, key: &str) -> Result<u64, String> {
@@ -118,6 +158,57 @@ impl Json {
             .as_u64()
             .ok_or_else(|| format!("key `{key}` is not a u64"))
     }
+}
+
+/// The value at object key `key` as an exact `u64`, with the standard
+/// type-mismatch message — the shared scalar reader of every
+/// hand-rolled config parser in the workspace.
+pub fn expect_u64(key: &str, v: &Json) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("key `{key}` must be an unsigned integer"))
+}
+
+/// As [`expect_u64`], for booleans.
+pub fn expect_bool(key: &str, v: &Json) -> Result<bool, String> {
+    v.as_bool().ok_or_else(|| format!("key `{key}` must be a boolean"))
+}
+
+/// As [`expect_u64`], for strings.
+pub fn expect_str(key: &str, v: &Json) -> Result<String, String> {
+    v.as_str().map(str::to_string).ok_or_else(|| format!("key `{key}` must be a string"))
+}
+
+/// The standard error message for a key the reader does not recognise:
+/// names the offending key, suggests the closest known key (by edit
+/// distance), and lists all known keys. Shared by every hand-rolled
+/// config/spec reader in the workspace so unknown-key rejection reads
+/// the same everywhere.
+#[must_use]
+pub fn unknown_key(key: &str, known: &[&str]) -> String {
+    let closest = known
+        .iter()
+        .min_by_key(|k| edit_distance(key, k))
+        .filter(|k| edit_distance(key, k) <= key.len().max(k.len()) / 2)
+        .map(|k| format!(" (did you mean `{k}`?)"))
+        .unwrap_or_default();
+    format!("unknown key `{key}`{closest}; known keys: {}", known.join(", "))
+}
+
+/// Levenshtein distance, ASCII-case-insensitive (keys are short, the
+/// quadratic DP is plenty).
+#[must_use]
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().map(|c| c.to_ascii_lowercase()).collect();
+    let b: Vec<u8> = b.bytes().map(|c| c.to_ascii_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -301,6 +392,37 @@ mod tests {
         assert!(Json::parse("1 2").unwrap_err().contains("trailing"));
         assert!(Json::parse("\"abc").unwrap_err().contains("unterminated"));
         assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        for text in [
+            "null",
+            "true",
+            "18446744073709551615",
+            r#"{"a":[1,2,{"b":false}],"c":"x\"y\\z"}"#,
+            "[]",
+            "{}",
+            r#""a
+b""#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.dump()).unwrap(), v, "{text}");
+        }
+        // Canonical output: compact, escapes re-applied.
+        assert_eq!(Json::parse(" { \"a\" : 1 } ").unwrap().dump(), r#"{"a":1}"#);
+    }
+
+    #[test]
+    fn unknown_key_suggests_closest() {
+        let msg = unknown_key("wayz", &["size_bytes", "ways", "hit_latency"]);
+        assert!(msg.contains("unknown key `wayz`"), "{msg}");
+        assert!(msg.contains("did you mean `ways`?"), "{msg}");
+        assert!(msg.contains("size_bytes"), "lists known keys: {msg}");
+        // A key nothing like any known one still lists the options.
+        let msg = unknown_key("flux_capacitor_coefficient", &["ways"]);
+        assert!(msg.contains("known keys: ways"), "{msg}");
+        assert!(!msg.contains("did you mean"), "{msg}");
     }
 
     #[test]

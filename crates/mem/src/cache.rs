@@ -43,6 +43,63 @@ impl CacheConfig {
     pub fn num_sets(&self) -> u64 {
         self.size_bytes / (self.line_bytes * self.ways as u64)
     }
+
+    /// Checks that the geometry can actually be built ([`Cache::new`]
+    /// would panic otherwise): at least one way, a power-of-two line
+    /// size, and a capacity that divides evenly into at least one set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 {
+            return Err("cache must have at least one way".to_string());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "cache line size must be a non-zero power of two (got {})",
+                self.line_bytes
+            ));
+        }
+        let set_bytes = self.line_bytes * self.ways as u64;
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(set_bytes) {
+            return Err(format!(
+                "cache capacity {} must be a non-zero multiple of line_bytes × ways = {}",
+                self.size_bytes, set_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// The field names [`CacheConfig::apply_json`] accepts.
+    pub const KEYS: &'static [&'static str] =
+        &["size_bytes", "line_bytes", "ways", "hit_latency"];
+
+    /// Serialises the geometry as a JSON object (every field, stable
+    /// key order; round-trips exactly through [`CacheConfig::apply_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"size_bytes":{},"line_bytes":{},"ways":{},"hit_latency":{}}}"#,
+            self.size_bytes, self.line_bytes, self.ways, self.hit_latency
+        )
+    }
+
+    /// Applies a (possibly partial) JSON object onto this geometry:
+    /// present keys overwrite, omitted keys keep their current value,
+    /// unknown keys are rejected with an error naming them.
+    pub fn apply_json(&mut self, v: &rix_isa::json::Json) -> Result<(), String> {
+        use rix_isa::json::expect_u64;
+        let rix_isa::json::Json::Obj(fields) = v else {
+            return Err("cache config must be a JSON object".to_string());
+        };
+        for (k, val) in fields {
+            match k.as_str() {
+                "size_bytes" => self.size_bytes = expect_u64(k, val)?,
+                "line_bytes" => self.line_bytes = expect_u64(k, val)?,
+                "ways" => self.ways = expect_u64(k, val)? as usize,
+                "hit_latency" => self.hit_latency = expect_u64(k, val)?,
+                other => return Err(rix_isa::json::unknown_key(other, Self::KEYS)),
+            }
+        }
+        Ok(())
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]

@@ -9,7 +9,9 @@
 //! cycle. The §3.5 reduced-complexity design points (`RS`, `IW`, `IW+RS`)
 //! are provided as presets.
 
+use rix_frontend::PredictorConfig;
 use rix_integration::IntegrationConfig;
+use rix_isa::json::Json;
 use rix_mem::MemConfig;
 
 /// Per-cycle issue limits.
@@ -49,6 +51,53 @@ impl Default for IssueConfig {
     fn default() -> Self {
         Self::base()
     }
+}
+
+impl IssueConfig {
+    /// The field names [`IssueConfig::apply_json`] accepts.
+    pub const KEYS: &'static [&'static str] =
+        &["width", "simple", "complex", "load", "store", "shared_ldst"];
+
+    /// Serialises the issue limits as a JSON object (every field, stable
+    /// key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"width":{},"simple":{},"complex":{},"load":{},"store":{},"shared_ldst":{}}}"#,
+            self.width, self.simple, self.complex, self.load, self.store, self.shared_ldst
+        )
+    }
+
+    /// Applies a (possibly partial) JSON object: present keys overwrite,
+    /// omitted keys keep their current value, unknown keys are rejected
+    /// with an error naming them.
+    pub fn apply_json(&mut self, v: &Json) -> Result<(), String> {
+        let Json::Obj(fields) = v else {
+            return Err("issue config must be a JSON object".to_string());
+        };
+        for (k, val) in fields {
+            match k.as_str() {
+                "width" => self.width = req_usize(k, val)?,
+                "simple" => self.simple = req_usize(k, val)?,
+                "complex" => self.complex = req_usize(k, val)?,
+                "load" => self.load = req_usize(k, val)?,
+                "store" => self.store = req_usize(k, val)?,
+                "shared_ldst" => {
+                    self.shared_ldst = val
+                        .as_bool()
+                        .ok_or_else(|| format!("key `{k}` must be a boolean"))?;
+                }
+                other => return Err(rix_isa::json::unknown_key(other, Self::KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
+use rix_isa::json::expect_u64 as req_u64;
+
+fn req_usize(key: &str, v: &Json) -> Result<usize, String> {
+    Ok(req_u64(key, v)? as usize)
 }
 
 /// Out-of-order core geometry and pipeline depths.
@@ -118,10 +167,80 @@ impl CoreConfig {
     pub fn iw3_rs20() -> Self {
         Self { rs_entries: 20, issue: IssueConfig::reduced(), ..Self::default() }
     }
+
+    /// The field names [`CoreConfig::apply_json`] accepts.
+    pub const KEYS: &'static [&'static str] = &[
+        "fetch_width",
+        "rename_width",
+        "retire_width",
+        "rob_entries",
+        "lsq_entries",
+        "rs_entries",
+        "issue",
+        "front_delay",
+        "sched_delay",
+        "regread_delay",
+        "diva_delay",
+        "fetch_queue",
+    ];
+
+    /// Serialises the core geometry as a JSON object (every field,
+    /// stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"fetch_width":{},"rename_width":{},"retire_width":{},"#,
+                r#""rob_entries":{},"lsq_entries":{},"rs_entries":{},"issue":{},"#,
+                r#""front_delay":{},"sched_delay":{},"regread_delay":{},"#,
+                r#""diva_delay":{},"fetch_queue":{}}}"#
+            ),
+            self.fetch_width,
+            self.rename_width,
+            self.retire_width,
+            self.rob_entries,
+            self.lsq_entries,
+            self.rs_entries,
+            self.issue.to_json(),
+            self.front_delay,
+            self.sched_delay,
+            self.regread_delay,
+            self.diva_delay,
+            self.fetch_queue,
+        )
+    }
+
+    /// Applies a (possibly partial) JSON object (the nested `issue`
+    /// object may itself be partial): present keys overwrite, omitted
+    /// keys keep their current value, unknown keys are rejected with an
+    /// error naming them.
+    pub fn apply_json(&mut self, v: &Json) -> Result<(), String> {
+        let Json::Obj(fields) = v else {
+            return Err("core config must be a JSON object".to_string());
+        };
+        for (k, val) in fields {
+            match k.as_str() {
+                "fetch_width" => self.fetch_width = req_usize(k, val)?,
+                "rename_width" => self.rename_width = req_usize(k, val)?,
+                "retire_width" => self.retire_width = req_usize(k, val)?,
+                "rob_entries" => self.rob_entries = req_usize(k, val)?,
+                "lsq_entries" => self.lsq_entries = req_usize(k, val)?,
+                "rs_entries" => self.rs_entries = req_usize(k, val)?,
+                "issue" => self.issue.apply_json(val).map_err(|e| format!("issue: {e}"))?,
+                "front_delay" => self.front_delay = req_u64(k, val)?,
+                "sched_delay" => self.sched_delay = req_u64(k, val)?,
+                "regread_delay" => self.regread_delay = req_u64(k, val)?,
+                "diva_delay" => self.diva_delay = req_u64(k, val)?,
+                "fetch_queue" => self.fetch_queue = req_usize(k, val)?,
+                other => return Err(rix_isa::json::unknown_key(other, Self::KEYS)),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Complete simulator configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Core geometry.
     pub core: CoreConfig,
@@ -129,6 +248,8 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Integration machinery (set `enabled: false` for the baseline).
     pub integration: IntegrationConfig,
+    /// Branch-predictor table sizes (paper: 8K-entry hybrid).
+    pub predictor: PredictorConfig,
     /// Physical register file size (paper: 1K).
     pub num_pregs: usize,
     /// Initial stack-pointer value.
@@ -141,6 +262,7 @@ impl Default for SimConfig {
             core: CoreConfig::default(),
             mem: MemConfig::default(),
             integration: IntegrationConfig::default(),
+            predictor: PredictorConfig::default(),
             num_pregs: 1024,
             stack_top: 0x0800_0000,
         }
@@ -171,6 +293,249 @@ impl SimConfig {
     #[must_use]
     pub fn with_pregs(self, num_pregs: usize) -> Self {
         Self { num_pregs, ..self }
+    }
+
+    /// Checks that the machine can actually be **built**: the physical
+    /// register file covers the architectural registers plus the
+    /// in-flight window, and every sub-config passes its own
+    /// buildability check (cache geometry, predictor table sizes, IT /
+    /// LISP geometry, counter widths). This is what separates a merely
+    /// well-typed configuration — which the JSON layer accepts — from
+    /// one [`crate::Simulator::new`] will not panic on; experiment
+    /// validation calls it per arm so a bad spec fails with a named
+    /// error instead of a worker-thread panic.
+    pub fn validate(&self) -> Result<(), String> {
+        let floor = rix_isa::reg::NUM_LOG_REGS + self.core.rob_entries + 8;
+        if self.num_pregs < floor {
+            return Err(format!(
+                "num_pregs = {} cannot cover the {} architectural registers plus the \
+                 {}-entry window (needs at least {floor})",
+                self.num_pregs,
+                rix_isa::reg::NUM_LOG_REGS,
+                self.core.rob_entries
+            ));
+        }
+        self.mem.validate().map_err(|e| format!("mem: {e}"))?;
+        self.integration.validate().map_err(|e| format!("integration: {e}"))?;
+        self.predictor.validate().map_err(|e| format!("predictor: {e}"))?;
+        Ok(())
+    }
+
+    // ----- JSON round trip ----------------------------------------------
+
+    /// The field names [`SimConfig::apply_json`] accepts.
+    pub const KEYS: &'static [&'static str] =
+        &["core", "mem", "integration", "predictor", "num_pregs", "stack_top"];
+
+    /// Serialises the complete configuration as a JSON object. The
+    /// serialisation is **exact**: [`SimConfig::from_json`] of the output
+    /// equals the input, field for field, for any configuration.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"core":{},"mem":{},"integration":{},"predictor":{},"num_pregs":{},"stack_top":{}}}"#,
+            self.core.to_json(),
+            self.mem.to_json(),
+            self.integration.to_json(),
+            self.predictor.to_json(),
+            self.num_pregs,
+            self.stack_top,
+        )
+    }
+
+    /// Applies a (possibly partial) JSON object onto this configuration:
+    /// present keys overwrite (nested objects may themselves be
+    /// partial), omitted keys keep their current value, unknown keys are
+    /// rejected with an error naming them and their position.
+    pub fn apply_json(&mut self, v: &Json) -> Result<(), String> {
+        let Json::Obj(fields) = v else {
+            return Err("simulator config must be a JSON object".to_string());
+        };
+        for (k, val) in fields {
+            let nest = |e: String| format!("{k}: {e}");
+            match k.as_str() {
+                "core" => self.core.apply_json(val).map_err(nest)?,
+                "mem" => self.mem.apply_json(val).map_err(nest)?,
+                "integration" => self.integration.apply_json(val).map_err(nest)?,
+                "predictor" => self.predictor.apply_json(val).map_err(nest)?,
+                "num_pregs" => self.num_pregs = req_usize(k, val)?,
+                "stack_top" => self.stack_top = req_u64(k, val)?,
+                other => return Err(rix_isa::json::unknown_key(other, Self::KEYS)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a configuration from JSON text: [`SimConfig::default`]
+    /// plus the document's (possibly partial) overrides. `{}` is the
+    /// default machine; unknown keys anywhere are rejected.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// As [`SimConfig::from_json`], over an already-parsed [`Json`].
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        cfg.apply_json(v)?;
+        Ok(cfg)
+    }
+
+    // ----- named presets ------------------------------------------------
+
+    /// Every named preset: `(name, what it is)`. Resolve one with
+    /// [`SimConfig::preset`].
+    pub const PRESET_NAMES: &'static [(&'static str, &'static str)] = &[
+        ("base", "the no-integration baseline machine (§3.1)"),
+        ("default", "the headline machine: +general +opcode +reverse, realistic LISP"),
+        ("plus_reverse", "alias of `default` (the fourth Figure 4 arm)"),
+        ("squash_reuse", "integration arm 1: PC-indexed squash reuse only"),
+        ("plus_general", "integration arm 2: + general reuse via reference counting"),
+        ("plus_opcode", "integration arm 3: + opcode/immediate/call-depth indexing"),
+        ("oracle", "the headline machine with oracle mis-integration suppression"),
+        ("rs20", "the §3.5 `RS` point: 20 reservation stations, no integration"),
+        ("iw3", "the §3.5 `IW` point: 3-way issue, shared load/store port, no integration"),
+        ("iw3_rs20", "the §3.5 `IW+RS` point: both reductions, no integration"),
+    ];
+
+    /// Resolves a named preset — every design point of the paper's
+    /// evaluation is reachable by string. Unknown names produce an error
+    /// naming the closest preset and listing all of them.
+    pub fn preset(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "base" => Self::baseline(),
+            "default" | "plus_reverse" => Self::default(),
+            "squash_reuse" => {
+                Self::default().with_integration(IntegrationConfig::squash_reuse())
+            }
+            "plus_general" => {
+                Self::default().with_integration(IntegrationConfig::plus_general())
+            }
+            "plus_opcode" => Self::default().with_integration(IntegrationConfig::plus_opcode()),
+            "oracle" => Self::default().with_integration(IntegrationConfig::default().with_oracle()),
+            "rs20" => Self::baseline().with_core(CoreConfig::rs20()),
+            "iw3" => Self::baseline().with_core(CoreConfig::iw3()),
+            "iw3_rs20" => Self::baseline().with_core(CoreConfig::iw3_rs20()),
+            other => {
+                let names: Vec<&str> = Self::PRESET_NAMES.iter().map(|(n, _)| *n).collect();
+                let closest = names
+                    .iter()
+                    .min_by_key(|n| rix_isa::json::edit_distance(other, n))
+                    .expect("preset list is non-empty");
+                return Err(format!(
+                    "unknown preset `{other}` (did you mean `{closest}`?); known presets: {}",
+                    names.join(", ")
+                ));
+            }
+        })
+    }
+
+    // ----- field paths --------------------------------------------------
+
+    /// Every leaf field of the configuration tree as a dotted path
+    /// (`"integration.it_entries"`, `"core.issue.width"`, …) — the
+    /// address space parameter axes sweep over.
+    pub const FIELD_PATHS: &'static [&'static str] = &[
+        "core.fetch_width",
+        "core.rename_width",
+        "core.retire_width",
+        "core.rob_entries",
+        "core.lsq_entries",
+        "core.rs_entries",
+        "core.issue.width",
+        "core.issue.simple",
+        "core.issue.complex",
+        "core.issue.load",
+        "core.issue.store",
+        "core.issue.shared_ldst",
+        "core.front_delay",
+        "core.sched_delay",
+        "core.regread_delay",
+        "core.diva_delay",
+        "core.fetch_queue",
+        "mem.l1i.size_bytes",
+        "mem.l1i.line_bytes",
+        "mem.l1i.ways",
+        "mem.l1i.hit_latency",
+        "mem.l1d.size_bytes",
+        "mem.l1d.line_bytes",
+        "mem.l1d.ways",
+        "mem.l1d.hit_latency",
+        "mem.l2.size_bytes",
+        "mem.l2.line_bytes",
+        "mem.l2.ways",
+        "mem.l2.hit_latency",
+        "mem.mem_latency",
+        "mem.mshrs",
+        "mem.write_buffer",
+        "integration.enabled",
+        "integration.general_reuse",
+        "integration.index",
+        "integration.reverse",
+        "integration.suppression",
+        "integration.it_entries",
+        "integration.it_ways",
+        "integration.gen_bits",
+        "integration.count_bits",
+        "integration.lisp_entries",
+        "integration.lisp_ways",
+        "integration.pipeline_depth",
+        "predictor.bimodal_entries",
+        "predictor.gshare_entries",
+        "predictor.chooser_entries",
+        "predictor.history_bits",
+        "num_pregs",
+        "stack_top",
+    ];
+
+    /// Resolves a field path: a full dotted path resolves to itself, a
+    /// bare leaf name (`"it_entries"`) resolves when it is unambiguous.
+    /// Unknown or ambiguous names produce an error naming the
+    /// candidates.
+    pub fn resolve_path(path: &str) -> Result<&'static str, String> {
+        if let Some(full) = Self::FIELD_PATHS.iter().find(|p| **p == path) {
+            return Ok(full);
+        }
+        let suffix = format!(".{path}");
+        let matches: Vec<&'static str> = Self::FIELD_PATHS
+            .iter()
+            .copied()
+            .filter(|p| p.ends_with(&suffix))
+            .collect();
+        match matches[..] {
+            [full] => Ok(full),
+            [] => {
+                let closest = Self::FIELD_PATHS
+                    .iter()
+                    .min_by_key(|p| {
+                        rix_isa::json::edit_distance(
+                            path,
+                            p.rsplit('.').next().expect("paths are non-empty"),
+                        )
+                    })
+                    .expect("path list is non-empty");
+                Err(format!(
+                    "unknown config field `{path}` (did you mean `{closest}`?); \
+                     see SimConfig::FIELD_PATHS for the full list"
+                ))
+            }
+            _ => Err(format!(
+                "ambiguous config field `{path}`: matches {}; use a full dotted path",
+                matches.join(", ")
+            )),
+        }
+    }
+
+    /// Sets one leaf field by path (full dotted path, or an unambiguous
+    /// leaf name). The value goes through the same typed parsing as
+    /// [`SimConfig::apply_json`], so type mismatches and enum typos are
+    /// rejected with the same messages.
+    pub fn set_path(&mut self, path: &str, value: &Json) -> Result<(), String> {
+        let full = Self::resolve_path(path)?;
+        let mut wrapped = value.clone();
+        for seg in full.rsplit('.') {
+            wrapped = Json::Obj(vec![(seg.to_string(), wrapped)]);
+        }
+        self.apply_json(&wrapped)
     }
 }
 
@@ -212,5 +577,106 @@ mod tests {
         let c = SimConfig::default().with_pregs(4096).with_core(CoreConfig::rs20());
         assert_eq!(c.num_pregs, 4096);
         assert_eq!(c.core.rs_entries, 20);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_for_every_preset() {
+        for (name, _) in SimConfig::PRESET_NAMES {
+            let cfg = SimConfig::preset(name).expect("listed preset resolves");
+            let back = SimConfig::from_json(&cfg.to_json()).expect("parses");
+            assert_eq!(back, cfg, "preset `{name}` round-trips");
+            assert_eq!(back.to_json(), cfg.to_json(), "`{name}` serialisation is stable");
+        }
+    }
+
+    #[test]
+    fn from_json_defaults_omitted_fields() {
+        assert_eq!(SimConfig::from_json("{}").unwrap(), SimConfig::default());
+        let c = SimConfig::from_json(r#"{"integration":{"it_entries":64,"it_ways":64}}"#)
+            .unwrap();
+        assert_eq!(c.integration.it_entries, 64);
+        assert_eq!(c.core, CoreConfig::default(), "untouched subtree keeps defaults");
+        assert_eq!(c.num_pregs, 1024);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_keys_naming_them() {
+        let err = SimConfig::from_json(r#"{"corez":{}}"#).unwrap_err();
+        assert!(err.contains("unknown key `corez`"), "{err}");
+        assert!(err.contains("did you mean `core`?"), "{err}");
+        let err = SimConfig::from_json(r#"{"integration":{"generel_reuse":true}}"#).unwrap_err();
+        assert!(err.contains("integration: unknown key `generel_reuse`"), "{err}");
+        assert!(err.contains("general_reuse"), "{err}");
+        let err = SimConfig::from_json(r#"{"mem":{"l1d":{"wayz":4}}}"#).unwrap_err();
+        assert!(err.contains("l1d: unknown key `wayz`"), "{err}");
+        let err =
+            SimConfig::from_json(r#"{"integration":{"suppression":"orakle"}}"#).unwrap_err();
+        assert!(err.contains("orakle") && err.contains("oracle"), "{err}");
+    }
+
+    #[test]
+    fn presets_resolve_by_string() {
+        assert_eq!(SimConfig::preset("base").unwrap(), SimConfig::baseline());
+        assert_eq!(SimConfig::preset("plus_reverse").unwrap(), SimConfig::default());
+        assert_eq!(
+            SimConfig::preset("iw3_rs20").unwrap(),
+            SimConfig::baseline().with_core(CoreConfig::iw3_rs20())
+        );
+        assert_eq!(
+            SimConfig::preset("oracle").unwrap().integration.suppression,
+            rix_integration::Suppression::Oracle
+        );
+        let err = SimConfig::preset("iw3_rs21").unwrap_err();
+        assert!(err.contains("unknown preset `iw3_rs21`"), "{err}");
+        assert!(err.contains("did you mean `iw3_rs20`?"), "{err}");
+        assert!(err.contains("plus_reverse"), "lists all presets: {err}");
+    }
+
+    #[test]
+    fn set_path_resolves_leaf_names() {
+        let mut c = SimConfig::default();
+        c.set_path("it_entries", &Json::Num("256".into())).unwrap();
+        assert_eq!(c.integration.it_entries, 256);
+        c.set_path("core.issue.width", &Json::Num("3".into())).unwrap();
+        assert_eq!(c.core.issue.width, 3);
+        c.set_path("suppression", &Json::Str("oracle".into())).unwrap();
+        assert_eq!(c.integration.suppression, rix_integration::Suppression::Oracle);
+
+        // `ways` appears under every cache level and the IT: ambiguous.
+        let err = c.set_path("ways", &Json::Num("1".into())).unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(err.contains("mem.l1d.ways"), "{err}");
+        let err = c.set_path("it_entrees", &Json::Num("1".into())).unwrap_err();
+        assert!(err.contains("unknown config field `it_entrees`"), "{err}");
+        assert!(err.contains("it_entries"), "{err}");
+        // Type mismatches surface the apply_json message.
+        let err = c.set_path("it_entries", &Json::Str("many".into())).unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
+    }
+
+    #[test]
+    fn field_paths_cover_every_serialised_leaf() {
+        // Every FIELD_PATHS entry must be settable, and the number of
+        // leaves must match what to_json emits (guards against a new
+        // config field missing from the path list).
+        let mut c = SimConfig::default();
+        for path in SimConfig::FIELD_PATHS {
+            let leaf = path.rsplit('.').next().unwrap();
+            let probe = match leaf {
+                "shared_ldst" | "enabled" | "general_reuse" => Json::Bool(true),
+                "index" => Json::Str("pc".into()),
+                "reverse" => Json::Str("off".into()),
+                "suppression" => Json::Str("oracle".into()),
+                _ => Json::Num("2".into()),
+            };
+            c.set_path(path, &probe).unwrap_or_else(|e| panic!("{path}: {e}"));
+        }
+        let leaves = SimConfig::default().to_json().matches(':').count()
+            - SimConfig::default().to_json().matches(r#"":{""#).count();
+        assert_eq!(
+            SimConfig::FIELD_PATHS.len(),
+            leaves,
+            "FIELD_PATHS and to_json disagree on the number of leaf fields"
+        );
     }
 }

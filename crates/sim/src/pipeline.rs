@@ -492,7 +492,7 @@ impl<'p> Simulator<'p> {
             mem_carry: rix_mem::MemSystemStats::default(),
             retired_total,
             seq_next: 1,
-            frontend: FrontEnd::default(),
+            frontend: FrontEnd::new(cfg.predictor),
             fetch_pc: pc,
             fq_slots: Vec::new(),
             fq_ckpts: Vec::new(),

@@ -75,6 +75,67 @@ impl StopWhen {
         }
     }
 
+    /// Serialises the condition as JSON: `{"retired_at_least":N}`,
+    /// `{"cycles_at_least":N}`, `"deadlocked"`, `{"any":[…]}`,
+    /// `{"all":[…]}` — the `stop` clause of an experiment spec.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::RetiredAtLeast(n) => format!(r#"{{"retired_at_least":{n}}}"#),
+            Self::CyclesAtLeast(n) => format!(r#"{{"cycles_at_least":{n}}}"#),
+            Self::Deadlocked => "\"deadlocked\"".to_string(),
+            Self::Any(subs) => {
+                let inner: Vec<String> = subs.iter().map(Self::to_json).collect();
+                format!(r#"{{"any":[{}]}}"#, inner.join(","))
+            }
+            Self::All(subs) => {
+                let inner: Vec<String> = subs.iter().map(Self::to_json).collect();
+                format!(r#"{{"all":[{}]}}"#, inner.join(","))
+            }
+        }
+    }
+
+    /// Parses a condition serialised by [`StopWhen::to_json`].
+    pub fn from_json_value(v: &rix_isa::json::Json) -> Result<Self, String> {
+        use rix_isa::json::Json;
+        match v {
+            Json::Str(s) if s == "deadlocked" => Ok(Self::Deadlocked),
+            Json::Str(other) => {
+                Err(format!("unknown stop condition `{other}` (expected `deadlocked`)"))
+            }
+            Json::Obj(fields) => {
+                let [(key, val)] = &fields[..] else {
+                    return Err(
+                        "a stop condition object must have exactly one key".to_string()
+                    );
+                };
+                let num = || {
+                    val.as_u64().ok_or_else(|| {
+                        format!("stop condition `{key}` takes an unsigned integer")
+                    })
+                };
+                let list = || -> Result<Vec<StopWhen>, String> {
+                    val.as_arr()
+                        .ok_or_else(|| format!("stop condition `{key}` takes an array"))?
+                        .iter()
+                        .map(Self::from_json_value)
+                        .collect()
+                };
+                match key.as_str() {
+                    "retired_at_least" => Ok(Self::RetiredAtLeast(num()?)),
+                    "cycles_at_least" => Ok(Self::CyclesAtLeast(num()?)),
+                    "any" => Ok(Self::Any(list()?)),
+                    "all" => Ok(Self::All(list()?)),
+                    other => Err(rix_isa::json::unknown_key(
+                        other,
+                        &["retired_at_least", "cycles_at_least", "any", "all"],
+                    )),
+                }
+            }
+            _ => Err("a stop condition must be an object or \"deadlocked\"".to_string()),
+        }
+    }
+
     /// Evaluates the condition against the current counters. Returns the
     /// [`StopReason`] of the (first, for [`StopWhen::Any`]; last, for
     /// [`StopWhen::All`]) satisfied leaf, or `None` when unsatisfied.
@@ -159,6 +220,24 @@ mod tests {
                 StopWhen::Deadlocked,
             ])
         );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let conds = [
+            StopWhen::RetiredAtLeast(100_000),
+            StopWhen::CyclesAtLeast(42),
+            StopWhen::Deadlocked,
+            StopWhen::budget(20_000),
+            StopWhen::RetiredAtLeast(5).and(StopWhen::Deadlocked),
+        ];
+        for c in conds {
+            let v = rix_isa::json::Json::parse(&c.to_json()).expect("well-formed");
+            assert_eq!(StopWhen::from_json_value(&v).unwrap(), c, "{}", c.to_json());
+        }
+        let bad = rix_isa::json::Json::parse(r#"{"retired_atleast":5}"#).unwrap();
+        let err = StopWhen::from_json_value(&bad).unwrap_err();
+        assert!(err.contains("retired_atleast") && err.contains("retired_at_least"), "{err}");
     }
 
     #[test]

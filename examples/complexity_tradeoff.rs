@@ -3,32 +3,42 @@
 //! The paper's Figure 7 experiment on one benchmark: shrink the machine
 //! (half the reservation stations, then 3-way issue with a single memory
 //! port, then both) and watch integration buy the performance back. The
-//! nine machine points are one [`Sweep`] fanned out over four threads.
+//! nine machine points are a [`ParamSpace`] — a core axis crossed with
+//! an integration axis, chained after the reference arm — fanned out as
+//! one [`Sweep`] over four threads.
 //!
 //! ```sh
 //! cargo run --release --example complexity_tradeoff
 //! ```
 
 use rix::prelude::*;
-use rix::sim::CoreConfig;
 
 fn main() {
     let bench = by_name("gcc").expect("gcc is a known benchmark");
-    let cores = [
-        ("base", CoreConfig::default()),
-        ("RS", CoreConfig::rs20()),
-        ("IW", CoreConfig::iw3()),
-        ("IW+RS", CoreConfig::iw3_rs20()),
-    ];
+    let cores = ["base", "RS", "IW", "IW+RS"];
 
-    let mut cfgs: Vec<(String, SimConfig)> = vec![("reference".into(), SimConfig::baseline())];
-    for (name, core) in cores {
-        cfgs.push((name.to_string(), SimConfig::baseline().with_core(core)));
-        cfgs.push((format!("{name}+i"), SimConfig::default().with_core(core)));
-    }
+    // The reference arm, then (core point × {no integration, +i}):
+    // presets replace the config at a point, patches modify it, and
+    // label fragments concatenate ("RS" + "+i" = "RS+i").
+    let space = ParamSpace::point("reference", SimConfig::baseline()).chain(
+        ParamSpace::base(SimConfig::preset("base").expect("known preset"))
+            .cross(&Axis::patches(
+                "core",
+                [
+                    ("base", "{}"),
+                    ("RS", r#"{"core":{"rs_entries":20}}"#),
+                    ("IW", r#"{"core":{"issue":{"width":3,"shared_ldst":true}}}"#),
+                    ("IW+RS", r#"{"core":{"rs_entries":20,"issue":{"width":3,"shared_ldst":true}}}"#),
+                ],
+            ))
+            .cross(&Axis::patches(
+                "integration",
+                [("", "{}"), ("+i", r#"{"integration":{"enabled":true}}"#)],
+            )),
+    );
     let trials = Sweep::new()
         .benchmarks([bench])
-        .configs(cfgs)
+        .space(space)
         .instructions(100_000)
         .threads(4)
         .run();
@@ -37,7 +47,7 @@ fn main() {
     println!("gcc on four machines (speedup vs full-size machine without integration):\n");
     println!("{:>8}  {:>12}  {:>12}", "machine", "no integ", "integration");
     let pct = |r: &RunResult| (r.ipc() / reference.ipc() - 1.0) * 100.0;
-    for (i, (name, _)) in cores.iter().enumerate() {
+    for (i, name) in cores.iter().enumerate() {
         let none = &trials[1 + 2 * i].result;
         let with = &trials[2 + 2 * i].result;
         println!("{name:>8}  {:>11.1}%  {:>11.1}%", pct(none), pct(with));

@@ -17,11 +17,14 @@ fn main() {
 
     // Warm the caches and predictors for 20k instructions, then measure
     // 100k hot — the session API (`run_until` + `reset_stats`) under the
-    // hood. The two configs run on two worker threads.
+    // hood. The two machines are named presets resolved by string
+    // (`SimConfig::preset`); the two configs run on two worker threads.
     let trials = Sweep::new()
         .benchmarks([bench])
-        .config("baseline", SimConfig::baseline())
-        .config("integration", SimConfig::default()) // +general +opcode +reverse
+        .space(ParamSpace::presets([
+            ("baseline", "base"),
+            ("integration", "plus_reverse"), // +general +opcode +reverse
+        ]))
         .instructions(100_000)
         .warmup(20_000)
         .threads(2)

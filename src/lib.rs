@@ -138,6 +138,79 @@
 //! numbers shift (relative comparisons across arms share identical
 //! starting conditions, and the sweep's wall clock drops by roughly the
 //! per-arm warm-up cost).
+//!
+//! ## Define a ParamSpace, run it, seed it from a checkpoint
+//!
+//! Experiments are first-class **data**. Every configuration type
+//! round-trips exactly through JSON ([`SimConfig::to_json`] /
+//! [`SimConfig::from_json`], unknown keys rejected, omitted fields
+//! defaulted), every design point of the paper is a named preset
+//! ([`SimConfig::preset`]`("base")`, `"iw3_rs20"`, `"plus_reverse"`,
+//! …), and a grid of configurations is a [`ParamSpace`]: named axes
+//! over config fields, composed by cross product or zipped, each point
+//! yielding a labelled arm.
+//!
+//! [`SimConfig::to_json`]: sim::SimConfig::to_json
+//! [`SimConfig::from_json`]: sim::SimConfig::from_json
+//! [`SimConfig::preset`]: sim::SimConfig::preset
+//! [`ParamSpace`]: bench::ParamSpace
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! // 1. Define: Figure 6's IT-size axis over the headline machine,
+//! //    the register file zipped to grow with the 4K point.
+//! let space = ParamSpace::point("base", SimConfig::preset("base").unwrap()).chain(
+//!     ParamSpace::base(SimConfig::preset("plus_reverse").unwrap())
+//!         .cross(&Axis::new("it_entries", [256u64, 1024, 4096])
+//!             .with_labels(["256", "1K", "4K"]))
+//!         .zip(&Axis::new("it_ways", [256u64, 1024, 4096]))
+//!         .zip(&Axis::new("num_pregs", [1024u64, 1024, 4096])),
+//! );
+//!
+//! // 2. Run it: the space's arms are the sweep's grid columns.
+//! let trials = Sweep::new()
+//!     .benchmarks([by_name("vortex").unwrap()])
+//!     .space(space)
+//!     .instructions(2_000)
+//!     .threads(2)
+//!     .run();
+//! let labels: Vec<&str> = trials.iter().map(|t| t.config_label.as_str()).collect();
+//! assert_eq!(labels, ["base", "256", "1K", "4K"]);
+//!
+//! // 3. Seed a sweep from a saved checkpoint: save one snapshot per
+//! //    (benchmark, seed) where the sweep will look for it, then every
+//! //    config arm forks from the snapshot instead of warming up.
+//! let dir = std::env::temp_dir().join("rix-doc-ckpts");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let program = by_name("vortex").unwrap().build(7);
+//! let mut warm = Simulator::new(&program, SimConfig::default());
+//! warm.run_until(&StopWhen::RetiredAtLeast(5_000));
+//! let dir = dir.to_str().unwrap().to_string();
+//! warm.checkpoint().save(checkpoint_path(&dir, "vortex", 7)).unwrap();
+//!
+//! let seeded = Sweep::new()
+//!     .benchmarks([by_name("vortex").unwrap()])
+//!     .space(ParamSpace::presets([("base", "base"), ("integration", "plus_reverse")]))
+//!     .instructions(2_000)
+//!     .warmup_mode(WarmupMode::Checkpoint { dir })
+//!     .run();
+//! assert!(seeded.iter().all(|t| t.result.stats.retired >= 2_000));
+//! ```
+//!
+//! The same experiment is expressible as a **spec file** (schema
+//! `rix-exp/1`, see [`ExperimentSpec`](bench::ExperimentSpec)): the five
+//! figure binaries are committed specs under `specs/` driving one
+//! engine, and `exp run spec.json` (with `--dry-run`, `--list-arms`,
+//! `--json`, `--output`) runs any spec from the command line, embedding
+//! the spec's fingerprint in its results.
+//!
+//! **Migration note (`Sweep::configs`):** hand-built
+//! `(label, SimConfig)` lists still work — `Sweep::config`/`configs`
+//! are unchanged — but grids over config *fields* are better said as a
+//! `ParamSpace` (axes compose, labels derive, zip expresses tied
+//! fields), and experiments worth committing are better said as spec
+//! files: data that `exp` can run, validate and fingerprint.
 
 pub use rix_bench as bench;
 pub use rix_frontend as frontend;
@@ -157,7 +230,10 @@ pub use rix_workloads as workloads;
 /// program). The interpreter's type is re-exported under the `Interp`
 /// prefix so the two never shadow each other.
 pub mod prelude {
-    pub use rix_bench::{trials_json, Harness, Sweep, Trial, WarmupMode};
+    pub use rix_bench::{
+        checkpoint_path, trials_json, Axis, AxisValue, ExperimentSpec, Harness, ParamSpace,
+        Sweep, Trial, WarmupMode,
+    };
     pub use rix_integration::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
     pub use rix_isa::interp::{Interp, StopReason as InterpStopReason};
     pub use rix_isa::{reg, ArchState, Asm, Instr, MemImage, Opcode, Program};
