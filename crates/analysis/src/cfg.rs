@@ -1,0 +1,396 @@
+//! Control-flow graph construction over [`Program`]s.
+//!
+//! Instruction addresses are word indices, so a basic block is simply a
+//! half-open PC range `[start, end)`. Block boundaries ("leaders") are the
+//! entry point, every direct branch/call target, and every instruction
+//! following a control transfer. Successor edges follow the machine's
+//! next-PC rules:
+//!
+//! * conditional branches go to the target *and* fall through,
+//! * `br`/`jsr` go to the target only (`jsr`'s return address matters to
+//!   `ret`, not to the call itself),
+//! * `ret` is modelled context-insensitively: it may resume at the return
+//!   site of **any** `jsr` in the program (a sound over-approximation that
+//!   keeps loop-called function bodies on cycles),
+//! * `halt` has no successors,
+//! * everything else falls through.
+//!
+//! A block whose execution can continue past the last instruction of the
+//! program (fall-through at the end, or a branch target outside the
+//! instruction memory) is flagged [`BasicBlock::falls_off_end`]; the
+//! interpreter reports the same situation as `StopReason::FellOffProgram`.
+
+use rix_isa::{ExecClass, InstAddr, Opcode, Program};
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// PC of the first instruction.
+    pub start: InstAddr,
+    /// One past the PC of the last instruction.
+    pub end: InstAddr,
+    /// Indices into [`Cfg::blocks`] of the successor blocks.
+    pub succs: Vec<usize>,
+    /// Whether control can leave this block past the end of the program
+    /// (fall-through at the last instruction, or an out-of-range target).
+    pub falls_off_end: bool,
+}
+
+impl BasicBlock {
+    /// PC of the last instruction in the block.
+    #[must_use]
+    pub fn last_pc(&self) -> InstAddr {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in address order. Every instruction belongs to
+    /// exactly one block.
+    pub blocks: Vec<BasicBlock>,
+    /// Index of the block containing the entry point.
+    pub entry_block: usize,
+    block_of: Vec<usize>,
+    reachable: Vec<bool>,
+    cyclic: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is empty or its entry point is outside the
+    /// instruction memory (neither is constructible through `Asm`).
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let n = program.len();
+        assert!(n > 0, "cannot build a CFG over an empty program");
+        let entry = usize::try_from(program.entry()).expect("entry fits usize");
+        assert!(entry < n, "entry point outside the program");
+        let instrs = program.instrs();
+
+        // Mark leaders.
+        let mut leader = vec![false; n];
+        leader[entry] = true;
+        leader[0] = true;
+        for (pc, i) in instrs.iter().enumerate() {
+            if ends_block(i.op) {
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+                if has_direct_target(i.op) {
+                    if let Ok(t) = usize::try_from(i.target) {
+                        if t < n {
+                            leader[t] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Carve blocks and record the instruction → block map.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            block_of[pc] = blocks.len();
+            let last = pc + 1 == n || leader[pc + 1] || ends_block(instrs[pc].op);
+            if last {
+                blocks.push(BasicBlock {
+                    start: start as InstAddr,
+                    end: (pc + 1) as InstAddr,
+                    succs: Vec::new(),
+                    falls_off_end: false,
+                });
+                start = pc + 1;
+            }
+        }
+
+        // Return sites: the instruction after every jsr.
+        let return_sites: Vec<usize> = instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.op == Opcode::Jsr)
+            .filter_map(|(pc, _)| (pc + 1 < n).then_some(block_of[pc + 1]))
+            .collect();
+
+        // Successor edges.
+        for blk in &mut blocks {
+            let last = (blk.end - 1) as usize;
+            let i = instrs[last];
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            let push_target = |succs: &mut Vec<usize>, falls_off: &mut bool| {
+                match usize::try_from(i.target).ok().filter(|&t| t < n) {
+                    Some(t) => succs.push(block_of[t]),
+                    None => *falls_off = true,
+                }
+            };
+            match i.op.exec_class() {
+                ExecClass::CondBranch => {
+                    push_target(&mut succs, &mut falls_off);
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+                ExecClass::DirectJump => push_target(&mut succs, &mut falls_off),
+                ExecClass::IndirectJump => succs.extend_from_slice(&return_sites),
+                ExecClass::Nop if i.op == Opcode::Halt => {}
+                _ => {
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blk.succs = succs;
+            blk.falls_off_end = falls_off;
+        }
+
+        let entry_block = block_of[entry];
+        let reachable = reach(&blocks, entry_block);
+        let cyclic = cyclic_blocks(&blocks);
+        Self { blocks, entry_block, block_of, reachable, cyclic }
+    }
+
+    /// The index of the block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    #[must_use]
+    pub fn block_of(&self, pc: InstAddr) -> usize {
+        self.block_of[usize::try_from(pc).expect("pc fits usize")]
+    }
+
+    /// Whether block `b` is reachable from the entry point.
+    #[must_use]
+    pub fn block_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Whether the instruction at `pc` is reachable from the entry point.
+    #[must_use]
+    pub fn reachable(&self, pc: InstAddr) -> bool {
+        self.reachable[self.block_of(pc)]
+    }
+
+    /// Whether block `b` lies on a CFG cycle (its strongly connected
+    /// component has more than one block, or it has a self edge). An
+    /// instruction in an acyclic block executes at most once per run
+    /// started at the entry point — the fact the integration-opportunity
+    /// oracle's bound rests on.
+    #[must_use]
+    pub fn block_cyclic(&self, b: usize) -> bool {
+        self.cyclic[b]
+    }
+
+    /// Whether the instruction at `pc` lies on a CFG cycle.
+    #[must_use]
+    pub fn cyclic(&self, pc: InstAddr) -> bool {
+        self.cyclic[self.block_of(pc)]
+    }
+
+    /// Predecessor lists, computed on demand.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+fn ends_block(op: Opcode) -> bool {
+    op.is_control() || op == Opcode::Halt
+}
+
+fn has_direct_target(op: Opcode) -> bool {
+    matches!(op.exec_class(), ExecClass::CondBranch | ExecClass::DirectJump)
+}
+
+fn reach(blocks: &[BasicBlock], entry: usize) -> Vec<bool> {
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = vec![entry];
+    seen[entry] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &blocks[b].succs {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Marks blocks on CFG cycles via iterative Tarjan SCC.
+fn cyclic_blocks(blocks: &[BasicBlock]) -> Vec<bool> {
+    let n = blocks.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut cyclic = vec![false; n];
+    let mut next_index = 0usize;
+
+    // Explicit DFS state machine: (node, next-successor position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        work.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos < blocks[v].succs.len() {
+                let w = blocks[v].succs[*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    // Pop one SCC.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = comp.len() == 1 && blocks[comp[0]].succs.contains(&comp[0]);
+                    if comp.len() > 1 || self_loop {
+                        for w in comp {
+                            cyclic[w] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::{reg, Asm};
+
+    fn straight() -> Program {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1);
+        a.addq_i(reg::R2, reg::R1, 1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = Cfg::build(&straight());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.blocks[0].falls_off_end);
+        assert!(cfg.reachable(0));
+        assert!(!cfg.cyclic(0));
+    }
+
+    #[test]
+    fn loop_is_cyclic() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 10);
+        a.label("loop");
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert!(cfg.cyclic(1), "loop body is on a cycle");
+        assert!(cfg.cyclic(2));
+        assert!(!cfg.cyclic(0), "preamble is acyclic");
+        assert!(!cfg.cyclic(3), "halt is acyclic");
+    }
+
+    #[test]
+    fn fall_off_end_detected() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1);
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert!(cfg.blocks[0].falls_off_end);
+    }
+
+    #[test]
+    fn call_from_loop_makes_function_cyclic() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 3);
+        a.label("loop");
+        a.jsr("f");
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        a.label("f");
+        a.addq_i(reg::R2, reg::ZERO, 7);
+        a.ret();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let f_pc = 5; // first instruction of f
+        assert_eq!(p.fetch(f_pc).unwrap().alu_imm(), Some(7));
+        assert!(cfg.cyclic(f_pc), "loop-called function body lies on a cycle");
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut a = Asm::new();
+        a.br("end");
+        a.addq_i(reg::R1, reg::ZERO, 1); // skipped
+        a.label("end");
+        a.halt();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert!(cfg.reachable(0));
+        assert!(!cfg.reachable(1));
+        assert!(cfg.reachable(2));
+    }
+
+    #[test]
+    fn ret_edges_cover_all_return_sites() {
+        let mut a = Asm::new();
+        a.jsr("f"); // return site 1
+        a.jsr("f"); // return site 2
+        a.halt();
+        a.label("f");
+        a.ret();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        let f_block = cfg.block_of(3);
+        let succs = &cfg.blocks[f_block].succs;
+        assert_eq!(succs.len(), 2);
+        assert!(succs.contains(&cfg.block_of(1)));
+        assert!(succs.contains(&cfg.block_of(2)));
+    }
+}

@@ -1,0 +1,561 @@
+//! Classic dataflow analyses over the 64 logical registers.
+//!
+//! All register sets are `u64` bitmasks ([`RegSet`]) — the RIX register
+//! file is exactly 64 registers, so a set is one machine word. Programs
+//! are small (hundreds to a few thousand static instructions) and the
+//! analyses run block-level worklist fixpoints, then replay transfer
+//! functions instruction-by-instruction where per-PC precision is needed.
+//!
+//! Four analyses are provided:
+//!
+//! * **definite assignment** ([`Dataflow::must_defined_at`]): forward,
+//!   intersection at joins — the set of registers written on *every* path
+//!   from the entry. Reading outside it is the read-before-write lint.
+//! * **reaching definitions** / **def-use chains**
+//!   ([`Dataflow::def_use_chains`]): forward, union at joins, tracking
+//!   individual definition sites.
+//! * **liveness** ([`Dataflow::live_out_of_block`]): backward, union.
+//! * **constant propagation** ([`Dataflow::const_value_at`]): forward over
+//!   the flat lattice unknown → constant → non-constant, evaluating ALU
+//!   results through [`rix_isa::semantics::alu`] so the analysis can never
+//!   disagree with the machine.
+//!
+//! Writes to the hardwired zero registers are discarded by the machine and
+//! are therefore not definitions here; reads of them are always defined
+//! and always the constant 0.
+
+use crate::cfg::Cfg;
+use rix_isa::{reg, semantics, InstAddr, Instr, LogReg, Opcode, Operand, Program};
+
+/// A set of logical registers as a 64-bit mask (bit _i_ = register _i_).
+pub type RegSet = u64;
+
+/// The registers architecturally defined before the first instruction:
+/// the hardwired zeros (`r31`/`f63`) and the stack pointer (`r30`,
+/// initialised by the loader).
+pub const ENTRY_DEFINED: RegSet = (1 << 31) | (1 << 63) | (1 << 30);
+
+const FULL: RegSet = u64::MAX;
+
+fn bit(r: LogReg) -> RegSet {
+    1u64 << r.index()
+}
+
+/// The registers `i` reads.
+#[must_use]
+pub fn uses(i: Instr) -> RegSet {
+    let mut s = 0;
+    if let Some(r) = i.src1 {
+        s |= bit(r);
+    }
+    if let Some(Operand::Reg(r)) = i.src2 {
+        s |= bit(r);
+    }
+    s
+}
+
+/// The register `i` defines, if any. Writes to the zero registers are
+/// discarded by the machine and report `None`.
+#[must_use]
+pub fn def(i: Instr) -> Option<LogReg> {
+    i.dst.filter(|r| !r.is_zero())
+}
+
+/// A constant-propagation lattice value for one register at one point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstVal {
+    /// No path reaching this point has assigned the register yet
+    /// (the lattice bottom; joins as the identity).
+    Unknown,
+    /// Every reaching path leaves the same value in the register.
+    Const(u64),
+    /// Reaching paths disagree, or the value is data-dependent.
+    NonConst,
+}
+
+impl ConstVal {
+    fn join(self, other: ConstVal) -> ConstVal {
+        use ConstVal::{Const, NonConst, Unknown};
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (Const(a), Const(b)) if a == b => Const(a),
+            _ => NonConst,
+        }
+    }
+}
+
+type Env = [ConstVal; 64];
+
+/// One definition site: the PC of an instruction that writes `reg`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// The defining instruction.
+    pub pc: InstAddr,
+    /// The register it writes.
+    pub reg: LogReg,
+}
+
+/// A def-use edge: definition site and a PC that may observe it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefUse {
+    /// The definition.
+    pub def: DefSite,
+    /// An instruction that may read the defined value.
+    pub use_pc: InstAddr,
+}
+
+/// The dataflow results for one program.
+pub struct Dataflow<'p> {
+    program: &'p Program,
+    cfg: &'p Cfg,
+    /// Definite-assignment sets at block entry.
+    must_in: Vec<RegSet>,
+    /// Liveness at block entry/exit.
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+    /// Constant environments at block entry.
+    const_in: Vec<Env>,
+    /// All definition sites, in PC order.
+    defs: Vec<DefSite>,
+}
+
+impl<'p> Dataflow<'p> {
+    /// Runs every analysis over `program` using its prebuilt `cfg`.
+    #[must_use]
+    pub fn run(program: &'p Program, cfg: &'p Cfg) -> Self {
+        let defs = program
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| def(*i).map(|reg| DefSite { pc: pc as InstAddr, reg }))
+            .collect();
+        let mut df = Self {
+            program,
+            cfg,
+            must_in: Vec::new(),
+            live_in: Vec::new(),
+            live_out: Vec::new(),
+            const_in: Vec::new(),
+            defs,
+        };
+        df.solve_must_defined();
+        df.solve_liveness();
+        df.solve_consts();
+        df
+    }
+
+    /// Every definition site in the program, in PC order.
+    #[must_use]
+    pub fn def_sites(&self) -> &[DefSite] {
+        &self.defs
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    #[must_use]
+    pub fn instr_at(&self, pc: InstAddr) -> Instr {
+        self.program.fetch(pc).expect("pc in program")
+    }
+
+    /// Whether `r` has any definition anywhere in the program.
+    #[must_use]
+    pub fn ever_defined(&self, r: LogReg) -> bool {
+        r.is_zero() || self.defs.iter().any(|d| d.reg == r)
+    }
+
+    fn block_instrs(&self, b: usize) -> impl Iterator<Item = (InstAddr, Instr)> + '_ {
+        let blk = &self.cfg.blocks[b];
+        (blk.start..blk.end).map(|pc| (pc, self.program.fetch(pc).expect("pc in block")))
+    }
+
+    // --- definite assignment -------------------------------------------
+
+    fn solve_must_defined(&mut self) {
+        let nb = self.cfg.blocks.len();
+        let preds = self.cfg.predecessors();
+        // Unreached-as-yet blocks start at ⊤ (all registers) so the
+        // intersection at joins is not poisoned by them.
+        let mut ins = vec![FULL; nb];
+        ins[self.cfg.entry_block] = ENTRY_DEFINED;
+        let gens: Vec<RegSet> = (0..nb)
+            .map(|b| self.block_instrs(b).filter_map(|(_, i)| def(i)).fold(0, |s, r| s | bit(r)))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                // The virtual program-start edge into the entry block
+                // contributes exactly ENTRY_DEFINED; since definitions only
+                // accumulate, the intersection with any real back edge into
+                // the entry is still ENTRY_DEFINED.
+                let inb = if b == self.cfg.entry_block {
+                    ENTRY_DEFINED
+                } else {
+                    preds[b].iter().fold(FULL, |s, &p| s & (ins[p] | gens[p]))
+                };
+                if inb != ins[b] {
+                    ins[b] = inb;
+                    changed = true;
+                }
+            }
+        }
+        self.must_in = ins;
+    }
+
+    /// The set of registers definitely written on every path from the
+    /// entry to `pc` (exclusive of `pc` itself). Includes the
+    /// architecturally pre-defined [`ENTRY_DEFINED`] registers.
+    #[must_use]
+    pub fn must_defined_at(&self, pc: InstAddr) -> RegSet {
+        let b = self.cfg.block_of(pc);
+        let mut cur = self.must_in[b];
+        for (p, i) in self.block_instrs(b) {
+            if p == pc {
+                break;
+            }
+            if let Some(r) = def(i) {
+                cur |= bit(r);
+            }
+        }
+        cur
+    }
+
+    // --- liveness ------------------------------------------------------
+
+    fn solve_liveness(&mut self) {
+        let nb = self.cfg.blocks.len();
+        let mut live_in = vec![0 as RegSet; nb];
+        let mut live_out = vec![0 as RegSet; nb];
+        // Per-block upward-exposed uses and defs.
+        let mut use_b = vec![0 as RegSet; nb];
+        let mut def_b = vec![0 as RegSet; nb];
+        for b in 0..nb {
+            for (_, i) in self.block_instrs(b) {
+                use_b[b] |= uses(i) & !def_b[b];
+                if let Some(r) = def(i) {
+                    def_b[b] |= bit(r);
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let out = self.cfg.blocks[b].succs.iter().fold(0, |s, &q| s | live_in[q]);
+                let inn = use_b[b] | (out & !def_b[b]);
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        self.live_in = live_in;
+        self.live_out = live_out;
+    }
+
+    /// Registers live on entry to block `b`.
+    #[must_use]
+    pub fn live_into_block(&self, b: usize) -> RegSet {
+        self.live_in[b]
+    }
+
+    /// Registers live on exit from block `b`.
+    #[must_use]
+    pub fn live_out_of_block(&self, b: usize) -> RegSet {
+        self.live_out[b]
+    }
+
+    // --- constant propagation ------------------------------------------
+
+    fn entry_env() -> Env {
+        let mut e = [ConstVal::NonConst; 64];
+        e[reg::ZERO.index()] = ConstVal::Const(0);
+        e[reg::FZERO.index()] = ConstVal::Const(0);
+        e
+    }
+
+    fn transfer_const(env: &mut Env, pc: InstAddr, i: Instr) {
+        let Some(d) = def(i) else { return };
+        let val = match i.op {
+            Opcode::Jsr => ConstVal::Const(pc + 1),
+            op if op.is_load() => ConstVal::NonConst,
+            _ => {
+                // ALU form: evaluate when both operands are constant.
+                let a = i.src1.map_or(ConstVal::NonConst, |r| env[r.index()]);
+                let b = match i.src2 {
+                    Some(Operand::Imm(imm)) => ConstVal::Const(imm as i64 as u64),
+                    Some(Operand::Reg(r)) => env[r.index()],
+                    None => ConstVal::NonConst,
+                };
+                match (a, b) {
+                    (ConstVal::Const(x), ConstVal::Const(y)) => {
+                        ConstVal::Const(semantics::alu(i.op, x, y))
+                    }
+                    (ConstVal::Unknown, _) | (_, ConstVal::Unknown) => ConstVal::Unknown,
+                    _ => ConstVal::NonConst,
+                }
+            }
+        };
+        env[d.index()] = val;
+    }
+
+    fn solve_consts(&mut self) {
+        let nb = self.cfg.blocks.len();
+        let preds = self.cfg.predecessors();
+        let mut ins = vec![[ConstVal::Unknown; 64]; nb];
+        ins[self.cfg.entry_block] = Self::entry_env();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut inb = if b == self.cfg.entry_block {
+                    Self::entry_env()
+                } else {
+                    [ConstVal::Unknown; 64]
+                };
+                for &p in &preds[b] {
+                    let mut out = ins[p];
+                    for (pc, i) in self.block_instrs(p) {
+                        Self::transfer_const(&mut out, pc, i);
+                    }
+                    for r in 0..64 {
+                        inb[r] = inb[r].join(out[r]);
+                    }
+                }
+                if inb != ins[b] {
+                    ins[b] = inb;
+                    changed = true;
+                }
+            }
+        }
+        self.const_in = ins;
+    }
+
+    /// The constant-propagation value of `r` just before `pc` executes.
+    #[must_use]
+    pub fn const_value_at(&self, pc: InstAddr, r: LogReg) -> ConstVal {
+        let b = self.cfg.block_of(pc);
+        let mut env = self.const_in[b];
+        for (p, i) in self.block_instrs(b) {
+            if p == pc {
+                break;
+            }
+            Self::transfer_const(&mut env, p, i);
+        }
+        env[r.index()]
+    }
+
+    // --- reaching definitions / def-use chains -------------------------
+
+    /// Def-use chains over the whole program: every `(definition, use)`
+    /// pair such that the definition may reach the use, in PC order of
+    /// the use. Reaching definitions are tracked per definition *site*,
+    /// so two writes to the same register are distinct definitions.
+    #[must_use]
+    pub fn def_use_chains(&self) -> Vec<DefUse> {
+        let nd = self.defs.len();
+        let nb = self.cfg.blocks.len();
+        let words = nd.div_ceil(64).max(1);
+        // Per-reg def-site index lists.
+        let mut sites_of = vec![Vec::new(); 64];
+        for (idx, d) in self.defs.iter().enumerate() {
+            sites_of[d.reg.index()].push(idx);
+        }
+        let set = |v: &mut [u64], i: usize| v[i / 64] |= 1 << (i % 64);
+        let clear_reg = |v: &mut [u64], sites: &[usize]| {
+            for &i in sites {
+                v[i / 64] &= !(1 << (i % 64));
+            }
+        };
+        // Block-level gen/kill fixpoint (forward, union).
+        let mut ins = vec![vec![0u64; words]; nb];
+        let mut outs = vec![vec![0u64; words]; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut cur = ins[b].clone();
+                for (pc, i) in self.block_instrs(b) {
+                    if let Some(r) = def(i) {
+                        clear_reg(&mut cur, &sites_of[r.index()]);
+                        let idx = self
+                            .defs
+                            .binary_search_by_key(&pc, |d| d.pc)
+                            .expect("def site indexed");
+                        set(&mut cur, idx);
+                    }
+                }
+                if cur != outs[b] {
+                    outs[b] = cur;
+                    changed = true;
+                }
+                for &s in &self.cfg.blocks[b].succs {
+                    let mut any = false;
+                    for w in 0..words {
+                        let merged = ins[s][w] | outs[b][w];
+                        if merged != ins[s][w] {
+                            ins[s][w] = merged;
+                            any = true;
+                        }
+                    }
+                    changed |= any;
+                }
+            }
+        }
+        // Replay each block recording (def, use) pairs.
+        let mut chains = Vec::new();
+        for (b, b_in) in ins.iter().enumerate().take(nb) {
+            let mut cur = b_in.clone();
+            for (pc, i) in self.block_instrs(b) {
+                let used = uses(i);
+                for r in 0..64u8 {
+                    if used & (1 << r) == 0 {
+                        continue;
+                    }
+                    for &idx in &sites_of[usize::from(r)] {
+                        if cur[idx / 64] & (1 << (idx % 64)) != 0 {
+                            chains.push(DefUse { def: self.defs[idx], use_pc: pc });
+                        }
+                    }
+                }
+                if let Some(r) = def(i) {
+                    clear_reg(&mut cur, &sites_of[r.index()]);
+                    let idx =
+                        self.defs.binary_search_by_key(&pc, |d| d.pc).expect("def site indexed");
+                    set(&mut cur, idx);
+                }
+            }
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::Asm;
+
+    fn analyse(p: &Program) -> (Cfg, Vec<DefUse>) {
+        let cfg = Cfg::build(p);
+        let chains = Dataflow::run(p, &cfg).def_use_chains();
+        (cfg, chains)
+    }
+
+    #[test]
+    fn must_defined_accumulates_straight_line() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1);
+        a.addq(reg::R2, reg::R1, reg::R1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let df = Dataflow::run(&p, &cfg);
+        assert_eq!(df.must_defined_at(0), ENTRY_DEFINED);
+        assert_ne!(df.must_defined_at(1) & (1 << reg::R1.index()), 0);
+        assert_eq!(df.must_defined_at(1) & (1 << reg::R2.index()), 0);
+    }
+
+    #[test]
+    fn must_defined_intersects_at_joins() {
+        // Only one arm of the hammock writes r2.
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1);
+        a.beq(reg::R1, "else");
+        a.addq_i(reg::R2, reg::ZERO, 2);
+        a.br("join");
+        a.label("else");
+        a.nop();
+        a.label("join");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let df = Dataflow::run(&p, &cfg);
+        let join_pc = p.len() as InstAddr - 1;
+        assert_eq!(p.fetch(join_pc).unwrap().op, Opcode::Halt);
+        assert_eq!(df.must_defined_at(join_pc) & (1 << reg::R2.index()), 0);
+        assert_ne!(df.must_defined_at(join_pc) & (1 << reg::R1.index()), 0);
+    }
+
+    #[test]
+    fn const_prop_evaluates_through_alu() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1);
+        a.sll_i(reg::R2, reg::R1, 20);
+        a.ldq(reg::R3, 0, reg::R2);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let df = Dataflow::run(&p, &cfg);
+        assert_eq!(df.const_value_at(2, reg::R2), ConstVal::Const(1 << 20));
+        assert_eq!(df.const_value_at(3, reg::R3), ConstVal::NonConst);
+    }
+
+    #[test]
+    fn const_prop_joins_to_nonconst() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 4);
+        a.label("loop");
+        a.addq_i(reg::R2, reg::R1, 0); // r2 joins 4 (first pass) with loop value
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let df = Dataflow::run(&p, &cfg);
+        assert_eq!(df.const_value_at(1, reg::R1), ConstVal::NonConst);
+    }
+
+    #[test]
+    fn liveness_flows_backward() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1); // r1 live until its use below
+        a.addq_i(reg::R2, reg::ZERO, 2); // dead: never read
+        a.addq(reg::R3, reg::R1, reg::R1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let df = Dataflow::run(&p, &cfg);
+        let b = cfg.block_of(0);
+        // Nothing is live into the entry block: every read is preceded by
+        // a write inside the block.
+        assert_eq!(df.live_into_block(b) & (1 << reg::R1.index()), 0);
+        assert_eq!(df.live_out_of_block(b), 0);
+    }
+
+    #[test]
+    fn def_use_chains_cross_blocks() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 5);
+        a.label("loop");
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (_, chains) = analyse(&p);
+        // The subq at pc 1 reads both the init at pc 0 and itself (around
+        // the loop), and the bne at pc 2 reads the subq.
+        assert!(chains.contains(&DefUse {
+            def: DefSite { pc: 0, reg: reg::R1 },
+            use_pc: 1
+        }));
+        assert!(chains.contains(&DefUse {
+            def: DefSite { pc: 1, reg: reg::R1 },
+            use_pc: 1
+        }));
+        assert!(chains.contains(&DefUse {
+            def: DefSite { pc: 1, reg: reg::R1 },
+            use_pc: 2
+        }));
+    }
+
+    #[test]
+    fn zero_register_writes_are_not_defs() {
+        let i = Instr::alu_rr(Opcode::Addq, reg::ZERO, reg::R1, reg::R2);
+        assert_eq!(def(i), None);
+        assert_ne!(uses(i) & (1 << reg::R1.index()), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rix-analysis: static analysis over RIX programs
+//!
+//! A small, self-contained static-analysis layer for the `rix`
+//! register-integration simulator. Everything works on the plain
+//! [`rix_isa::Program`] form — no simulator state involved — so the
+//! toolchain can vet a workload *before* burning cycles simulating it:
+//!
+//! * [`Cfg`] — basic blocks, branch-target successor edges,
+//!   context-insensitive return edges, reachability, cycle (SCC)
+//!   classification, and fall-off-the-end detection;
+//! * [`Dataflow`] — definite assignment, reaching definitions with
+//!   def-use chains, liveness, and constant propagation over the 64
+//!   logical registers;
+//! * [`lint_program`] — the lint driver with stable `RIXnnn` diagnostic
+//!   codes (see [`LintCode`] for the table);
+//! * [`Opportunity`] — the paper-specific **integration-opportunity
+//!   oracle**: a sound static upper bound on dynamic integration-table
+//!   hits, built from [`rix_isa::Opcode::is_integrable`] eligibility and
+//!   CFG cyclicity, plus static reverse-integration pair counts via
+//!   [`rix_isa::Opcode::inverse`].
+//!
+//! ```
+//! use rix_analysis::{lint_program, analyze_program};
+//! use rix_isa::{reg, Asm};
+//!
+//! let mut a = Asm::new();
+//! a.addq_i(reg::R1, reg::ZERO, 10);
+//! a.label("loop");
+//! a.subq_i(reg::R1, reg::R1, 1);
+//! a.bne(reg::R1, "loop");
+//! a.halt();
+//! let p = a.assemble().unwrap();
+//!
+//! assert!(lint_program(&p).is_empty(), "the loop is lint-clean");
+//! let o = analyze_program(&p);
+//! assert!(o.integrable > 0);
+//! assert!(o.hit_bound(1_000) <= 1_000);
+//! ```
+
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod oracle;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{ConstVal, Dataflow, DefSite, DefUse, RegSet};
+pub use lint::{lint_program, Diagnostic, LintCode};
+pub use oracle::{analyze_program, Opportunity};

@@ -1,0 +1,279 @@
+//! The lint driver: stable diagnostic codes over CFG + dataflow facts.
+//!
+//! | code     | name                     | meaning |
+//! |----------|--------------------------|---------|
+//! | `RIX001` | `read-before-write`      | a reachable instruction reads a register not written on every path from the entry |
+//! | `RIX002` | `unreachable-block`      | a basic block no path from the entry reaches |
+//! | `RIX003` | `no-reachable-halt`      | no `halt` instruction is reachable: the program cannot terminate cleanly |
+//! | `RIX004` | `branch-on-never-written`| a conditional branch tests a register with no definition anywhere — its direction is a foregone conclusion |
+//! | `RIX005` | `const-addr-out-of-bounds` | a load from a statically-constant address outside every `DataSegment` that no statically-constant store initialises |
+//! | `RIX006` | `misaligned-const-access`| a memory access at a statically-constant address that is not naturally aligned for its width |
+//! | `RIX007` | `falls-off-end`          | control can run past the last instruction (`StopReason::FellOffProgram` in the interpreter) |
+//!
+//! The codes are stable: tests pin each one to a minimal offending
+//! program, and the `lint` binary's JSON output keys on them.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{uses, ConstVal, Dataflow};
+use rix_isa::{InstAddr, LogReg, Program};
+use std::fmt;
+
+/// A stable diagnostic code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `RIX001`: read of a register not written on every path.
+    ReadBeforeWrite,
+    /// `RIX002`: basic block unreachable from the entry.
+    UnreachableBlock,
+    /// `RIX003`: no reachable `halt`.
+    NoReachableHalt,
+    /// `RIX004`: conditional branch on a never-written register.
+    BranchOnNeverWritten,
+    /// `RIX005`: constant-address load outside every data segment.
+    ConstAddrOutOfBounds,
+    /// `RIX006`: constant-address access not naturally aligned.
+    MisalignedConstAccess,
+    /// `RIX007`: control can fall off the end of the program.
+    FallsOffEnd,
+}
+
+impl LintCode {
+    /// The stable `RIXnnn` code string.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::ReadBeforeWrite => "RIX001",
+            Self::UnreachableBlock => "RIX002",
+            Self::NoReachableHalt => "RIX003",
+            Self::BranchOnNeverWritten => "RIX004",
+            Self::ConstAddrOutOfBounds => "RIX005",
+            Self::MisalignedConstAccess => "RIX006",
+            Self::FallsOffEnd => "RIX007",
+        }
+    }
+
+    /// The human-readable lint name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ReadBeforeWrite => "read-before-write",
+            Self::UnreachableBlock => "unreachable-block",
+            Self::NoReachableHalt => "no-reachable-halt",
+            Self::BranchOnNeverWritten => "branch-on-never-written",
+            Self::ConstAddrOutOfBounds => "const-addr-out-of-bounds",
+            Self::MisalignedConstAccess => "misaligned-const-access",
+            Self::FallsOffEnd => "falls-off-end",
+        }
+    }
+
+    /// Every lint code, in `RIXnnn` order.
+    pub const ALL: &'static [LintCode] = &[
+        Self::ReadBeforeWrite,
+        Self::UnreachableBlock,
+        Self::NoReachableHalt,
+        Self::BranchOnNeverWritten,
+        Self::ConstAddrOutOfBounds,
+        Self::MisalignedConstAccess,
+        Self::FallsOffEnd,
+    ];
+}
+
+/// One finding: a code, the PC it anchors to, and a rendered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// The instruction the finding anchors to.
+    pub pc: InstAddr,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] @{}: {}", self.code.code(), self.code.name(), self.pc, self.message)
+    }
+}
+
+/// Runs every lint over `program`, returning findings sorted by PC then
+/// code. An empty vector means the program is lint-clean.
+#[must_use]
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(program);
+    let df = Dataflow::run(program, &cfg);
+    let mut out = Vec::new();
+
+    // RIX002 / RIX007 / RIX003: block-level facts.
+    let mut any_reachable_halt = false;
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.block_reachable(b) {
+            out.push(Diagnostic {
+                code: LintCode::UnreachableBlock,
+                pc: blk.start,
+                message: format!(
+                    "block @{}..@{} is unreachable from the entry point @{}",
+                    blk.start,
+                    blk.end - 1,
+                    program.entry()
+                ),
+            });
+            continue;
+        }
+        if blk.falls_off_end {
+            let last = blk.last_pc();
+            let i = program.fetch(last).expect("pc in program");
+            out.push(Diagnostic {
+                code: LintCode::FallsOffEnd,
+                pc: last,
+                message: format!("`{i}` can run past the last instruction of the program"),
+            });
+        }
+        for pc in blk.start..blk.end {
+            if program.fetch(pc).expect("pc in block").op == rix_isa::Opcode::Halt {
+                any_reachable_halt = true;
+            }
+        }
+    }
+    if !any_reachable_halt {
+        out.push(Diagnostic {
+            code: LintCode::NoReachableHalt,
+            pc: program.entry(),
+            message: "no halt instruction is reachable: the program cannot terminate".into(),
+        });
+    }
+
+    // Statically-constant store coverage for RIX005: a constant-address
+    // load outside every segment is still fine when some constant-address
+    // store initialises the containing word first (the generator's
+    // conflict-pair idiom writes then reads a scratch word no segment
+    // backs).
+    let mut const_store_words = Vec::new();
+    for (pc, i) in program.instrs().iter().enumerate() {
+        let pc = pc as InstAddr;
+        if i.op.is_store() && cfg.reachable(pc) {
+            if let Some(ea) = const_ea(&df, pc) {
+                const_store_words.push(ea & !7);
+            }
+        }
+    }
+    const_store_words.sort_unstable();
+    const_store_words.dedup();
+
+    // Instruction-level lints over reachable instructions.
+    for (pc, i) in program.instrs().iter().enumerate() {
+        let pc = pc as InstAddr;
+        if !cfg.reachable(pc) {
+            continue;
+        }
+        // RIX001: read before write.
+        let defined = df.must_defined_at(pc);
+        let used = uses(*i);
+        let missing = used & !defined;
+        for r in 0..64u8 {
+            if missing & (1 << r) != 0 {
+                let reg = LogReg::new(r);
+                out.push(Diagnostic {
+                    code: LintCode::ReadBeforeWrite,
+                    pc,
+                    message: format!(
+                        "`{i}` reads {reg}, which is not written on every path from the entry"
+                    ),
+                });
+            }
+        }
+        // RIX004: branch on a never-written register.
+        if i.op.is_cond_branch() {
+            let cond = i.src1.expect("cond branch has a condition register");
+            // Zero-register writes are discarded, so def_sites never lists
+            // them: branching on `zero` is flagged too (it always reads 0).
+            if !df.def_sites().iter().any(|d| d.reg == cond) {
+                out.push(Diagnostic {
+                    code: LintCode::BranchOnNeverWritten,
+                    pc,
+                    message: format!(
+                        "`{i}` tests {cond}, which no instruction writes: the branch always \
+                         goes the same way"
+                    ),
+                });
+            }
+        }
+        // RIX005 / RIX006: constant-address memory accesses.
+        if i.op.is_mem() {
+            if let Some(ea) = const_ea(&df, pc) {
+                let width = i.op.mem_bytes();
+                if ea % width != 0 {
+                    out.push(Diagnostic {
+                        code: LintCode::MisalignedConstAccess,
+                        pc,
+                        message: format!(
+                            "`{i}` accesses constant address {ea:#x}, which is not \
+                             {width}-byte aligned (the machine silently aligns it down)"
+                        ),
+                    });
+                }
+                if i.op.is_load()
+                    && !in_any_segment(program, ea, width)
+                    && const_store_words.binary_search(&(ea & !7)).is_err()
+                {
+                    out.push(Diagnostic {
+                        code: LintCode::ConstAddrOutOfBounds,
+                        pc,
+                        message: format!(
+                            "`{i}` loads from constant address {ea:#x}, outside every \
+                             data segment and never written by a constant-address store"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|a| (a.pc, a.code));
+    out
+}
+
+/// The statically-constant effective address of the memory access at
+/// `pc`, if its base register is a propagated constant.
+fn const_ea(df: &Dataflow<'_>, pc: InstAddr) -> Option<u64> {
+    let i = df.instr_at(pc);
+    let base = i.src1?;
+    match df.const_value_at(pc, base) {
+        ConstVal::Const(b) => Some(b.wrapping_add(i.disp as i64 as u64)),
+        _ => None,
+    }
+}
+
+fn in_any_segment(program: &Program, ea: u64, width: u64) -> bool {
+    program.data_segments().iter().any(|seg| {
+        let len = seg.words.len() as u64 * 8;
+        ea >= seg.base && ea + width <= seg.base + len
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::{reg, Asm};
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 10);
+        a.label("loop");
+        a.subq_i(reg::R1, reg::R1, 1);
+        a.bne(reg::R1, "loop");
+        a.halt();
+        assert!(lint_program(&a.assemble().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn display_renders_code_and_name() {
+        let mut a = Asm::new();
+        a.addq(reg::R2, reg::R1, reg::R1); // r1 never written
+        a.halt();
+        let d = &lint_program(&a.assemble().unwrap())[0];
+        let s = d.to_string();
+        assert!(s.contains("RIX001"), "{s}");
+        assert!(s.contains("read-before-write"), "{s}");
+    }
+}

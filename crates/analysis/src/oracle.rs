@@ -1,0 +1,226 @@
+//! The static integration-opportunity oracle.
+//!
+//! Register integration (the paper's central mechanism) only ever fires
+//! for instructions whose opcode is *integration eligible*
+//! ([`rix_isa::Opcode::is_integrable`]): ALU operations, loads, and conditional
+//! branches — and every integration table hit is accounted at the
+//! **retirement** of the integrating instruction. That yields a sound,
+//! purely static upper bound on the dynamic hit count:
+//!
+//! 1. every dynamic hit (direct or reverse) is the retirement of an
+//!    instruction at some static PC with an integrable opcode;
+//! 2. an instruction whose basic block lies on no CFG cycle retires at
+//!    most once in a run started at the program entry;
+//! 3. total retirements of cyclic PCs cannot exceed total retirements.
+//!
+//! Hence, for a run that retired `retired` instructions:
+//!
+//! ```text
+//! direct + reverse  ≤  hit_bound(retired)
+//!                   =  min(retired, acyclic_integrable + cyclic_part)
+//! ```
+//!
+//! where `cyclic_part` is `retired` when any integrable instruction lies
+//! on a cycle and 0 otherwise. With a per-PC execution profile (for
+//! example from stepping [`rix_isa::interp::Interp`], which retires the
+//! same architectural stream as the detailed simulator), the
+//! profile-weighted bound [`Opportunity::weighted_bound`] is much
+//! tighter: the sum of execution counts over integrable PCs.
+//!
+//! The report also counts the static ingredients of **reverse**
+//! integration (§2.4): instructions whose opcode has an
+//! [`inverse`](rix_isa::Opcode::inverse) create IT entries for their
+//! complement when renamed, and a static complement elsewhere in the
+//! program is a reverse-integration opportunity (store→same-width load
+//! at the same base/displacement; immediate add/subtract→the negated
+//! immediate on the same base, the `lda` push/pop pair).
+
+use crate::cfg::Cfg;
+use rix_isa::{InstAddr, Program};
+
+/// The static integration-opportunity report for one program.
+#[derive(Clone, Debug)]
+pub struct Opportunity {
+    /// Static instruction count.
+    pub total_instrs: usize,
+    /// Instructions with an integration-eligible opcode.
+    pub integrable: usize,
+    /// Integrable instructions on no CFG cycle (retire at most once).
+    pub acyclic_integrable: usize,
+    /// Integrable instructions on some CFG cycle.
+    pub cyclic_integrable: usize,
+    /// Instructions whose opcode has a reverse-integration inverse and
+    /// carries an immediate (stores; `lda`-form adds/subtracts): each
+    /// creates an inverse IT entry when renamed.
+    pub reverse_sources: usize,
+    /// Instructions that statically complement some reverse source
+    /// (matching inverse opcode, same base register, complementary
+    /// immediate/displacement).
+    pub reverse_pairs: usize,
+    /// Per-PC eligibility: `eligible[pc]` is true when the instruction
+    /// at `pc` can ever be an integration hit.
+    pub eligible: Vec<bool>,
+}
+
+impl Opportunity {
+    /// Analyses `program`, reusing a prebuilt `cfg`.
+    #[must_use]
+    pub fn analyze(program: &Program, cfg: &Cfg) -> Self {
+        let instrs = program.instrs();
+        let mut integrable = 0;
+        let mut acyclic = 0;
+        let mut cyclic = 0;
+        let mut eligible = vec![false; instrs.len()];
+        for (pc, i) in instrs.iter().enumerate() {
+            if !i.op.is_integrable() {
+                continue;
+            }
+            integrable += 1;
+            eligible[pc] = true;
+            if cfg.cyclic(pc as InstAddr) {
+                cyclic += 1;
+            } else {
+                acyclic += 1;
+            }
+        }
+
+        let mut reverse_sources = 0;
+        for i in instrs {
+            if i.op.inverse().is_some() && i.has_immediate() {
+                reverse_sources += 1;
+            }
+        }
+        let mut reverse_pairs = 0;
+        for c in instrs {
+            // Does some source's inverse entry match this consumer?
+            let matched = instrs.iter().any(|s| {
+                let Some(inv) = s.op.inverse() else { return false };
+                if inv != c.op || !s.has_immediate() || !c.has_immediate() {
+                    return false;
+                }
+                if s.src1 != c.src1 {
+                    return false;
+                }
+                if s.op.is_store() {
+                    // Store at disp pairs with the same-width load at disp.
+                    s.it_imm() == c.it_imm()
+                } else {
+                    // lda push/pop: the inverse entry negates the immediate.
+                    s.it_imm() == c.it_imm().wrapping_neg()
+                }
+            });
+            if matched {
+                reverse_pairs += 1;
+            }
+        }
+
+        Self {
+            total_instrs: instrs.len(),
+            integrable,
+            acyclic_integrable: acyclic,
+            cyclic_integrable: cyclic,
+            reverse_sources,
+            reverse_pairs,
+            eligible,
+        }
+    }
+
+    /// The fraction of static instructions that are integration eligible.
+    #[must_use]
+    pub fn opportunity_fraction(&self) -> f64 {
+        if self.total_instrs == 0 {
+            0.0
+        } else {
+            self.integrable as f64 / self.total_instrs as f64
+        }
+    }
+
+    /// A sound static upper bound on dynamic IT hits (direct + reverse)
+    /// for a run from the program entry that retired `retired`
+    /// instructions. See the module docs for the argument.
+    #[must_use]
+    pub fn hit_bound(&self, retired: u64) -> u64 {
+        let cyclic_part = if self.cyclic_integrable > 0 { retired } else { 0 };
+        retired.min((self.acyclic_integrable as u64).saturating_add(cyclic_part))
+    }
+
+    /// The profile-weighted bound: total retirements of integrable PCs,
+    /// given per-PC execution counts (indexed like the program). Sound
+    /// whenever `counts` covers every retirement of the measured run;
+    /// always ≤ the profile's total and usually far below
+    /// [`Opportunity::hit_bound`].
+    #[must_use]
+    pub fn weighted_bound(&self, counts: &[u64]) -> u64 {
+        self.eligible
+            .iter()
+            .zip(counts)
+            .filter(|(e, _)| **e)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+}
+
+/// Convenience: build the CFG and analyse in one call.
+#[must_use]
+pub fn analyze_program(program: &Program) -> Opportunity {
+    let cfg = Cfg::build(program);
+    Opportunity::analyze(program, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rix_isa::{reg, Asm};
+
+    #[test]
+    fn straight_line_counts() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1); // integrable
+        a.stq(reg::R1, 0, reg::SP); // not integrable, reverse source
+        a.ldq(reg::R2, 0, reg::SP); // integrable, reverse pair
+        a.halt();
+        let o = analyze_program(&a.assemble().unwrap());
+        assert_eq!(o.total_instrs, 4);
+        assert_eq!(o.integrable, 2);
+        assert_eq!(o.acyclic_integrable, 2);
+        assert_eq!(o.cyclic_integrable, 0);
+        assert!(o.reverse_sources >= 1);
+        assert_eq!(o.reverse_pairs, 1, "the ldq complements the stq");
+        // No cycles: at most one hit per integrable instruction.
+        assert_eq!(o.hit_bound(1_000_000), 2);
+        assert_eq!(o.hit_bound(1), 1);
+    }
+
+    #[test]
+    fn lda_pairs_negate_the_immediate() {
+        let mut a = Asm::new();
+        a.addq_i(reg::SP, reg::SP, -32); // frame push (lda)
+        a.addq_i(reg::SP, reg::SP, 32); // frame pop: complements the push
+        a.halt();
+        let o = analyze_program(&a.assemble().unwrap());
+        assert_eq!(o.reverse_pairs, 2, "push and pop complement each other");
+    }
+
+    #[test]
+    fn cyclic_integrable_makes_bound_retired() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 10);
+        a.label("loop");
+        a.subq_i(reg::R1, reg::R1, 1); // integrable, on the loop
+        a.bne(reg::R1, "loop");
+        a.halt();
+        let o = analyze_program(&a.assemble().unwrap());
+        assert!(o.cyclic_integrable >= 2);
+        assert_eq!(o.hit_bound(500), 500);
+    }
+
+    #[test]
+    fn weighted_bound_sums_eligible_counts() {
+        let mut a = Asm::new();
+        a.addq_i(reg::R1, reg::ZERO, 1); // eligible, 1 exec
+        a.stq(reg::R1, 0, reg::SP); // ineligible, 1 exec
+        a.halt();
+        let o = analyze_program(&a.assemble().unwrap());
+        assert_eq!(o.weighted_bound(&[1, 1, 1]), 1);
+    }
+}

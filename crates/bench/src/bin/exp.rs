@@ -119,11 +119,25 @@ fn main() {
         }
         // Count what this invocation would actually run: the spec's
         // benchmarks narrowed by the `--bench` filter, like the sweep.
-        let nbench = spec
+        let benches: Vec<_> = spec
             .benchmarks
             .iter()
             .filter(|b| h.filter.as_deref().is_none_or(|f| f.eq_ignore_ascii_case(b.name)))
-            .count();
+            .collect();
+        // Lint every program the run would measure: a generator bug
+        // (an uninitialised read, a block that can run off the end)
+        // silently becomes a bogus data point, so a dry run rejects it
+        // here rather than validating the spec around it.
+        let mut findings = 0usize;
+        for b in &benches {
+            for d in rix_analysis::lint_program(&b.build(spec.seed)) {
+                eprintln!("  {}: {d}", b.name);
+                findings += 1;
+            }
+        }
+        if findings > 0 {
+            fail(&format!("{findings} lint findings in the spec's benchmarks (seed {})", spec.seed));
+        }
         println!(
             "spec OK: {} ({})",
             spec.name.as_deref().unwrap_or(path),
@@ -131,14 +145,15 @@ fn main() {
         );
         println!(
             "  benchmarks: {}  arms: {}  cells: {}  instructions: {}  warmup: {} ({})  seed: {}",
-            nbench,
+            benches.len(),
             arms.len(),
-            nbench * arms.len(),
+            benches.len() * arms.len(),
             spec.instructions,
             spec.warmup,
             spec.warmup_mode.name(),
             spec.seed,
         );
+        println!("  lint: clean ({} benchmarks at seed {})", benches.len(), spec.seed);
         return;
     }
 

@@ -1,0 +1,181 @@
+//! `lint` — static analysis over workload programs.
+//!
+//! Runs every [`rix_analysis`] lint (CFG reachability, definite
+//! assignment, constant-address bounds — the stable `RIXnnn` codes)
+//! plus the integration-opportunity oracle over named workloads or
+//! whole experiment specs, and fails the exit status when anything is
+//! found. The generator's programs are the repo's experimental inputs:
+//! a program that reads uninitialised registers or runs off its end
+//! produces numbers that *look* fine, so CI lints every committed spec
+//! and workload with this binary before anything is measured.
+//!
+//! ```text
+//! lint [--json] [--seed N] <workload|spec.json>...
+//! ```
+//!
+//! * a **workload name** lints that generated program (at `--seed`,
+//!   default 7); unknown names suggest the closest benchmarks,
+//! * a **spec file** (`rix-exp/1`) lints every benchmark the spec
+//!   names, at the spec's own seed,
+//! * `--json` prints a `rix-lint/1` document (findings keyed by stable
+//!   code, plus the oracle summary) instead of the table.
+//!
+//! Exit status: 0 all clean, 1 findings, 2 usage or resolution error.
+
+use rix_analysis::{analyze_program, lint_program, Opportunity};
+use rix_bench::ExperimentSpec;
+use rix_isa::json::Json;
+use rix_isa::Program;
+
+const USAGE: &str = "\
+usage: lint [--json] [--seed N] <workload|spec.json>...\n\
+\n\
+targets:\n\
+\x20 a benchmark name        lint that generated workload (at --seed)\n\
+\x20 a rix-exp/1 spec file   lint every benchmark it names, at its seed\n\
+\n\
+flags:\n\
+\x20 --seed N   generator seed for named workloads (default 7)\n\
+\x20 --json     machine-readable rix-lint/1 output\n\
+\n\
+exit status: 0 all clean, 1 findings, 2 usage or resolution error";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One program to lint: display label, generator seed, built program.
+struct Target {
+    label: String,
+    seed: u64,
+    program: Program,
+}
+
+fn resolve(arg: &str, seed: u64) -> Vec<Target> {
+    if arg.ends_with(".json") {
+        let spec = match ExperimentSpec::load(arg) {
+            Ok(s) => s,
+            Err(msg) => fail(&msg),
+        };
+        spec.benchmarks
+            .iter()
+            .map(|b| Target {
+                label: format!("{arg}:{}", b.name),
+                seed: spec.seed,
+                program: b.build(spec.seed),
+            })
+            .collect()
+    } else {
+        match rix_workloads::lookup(arg) {
+            Ok(b) => vec![Target { label: b.name.to_string(), seed, program: b.build(seed) }],
+            Err(msg) => fail(&msg),
+        }
+    }
+}
+
+fn oracle_json(opp: &Opportunity) -> Json {
+    let num = |n: usize| Json::Num(n.to_string());
+    Json::Obj(vec![
+        ("total_instrs".into(), num(opp.total_instrs)),
+        ("integrable".into(), num(opp.integrable)),
+        ("acyclic_integrable".into(), num(opp.acyclic_integrable)),
+        ("cyclic_integrable".into(), num(opp.cyclic_integrable)),
+        ("reverse_sources".into(), num(opp.reverse_sources)),
+        ("reverse_pairs".into(), num(opp.reverse_pairs)),
+        ("opportunity_fraction".into(), Json::Num(format!("{:.4}", opp.opportunity_fraction()))),
+    ])
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let mut json = false;
+    let mut seed = 7u64;
+    let mut targets = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_default();
+                seed = match v.parse() {
+                    Ok(s) => s,
+                    Err(_) => fail(&format!("--seed needs an integer, got `{v}`")),
+                };
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag `{flag}`")),
+            name => targets.push(name.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        fail("no targets given");
+    }
+
+    let programs: Vec<Target> = targets.iter().flat_map(|t| resolve(t, seed)).collect();
+    let mut total_findings = 0usize;
+    let mut docs = Vec::new();
+    for t in &programs {
+        let findings = lint_program(&t.program);
+        let opp = analyze_program(&t.program);
+        total_findings += findings.len();
+        if json {
+            docs.push(Json::Obj(vec![
+                ("name".into(), Json::Str(t.label.clone())),
+                ("seed".into(), Json::Num(t.seed.to_string())),
+                ("instructions".into(), Json::Num(t.program.len().to_string())),
+                (
+                    "findings".into(),
+                    Json::Arr(
+                        findings
+                            .iter()
+                            .map(|d| {
+                                Json::Obj(vec![
+                                    ("code".into(), Json::Str(d.code.code().into())),
+                                    ("name".into(), Json::Str(d.code.name().into())),
+                                    ("pc".into(), Json::Num(d.pc.to_string())),
+                                    ("message".into(), Json::Str(d.message.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("oracle".into(), oracle_json(&opp)),
+            ]));
+        } else if findings.is_empty() {
+            println!(
+                "{} (seed {}): clean — {} instrs, {}/{} integration-eligible ({:.1}%), \
+                 {} reverse pairs",
+                t.label,
+                t.seed,
+                opp.total_instrs,
+                opp.integrable,
+                opp.total_instrs,
+                100.0 * opp.opportunity_fraction(),
+                opp.reverse_pairs,
+            );
+        } else {
+            println!("{} (seed {}): {} findings", t.label, t.seed, findings.len());
+            for d in &findings {
+                println!("  {d}");
+            }
+        }
+    }
+
+    if json {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("rix-lint/1".into())),
+            ("programs".into(), Json::Arr(docs)),
+            ("total_findings".into(), Json::Num(total_findings.to_string())),
+        ]);
+        println!("{}", doc.dump());
+    } else if total_findings > 0 {
+        println!("{total_findings} findings across {} programs", programs.len());
+    }
+    if total_findings > 0 {
+        std::process::exit(1);
+    }
+}

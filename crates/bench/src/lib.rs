@@ -876,7 +876,7 @@ impl Table {
             cells
                 .iter()
                 .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .map(|(c, w)| format!("{c:>w$}"))
                 .collect::<Vec<_>>()
                 .join("  ")
         };

@@ -337,7 +337,7 @@ impl It {
                 self.lrus[wi] = stamp;
                 return;
             }
-            let key_lru = if t.0 != INVALID_TAG { self.lrus[wi] } else { 0 };
+            let key_lru = if t.0 == INVALID_TAG { 0 } else { self.lrus[wi] };
             if key_lru < victim_lru {
                 victim_lru = key_lru;
                 victim = wi;

@@ -1,0 +1,26 @@
+//! The `sanity!` macro behind the simulator's invariant checks.
+//!
+//! `sanity!(cond, "name", args...)` is a named, message-bearing
+//! `assert!`: compiled in under `debug_assertions` *or* the `sanitize`
+//! feature, and folded away entirely in ordinary release builds (the
+//! `cfg!` short-circuit means the condition is never even evaluated).
+//! The name is a stable identifier for the violated invariant, so a
+//! failure report names the broken machine property rather than a line
+//! number: `sanity check failed [rob-ring-capacity]: ...`.
+//!
+//! Every check is read-only — enabling the `sanitize` feature changes
+//! how hard the machine is audited, never what it computes, so
+//! simulation results are byte-identical with and without it (the
+//! golden-determinism suite runs under the feature to prove it).
+
+/// Checks a named machine invariant in debug or `sanitize` builds.
+macro_rules! sanity {
+    ($cond:expr, $name:expr $(,)?) => {
+        sanity!($cond, $name, "invariant violated");
+    };
+    ($cond:expr, $name:expr, $($arg:tt)+) => {
+        if cfg!(any(debug_assertions, feature = "sanitize")) && !$cond {
+            panic!("sanity check failed [{}]: {}", $name, format_args!($($arg)+));
+        }
+    };
+}

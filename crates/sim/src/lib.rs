@@ -23,6 +23,14 @@
 //! * [`RunResult`] / [`SimStats`] — everything Figures 4–7 need, plus a
 //!   dependency-free [`RunResult::to_json`] for machine-readable output.
 //!
+//! The **`sanitize`** feature compiles the full per-cycle invariant
+//! checker into any profile: every named `sanity!` check (ROB/seq
+//! mirror coherence, scheduler-calendar liveness, store-queue age
+//! order, reference-count conservation) runs every cycle instead of
+//! debug builds' sampled subset. The checks are read-only, so results
+//! are byte-identical with and without the feature — the
+//! golden-determinism suite runs under it to prove exactly that.
+//!
 //! ```
 //! use rix_sim::{SimConfig, Simulator, StopReason, StopWhen};
 //! use rix_isa::{Asm, reg};
@@ -47,6 +55,9 @@
 //! assert!(r.halted);
 //! # Ok::<(), rix_isa::AsmError>(())
 //! ```
+
+#[macro_use]
+mod invariant;
 
 pub mod checkpoint;
 pub mod config;

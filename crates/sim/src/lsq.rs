@@ -92,9 +92,21 @@ impl StoreQueue {
         self.entries.is_empty()
     }
 
+    /// Sanitizer hook (see `pipeline::sanitize`): the missing-data
+    /// bookkeeping the public accessors cannot see, as (counter, wake
+    /// list length). Both must equal the number of dataless entries.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    pub(crate) fn missing_counts(&self) -> (usize, usize) {
+        (self.missing_data, self.missing.len())
+    }
+
     /// Appends a renamed store.
     pub fn push(&mut self, seq: u64, op: Opcode, data_preg: PregRef) {
-        debug_assert!(self.entries.back().is_none_or(|e| e.seq < seq));
+        sanity!(
+            self.entries.back().is_none_or(|e| e.seq < seq),
+            "store-queue-age-order",
+            "pushed store seq {seq} is not younger than the queue tail"
+        );
         self.entries.push_back(SqEntry { seq, op, addr: None, data_preg, data: None });
         self.missing_data += 1;
         self.missing.push((seq, data_preg, u64::MAX));
@@ -255,7 +267,11 @@ impl StoreQueue {
                 .binary_search_by_key(&seq, |e| e.seq)
                 .expect("missing list tracks live entries");
             let e = &mut self.entries[idx];
-            debug_assert!(e.data.is_none());
+            sanity!(
+                e.data.is_none(),
+                "store-fill-once",
+                "store seq {seq} is on the missing-data list but already has data"
+            );
             e.data = Some(value(preg));
             self.missing_data -= 1;
             self.gen += 1;

@@ -634,8 +634,8 @@ impl<'p> Simulator<'p> {
             self.do_rename();
             self.do_fetch();
         }
-        #[cfg(debug_assertions)]
-        self.assert_mirrors_in_sync();
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        self.sanitize_step();
         self.stats.rs_occupancy_sum += self.rs_used as u64;
         self.stats.rob_occupancy_sum += self.rob_len as u64;
         self.cycle += 1;
@@ -799,83 +799,6 @@ impl<'p> Simulator<'p> {
 
     // ----- helpers -------------------------------------------------------
 
-    /// Debug-build check that the seq mirror and the event-driven
-    /// scheduler lists never drift from the `DynInst` source of truth:
-    /// every in-flight instruction must sit in exactly the side
-    /// structure its state implies.
-    #[cfg(debug_assertions)]
-    fn assert_mirrors_in_sync(&self) {
-        // Membership of waiting instructions across the scheduler
-        // structures is sampled: collecting the parked seqs (per-preg
-        // waiter lists, wake calendar) every cycle would swamp the
-        // tests. Sequence numbers are never reused, so matching by seq
-        // is exact; stale (squashed) parked entries never collide with
-        // a live one.
-        let listed: Option<Vec<u64>> = (self.cycle & 63 == 0).then(|| {
-            let mut v: Vec<u64> = Vec::new();
-            v.extend(self.ready_set.iter().map(|&(k, _)| k & ((1u64 << 62) - 1)));
-            v.extend(self.wait_loads.iter().map(|&(s, ..)| s));
-            for w in &self.preg_waiters {
-                v.extend(w.iter().map(|b| b.seq));
-            }
-            for bucket in &self.wake_ring {
-                v.extend(bucket.iter().map(|b| b.seq));
-            }
-            v.extend(self.wake_far.iter().map(|&(_, b)| b.seq));
-            v
-        });
-        for i in 0..self.rob_len {
-            let d = &rob_entry!(self, i);
-            assert_eq!(d.seq, rob_seq_at!(self, i), "seq mirror drifted at rob[{i}]");
-            assert_eq!(
-                self.rob_locate(d.seq, self.rob_base + i as u64),
-                Some(i),
-                "absolute position must locate rob[{i}]"
-            );
-            match d.state {
-                State::WaitRs => {
-                    if let Some(listed) = &listed {
-                        let n = listed.iter().filter(|&&s| s == d.seq).count();
-                        assert_eq!(
-                            n, 1,
-                            "seq {} must be in exactly one issue structure",
-                            d.seq
-                        );
-                    }
-                }
-                State::WaitInt => {
-                    let n =
-                        self.pending_int.iter().filter(|&&(s, _)| s == d.seq).count();
-                    assert_eq!(n, 1);
-                }
-                State::Issued => {
-                    if d.done_at == NO_CYCLE {
-                        let n = self
-                            .pending_store_data
-                            .iter()
-                            .filter(|&&(s, _)| s == d.seq)
-                            .count();
-                        assert_eq!(n, 1);
-                    } else {
-                        let fire = d.done_at.max(self.cycle);
-                        let slot = (fire as usize) & (COMPLETION_RING - 1);
-                        let scheduled = self.completions[slot]
-                            .iter()
-                            .filter(|&&(s, _)| s == d.seq)
-                            .count()
-                            + self
-                                .completions_far
-                                .iter()
-                                .filter(|&&(_, s, _)| s == d.seq)
-                                .count();
-                        assert!(scheduled >= 1, "issued seq {} must be scheduled", d.seq);
-                    }
-                }
-                State::Done => {}
-            }
-        }
-    }
-
     fn val(&self, r: PregRef) -> u64 {
         self.phys.val[r.preg as usize]
     }
@@ -897,7 +820,12 @@ impl<'p> Simulator<'p> {
     /// a binary search rather than front-offset arithmetic.
     /// Appends a renamed entry to the ROB ring.
     fn rob_push(&mut self, d: DynInst, ckpts: (SpecCheckpoint, SpecCheckpoint)) {
-        debug_assert!(self.rob_len <= self.rob_mask, "ROB ring capacity");
+        sanity!(
+            self.rob_len <= self.rob_mask,
+            "rob-ring-capacity",
+            "pushing into a full ROB ring ({} entries)",
+            self.rob_len
+        );
         let slot = ((self.rob_base as usize).wrapping_add(self.rob_len)) & self.rob_mask;
         if slot == self.rob_slots.len() {
             self.rob_seqs.push(d.seq);
@@ -914,7 +842,12 @@ impl<'p> Simulator<'p> {
     /// Appends a fetched instruction (and its checkpoint pair) to the
     /// fetch-queue ring.
     fn fq_push(&mut self, f: Fetched, ck: (SpecCheckpoint, SpecCheckpoint)) {
-        debug_assert!(self.fq_len <= self.fq_mask, "fetch-queue ring capacity");
+        sanity!(
+            self.fq_len <= self.fq_mask,
+            "fetch-queue-ring-capacity",
+            "pushing into a full fetch-queue ring ({} entries)",
+            self.fq_len
+        );
         let slot = (self.fq_head.wrapping_add(self.fq_len)) & self.fq_mask;
         if slot == self.fq_slots.len() {
             self.fq_slots.push(f);
@@ -1325,9 +1258,10 @@ impl<'p> Simulator<'p> {
     }
 
     fn finish_rename(&mut self, d: DynInst, ck: (SpecCheckpoint, SpecCheckpoint), seq: u64) {
-        debug_assert!(
+        sanity!(
             self.rob_len == 0 || rob_entry!(self, self.rob_len - 1).seq < seq,
-            "sequence numbers strictly increase"
+            "rename-seq-monotone",
+            "renamed seq {seq} is not younger than the ROB tail"
         );
         let state = d.state;
         self.rob_push(d, ck);
@@ -1353,8 +1287,13 @@ impl<'p> Simulator<'p> {
     fn classify_waiting(&mut self, seq: u64, idx: usize) {
         let abs = self.rob_base + idx as u64;
         let d = &rob_entry!(self, idx);
-        debug_assert_eq!(d.seq, seq);
-        debug_assert_eq!(d.state, State::WaitRs);
+        sanity!(d.seq == seq, "classify-seq-match", "rob[{idx}] holds {} not {seq}", d.seq);
+        sanity!(
+            d.state == State::WaitRs,
+            "classify-state-waiting",
+            "classifying seq {seq} in state {:?}",
+            d.state
+        );
         let class = d.class;
         let readiness = self.issue_readiness(d);
         if class == ExecClass::Load {
@@ -1428,7 +1367,12 @@ impl<'p> Simulator<'p> {
             // `WaitSrc` implies `ready > cycle + regread`, so the wake
             // is strictly in the future.
             let wake = ready - self.cfg.core.regread_delay;
-            debug_assert!(wake > self.cycle);
+            sanity!(
+                wake > self.cycle,
+                "wakeup-strictly-future",
+                "parking a wake at cycle {wake}, not after {}",
+                self.cycle
+            );
             self.schedule_wake(wake, meta);
         }
     }
@@ -1459,7 +1403,11 @@ impl<'p> Simulator<'p> {
 
     /// Inserts a known-ready candidate into the sorted ready set.
     fn insert_ready(&mut self, rank: u8, seq: u64, abs: u64, pclass: u8) {
-        debug_assert!(seq < 1 << 62 && abs < 1 << 62);
+        sanity!(
+            seq < 1 << 62 && abs < 1 << 62,
+            "ready-key-width",
+            "seq {seq} / abs {abs} overflow the packed ready-set key"
+        );
         let key = (u64::from(rank) << 62) | seq;
         let payload = (abs << 2) | u64::from(pclass);
         let pos = self.ready_set.partition_point(|&(k, _)| k < key);
@@ -1663,7 +1611,12 @@ impl<'p> Simulator<'p> {
             if self.rob_locate(b.seq, b.abs).is_none() {
                 continue; // squashed while parked
             }
-            debug_assert_eq!(rob_entry!(self, (b.abs - self.rob_base) as usize).state, State::WaitRs);
+            sanity!(
+                rob_entry!(self, (b.abs - self.rob_base) as usize).state == State::WaitRs,
+                "woken-state-waiting",
+                "woken seq {} is not waiting for issue",
+                b.seq
+            );
             // Woken. Loads re-enter the poll list; others either become
             // candidates or re-park on their remaining operand — all
             // from the parked entry, without touching the DynInst.
@@ -1716,7 +1669,7 @@ impl<'p> Simulator<'p> {
             }
         }
         // `wait_loads` is kept sorted by seq, so `loads` already is.
-        debug_assert!(loads.is_sorted());
+        sanity!(loads.is_sorted(), "poll-list-sorted", "ready loads are out of age order");
 
         // Greedy in-order selection (§3.1: loads/branches/FP first, age
         // as tie-breaker) over the merge of the two sorted candidate
@@ -1937,7 +1890,11 @@ impl<'p> Simulator<'p> {
                     // Every event fires a fixed delay after its issue
                     // cycle, so firing order equals push order and the
                     // drain in `fire_due_violations` can front-pop.
-                    debug_assert!(self.events.back().is_none_or(|e| e.fire_at <= agen));
+                    sanity!(
+                        self.events.back().is_none_or(|e| e.fire_at <= agen),
+                        "violation-fifo-order",
+                        "violation event at cycle {agen} fires before the queue tail"
+                    );
                     self.events.push_back(ViolationEvent {
                         fire_at: agen,
                         load_seq,
@@ -1975,7 +1932,12 @@ impl<'p> Simulator<'p> {
             let (seq, abs) = self.pending_store_data[i];
             let idx = self.rob_locate(seq, abs).expect("pending store is in flight");
             let d = &rob_entry!(self, idx);
-            debug_assert!(d.instr.op.is_store());
+            sanity!(
+                d.instr.op.is_store(),
+                "pending-store-is-store",
+                "seq {seq} on the pending-store-data list is `{}`",
+                d.instr
+            );
             let data = d.srcs[1].expect("store has data");
             let ready = self.phys.ready_at[data.preg as usize];
             if ready == NO_CYCLE {
@@ -1993,7 +1955,11 @@ impl<'p> Simulator<'p> {
         while i < self.pending_int.len() {
             let (seq, abs) = self.pending_int[i];
             let idx = self.rob_locate(seq, abs).expect("pending integration is in flight");
-            debug_assert!(rob_entry!(self, idx).integrated);
+            sanity!(
+                rob_entry!(self, idx).integrated,
+                "pending-int-integrated",
+                "seq {seq} on the pending-integration list was never integrated"
+            );
             // The shared register is exactly the renamed destination.
             let out = rob_entry!(self, idx).dst_new.expect("value integration has a shared dst");
             if self.phys.ready_at[out.preg as usize] > cycle {
@@ -2031,8 +1997,18 @@ impl<'p> Simulator<'p> {
         due.sort_unstable();
         for &(seq, abs) in &due {
             let Some(idx) = self.rob_locate(seq, abs) else { continue };
-            debug_assert_eq!(rob_entry!(self, idx).state, State::Issued);
-            debug_assert!(rob_entry!(self, idx).done_at <= cycle);
+            sanity!(
+                rob_entry!(self, idx).state == State::Issued,
+                "completion-state-issued",
+                "completing seq {seq} in state {:?}",
+                rob_entry!(self, idx).state
+            );
+            sanity!(
+                rob_entry!(self, idx).done_at <= cycle,
+                "completion-not-early",
+                "seq {seq} completes at cycle {cycle} but is done at {}",
+                rob_entry!(self, idx).done_at
+            );
             self.complete_issued(idx, &mut squash_req);
         }
         due.clear();
@@ -2053,7 +2029,11 @@ impl<'p> Simulator<'p> {
     /// fire in the current cycle's bucket.
     #[inline]
     fn schedule_completion_at(&mut self, done_at: Cycle, floor: Cycle, seq: u64, idx: usize) {
-        debug_assert_ne!(done_at, NO_CYCLE);
+        sanity!(
+            done_at != NO_CYCLE,
+            "completion-time-known",
+            "scheduling a completion for seq {seq} with no completion time"
+        );
         let abs = self.rob_base + idx as u64;
         let fire = done_at.max(floor);
         if fire - self.cycle >= COMPLETION_RING as u64 {
@@ -2130,7 +2110,7 @@ impl<'p> Simulator<'p> {
     fn fire_due_violations(&mut self) {
         let cycle = self.cycle;
         let mut due = std::mem::take(&mut self.scratch_due);
-        debug_assert!(due.is_empty());
+        sanity!(due.is_empty(), "violation-scratch-clean", "violation scratch buffer not drained");
         while let Some(&e) = self.events.front() {
             if e.fire_at > cycle {
                 break;
@@ -2233,7 +2213,7 @@ impl<'p> Simulator<'p> {
     /// DIVA-checks and retires the ROB head. Returns `false` when
     /// retirement must stall (write buffer) or the head was flushed.
     fn retire_head(&mut self) -> bool {
-        debug_assert!(self.rob_len > 0, "caller checked");
+        sanity!(self.rob_len > 0, "retire-nonempty-rob", "retiring from an empty ROB");
         let head = &rob_entry!(self, 0);
         let instr = head.instr;
         let class = head.class;
@@ -2321,7 +2301,11 @@ impl<'p> Simulator<'p> {
                 // together with the head).
                 let (mseq, ig) =
                     self.integrated_meta.front().expect("integrated head has metadata");
-                debug_assert_eq!(*mseq, seq);
+                sanity!(
+                    *mseq == seq,
+                    "integrated-meta-front",
+                    "integrated head seq {seq} but the metadata front is {mseq}"
+                );
                 let (key, out) = (ig.key, ig.entry.out);
                 self.it.invalidate(key, out);
             } else if instr.op.is_load() {
@@ -2352,7 +2336,11 @@ impl<'p> Simulator<'p> {
             if self.needs_golden {
                 // Stores retire in order and the overlay is seq-ordered,
                 // so the retiring store's entry is the front.
-                debug_assert!(self.rename_mem.front().is_some_and(|e| e.seq == seq));
+                sanity!(
+                    self.rename_mem.front().is_some_and(|e| e.seq == seq),
+                    "rename-mem-front",
+                    "retiring store seq {seq} is not the oldest overlay entry"
+                );
                 self.rename_mem.pop_front();
             }
         }
@@ -2387,7 +2375,11 @@ impl<'p> Simulator<'p> {
         if head.integrated {
             let (mseq, ig) =
                 self.integrated_meta.pop_front().expect("integrated head has metadata");
-            debug_assert_eq!(mseq, seq);
+            sanity!(
+                mseq == seq,
+                "integrated-meta-front",
+                "integrated head seq {seq} but the metadata front is {mseq}"
+            );
             self.stats.integration.record(ig.event);
         }
         // Advance the architectural PC chain.
@@ -2450,3 +2442,10 @@ impl<'p> Simulator<'p> {
         self.halted
     }
 }
+
+// The per-cycle invariant checker, a child module so it can audit the
+// private machine state. Declared after the `rob_entry!` family so the
+// macros are in scope there.
+#[cfg(any(debug_assertions, feature = "sanitize"))]
+#[path = "sanitize.rs"]
+mod sanitize;

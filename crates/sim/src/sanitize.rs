@@ -1,0 +1,284 @@
+//! The per-cycle pipeline sanitizer: cross-structure invariants the
+//! inline `sanity!` checks cannot see from any one call site.
+//!
+//! The simulator's hot loop is event-driven: the ROB is the source of
+//! truth, and the scheduler mirrors slices of it into side structures
+//! (the ready set, the wake and completion calendars, per-preg waiter
+//! lists, the store queue, the rename map / reference-count vector).
+//! Each mirror is updated at several sites, so drift is the failure
+//! mode — an instruction parked in no structure never issues, a leaked
+//! reference count never frees its register. The checks here audit the
+//! mirrors against the ROB after every cycle:
+//!
+//! * **ROB mirror coherence** — the seq mirror matches each `DynInst`,
+//!   absolute positions locate their entries, and every waiting
+//!   instruction sits in exactly the side structure its state implies.
+//! * **Ready set** — sorted by (rank, seq), and every entry is a live
+//!   `WaitRs` instruction (squashes prune the ready set eagerly, so a
+//!   stale entry means a lost or duplicated wakeup).
+//! * **Calendar liveness** — the cycle's wake and completion buckets
+//!   are empty after the step (a leftover would sleep for a full
+//!   calendar revolution), and far-scheduled events are in the future.
+//! * **Store queue** — entries strictly age-ordered, every in-flight
+//!   store is in the ROB, and the missing-data bookkeeping agrees with
+//!   the entries themselves.
+//! * **Reference counts** — every rename-map entry points at a live
+//!   generation with a positive count, and the total reference count
+//!   equals mapped registers plus in-flight shadowed mappings
+//!   (conservation: a drifting total is a leak or a double-free).
+//!
+//! Everything here is read-only. Under the `sanitize` feature the full
+//! audit runs every cycle in any build profile; in plain debug builds
+//! the expensive whole-structure sweeps are sampled (1 cycle in 64) so
+//! the test suite stays fast. Plain release builds compile all of this
+//! away.
+
+use super::*;
+
+impl Simulator<'_> {
+    /// Runs the end-of-cycle audit. Called from [`Simulator::step`]
+    /// under `debug_assertions` or the `sanitize` feature.
+    pub(super) fn sanitize_step(&self) {
+        let full = cfg!(feature = "sanitize") || self.cycle & 63 == 0;
+        self.check_rob_mirrors(full);
+        if full {
+            self.check_ready_set();
+            self.check_store_queue();
+            self.check_refcounts();
+            if !self.halted {
+                // A halt stops the cycle mid-step before the issue
+                // stage, so the current buckets were never drained.
+                self.check_calendar();
+            }
+        }
+    }
+
+    /// The seq mirror and the event-driven scheduler lists never drift
+    /// from the `DynInst` source of truth: every in-flight instruction
+    /// must sit in exactly the side structure its state implies.
+    fn check_rob_mirrors(&self, full: bool) {
+        // Membership of waiting instructions across the scheduler
+        // structures needs the parked seqs (per-preg waiter lists, wake
+        // calendar) collected, which would swamp sampled debug runs —
+        // it is part of the full audit only. Sequence numbers are never
+        // reused, so matching by seq is exact; stale (squashed) parked
+        // entries never collide with a live one.
+        let listed: Option<Vec<u64>> = full.then(|| {
+            let mut v: Vec<u64> = Vec::new();
+            v.extend(self.ready_set.iter().map(|&(k, _)| k & ((1u64 << 62) - 1)));
+            v.extend(self.wait_loads.iter().map(|&(s, ..)| s));
+            for w in &self.preg_waiters {
+                v.extend(w.iter().map(|b| b.seq));
+            }
+            for bucket in &self.wake_ring {
+                v.extend(bucket.iter().map(|b| b.seq));
+            }
+            v.extend(self.wake_far.iter().map(|&(_, b)| b.seq));
+            v
+        });
+        for i in 0..self.rob_len {
+            let d = &rob_entry!(self, i);
+            sanity!(
+                d.seq == rob_seq_at!(self, i),
+                "rob-seq-mirror",
+                "seq mirror drifted at rob[{i}]: {} vs {}",
+                rob_seq_at!(self, i),
+                d.seq
+            );
+            sanity!(
+                self.rob_locate(d.seq, self.rob_base + i as u64) == Some(i),
+                "rob-locate-coherent",
+                "absolute position must locate rob[{i}] (seq {})",
+                d.seq
+            );
+            match d.state {
+                State::WaitRs => {
+                    if let Some(listed) = &listed {
+                        let n = listed.iter().filter(|&&s| s == d.seq).count();
+                        sanity!(
+                            n == 1,
+                            "waiting-has-one-home",
+                            "seq {} sits in {n} issue structures, not exactly one",
+                            d.seq
+                        );
+                    }
+                }
+                State::WaitInt => {
+                    let n = self.pending_int.iter().filter(|&&(s, _)| s == d.seq).count();
+                    sanity!(
+                        n == 1,
+                        "pending-int-has-one-home",
+                        "integrated seq {} sits in the pending list {n} times",
+                        d.seq
+                    );
+                }
+                State::Issued => {
+                    if d.done_at == NO_CYCLE {
+                        let n = self
+                            .pending_store_data
+                            .iter()
+                            .filter(|&&(s, _)| s == d.seq)
+                            .count();
+                        sanity!(
+                            n == 1,
+                            "dataless-store-has-one-home",
+                            "issued dataless store seq {} sits in the pending list {n} times",
+                            d.seq
+                        );
+                    } else {
+                        let fire = d.done_at.max(self.cycle);
+                        let slot = (fire as usize) & (COMPLETION_RING - 1);
+                        let scheduled = self.completions[slot]
+                            .iter()
+                            .filter(|&&(s, _)| s == d.seq)
+                            .count()
+                            + self
+                                .completions_far
+                                .iter()
+                                .filter(|&&(_, s, _)| s == d.seq)
+                                .count();
+                        sanity!(
+                            scheduled >= 1,
+                            "issued-completion-scheduled",
+                            "issued seq {} has no completion event for cycle {fire}",
+                            d.seq
+                        );
+                    }
+                }
+                State::Done => {}
+            }
+        }
+    }
+
+    /// The ready set is sorted by its (rank, seq) key and contains only
+    /// live `WaitRs` instructions (squash prunes it eagerly).
+    fn check_ready_set(&self) {
+        let mut prev = None;
+        for &(key, payload) in &self.ready_set {
+            sanity!(
+                prev.is_none_or(|p| p < key),
+                "ready-set-sorted",
+                "ready-set keys out of order: {prev:?} then {key}"
+            );
+            prev = Some(key);
+            let seq = key & ((1u64 << 62) - 1);
+            let abs = payload >> 2;
+            let Some(idx) = self.rob_locate(seq, abs) else {
+                sanity!(false, "ready-set-live", "ready seq {seq} is not in flight");
+                continue;
+            };
+            sanity!(
+                rob_entry!(self, idx).state == State::WaitRs,
+                "ready-set-state",
+                "ready seq {seq} is {:?}, not WaitRs",
+                rob_entry!(self, idx).state
+            );
+        }
+    }
+
+    /// No lost wakeups: the bucket the cycle just drained is empty
+    /// again (anything left would sleep for a whole calendar
+    /// revolution), and every far-scheduled event is strictly future.
+    fn check_calendar(&self) {
+        let slot = (self.cycle as usize) & (COMPLETION_RING - 1);
+        sanity!(
+            self.wake_ring[slot].is_empty(),
+            "wake-bucket-drained",
+            "{} wakeups left behind in cycle {}'s bucket",
+            self.wake_ring[slot].len(),
+            self.cycle
+        );
+        sanity!(
+            self.completions[slot].is_empty(),
+            "completion-bucket-drained",
+            "{} completions left behind in cycle {}'s bucket",
+            self.completions[slot].len(),
+            self.cycle
+        );
+        for &(t, b) in &self.wake_far {
+            sanity!(
+                t > self.cycle,
+                "wake-far-future",
+                "far wake for seq {} at cycle {t} is not in the future",
+                b.seq
+            );
+        }
+        for &(t, seq, _) in &self.completions_far {
+            sanity!(
+                t > self.cycle,
+                "completion-far-future",
+                "far completion for seq {seq} at cycle {t} is not in the future"
+            );
+        }
+    }
+
+    /// Store-queue entries are strictly age-ordered, belong to
+    /// in-flight instructions, and the missing-data bookkeeping (the
+    /// counter and the wake list) agrees with the entries.
+    fn check_store_queue(&self) {
+        let mut prev = None;
+        let mut dataless = 0usize;
+        for e in self.sq.iter() {
+            sanity!(
+                prev.is_none_or(|p| p < e.seq),
+                "store-queue-age-order",
+                "store queue out of age order: {prev:?} then {}",
+                e.seq
+            );
+            prev = Some(e.seq);
+            if e.data.is_none() {
+                dataless += 1;
+            }
+            sanity!(
+                self.rob_index(e.seq).is_some(),
+                "store-queue-live",
+                "store seq {} is queued but not in flight",
+                e.seq
+            );
+        }
+        let (counter, wake_list) = self.sq.missing_counts();
+        sanity!(
+            counter == dataless && wake_list == dataless,
+            "store-queue-missing-data",
+            "{dataless} dataless stores, but counter says {counter} and the wake list {wake_list}"
+        );
+    }
+
+    /// Reference-count conservation: every rename-map entry points at a
+    /// live generation with a positive count, and the total reference
+    /// count equals mapped registers plus in-flight shadowed mappings.
+    /// A drifting total is a leaked or double-freed register — the §2.2
+    /// sharing discipline depends on exact counts.
+    fn check_refcounts(&self) {
+        let mut expected = 0u64;
+        for (log, p) in self.map.iter() {
+            let snap = self.refvec.snapshot(p.preg);
+            sanity!(
+                snap.gen == p.gen,
+                "map-generation-live",
+                "{log} maps to p{} gen {}, but the register is at gen {}",
+                p.preg,
+                p.gen,
+                snap.gen
+            );
+            sanity!(
+                snap.count > 0,
+                "map-entry-counted",
+                "{log} maps to p{}, whose reference count is zero",
+                p.preg
+            );
+            expected += 1;
+        }
+        for i in 0..self.rob_len {
+            if rob_entry!(self, i).dst_old.is_some() {
+                expected += 1;
+            }
+        }
+        let total = self.refvec.total_count();
+        sanity!(
+            total == expected,
+            "refcount-conservation",
+            "total reference count {total} != {expected} (mapped + in-flight shadowed)"
+        );
+    }
+}

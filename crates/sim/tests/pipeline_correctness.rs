@@ -70,7 +70,7 @@ fn loop_sum() -> Program {
     a.subq_i(reg::R1, reg::R1, 1);
     a.bne(reg::R1, "loop");
     a.halt();
-    a.assemble().unwrap()
+    a.assemble().expect("fixture assembles")
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn call_tree() -> Program {
     a.ldq(reg::S0, 16, reg::SP); // callee restore
     a.lda(reg::SP, 32, reg::SP); // frame pop
     a.ret();
-    a.assemble().unwrap()
+    a.assemble().expect("fixture assembles")
 }
 
 #[test]
@@ -154,7 +154,7 @@ fn store_load_conflict() -> Program {
     a.subq_i(reg::R1, reg::R1, 1);
     a.bne(reg::R1, "loop");
     a.halt();
-    a.assemble().unwrap()
+    a.assemble().expect("fixture assembles")
 }
 
 #[test]
@@ -220,7 +220,7 @@ fn unpredictable_branches() -> Program {
     a.subq_i(reg::R2, reg::R2, 1);
     a.bne(reg::R2, "loop");
     a.halt();
-    a.assemble().unwrap()
+    a.assemble().expect("fixture assembles")
 }
 
 #[test]

@@ -119,7 +119,11 @@ impl<'s> Gen<'s> {
     fn build(mut self) -> Program {
         self.emit_init();
         self.emit_outer_loop();
-        for f in 0..self.spec.num_funcs {
+        // Emit only the functions some call site actually reaches: the
+        // roots the outer loop calls, closed under the fn_i → fn_{i+roots}
+        // chain. Emitting the rest would assemble dead code that never
+        // runs (rix-analysis flags it as RIX002 `unreachable-block`).
+        for f in self.reachable_funcs() {
             self.emit_function(f);
         }
         if self.spec.recursion.is_some() {
@@ -129,10 +133,37 @@ impl<'s> Gen<'s> {
         self.a.assemble().expect("generated labels are consistent")
     }
 
+    /// Function indices reachable from the outer loop's call sites,
+    /// in emission (ascending) order. Mirrors [`Gen::emit_function`]'s
+    /// `calls_next` chain rule exactly.
+    fn reachable_funcs(&self) -> Vec<usize> {
+        let s = self.spec;
+        let roots = self.roots();
+        let mut live = vec![false; s.num_funcs];
+        if s.num_funcs > 0 {
+            for c in 0..s.calls_per_iter {
+                let mut idx = c % roots;
+                while idx < s.num_funcs && !live[idx] {
+                    live[idx] = true;
+                    let my_depth = 1 + idx / roots;
+                    if my_depth >= s.nest_depth {
+                        break;
+                    }
+                    idx += roots;
+                }
+            }
+        }
+        (0..s.num_funcs).filter(|&i| live[i]).collect()
+    }
+
     fn emit_init(&mut self) {
         let s = self.spec;
         let a = &mut self.a;
-        a.addq_i(R0, reg::ZERO, 0);
+        // All rotating accumulators (r0 included) start at zero: they are
+        // read-modify-written from the first body block on.
+        for &acc in &ACCS {
+            a.addq_i(acc, reg::ZERO, 0);
+        }
         a.addq_i(RNG, reg::ZERO, (0x0025_450d ^ (s.num_funcs as i32) << 4) | 1);
         // Region bases are built with shifts so they exceed the 16-bit
         // immediate range idiomatically.
@@ -148,6 +179,11 @@ impl<'s> Gen<'s> {
         // Callee-saved locals the functions will save/clobber/restore.
         for (i, &sr) in [reg::S0, reg::S1, reg::S2, reg::S3, reg::S4].iter().enumerate() {
             a.addq_i(sr, reg::ZERO, 11 * (i as i32 + 1));
+        }
+        // Caller-saved scratch: call sites spill these around every call,
+        // so they must hold defined values before the first call site.
+        for (i, &t) in [T7, T8, T22].iter().enumerate() {
+            a.addq_i(t, reg::ZERO, 3 * (i as i32 + 1));
         }
         a.addq_i(OUTER, reg::ZERO, i32::MAX); // effectively endless
         a.label("outer");

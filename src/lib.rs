@@ -17,6 +17,8 @@
 //! * [`mem`] — the cache/TLB/bus memory hierarchy,
 //! * [`frontend`] — branch prediction and fetch,
 //! * [`integration`] — the integration table, reference-count vector, LISP,
+//! * [`analysis`] — static analysis over programs: CFG, dataflow, the
+//!   `RIXnnn` lints, and the integration-opportunity oracle,
 //! * [`sim`] — the out-of-order pipeline with DIVA verification, driven
 //!   through resumable sessions (`step` / `run_until` / `reset_stats`),
 //! * [`workloads`] — synthetic SPEC2000int-like benchmark programs,
@@ -211,7 +213,44 @@
 //! `ParamSpace` (axes compose, labels derive, zip expresses tied
 //! fields), and experiments worth committing are better said as spec
 //! files: data that `exp` can run, validate and fingerprint.
+//!
+//! ## Lint a generated workload, then run it
+//!
+//! Every simulated data point starts life as a generated program, and a
+//! generator bug — a read-before-write, an unreachable block, a missing
+//! `halt` — silently becomes a bogus result. The [`analysis`] layer
+//! vets a program *before* the simulator burns cycles on it, and its
+//! static integration-opportunity oracle bounds the integration-table
+//! hits any run of that program can produce (the `lint` binary wraps
+//! the same calls for the command line, and `exp --dry-run` lints every
+//! benchmark a spec references):
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! let program = by_name("vortex").expect("known workload").build(7);
+//!
+//! // 1. Lint: the shipped workloads are clean. A finding carries a
+//! //    stable code, the PC, and a rendered message.
+//! let findings = lint_program(&program);
+//! assert!(findings.is_empty(), "{findings:?}");
+//!
+//! // 2. The static oracle: most static instructions are integration
+//! //    eligible, and some are reverse-integration pairs (§2.4 saves
+//! //    paired with restores).
+//! let opp = analyze_program(&program);
+//! assert!(opp.opportunity_fraction() > 0.5);
+//! assert!(opp.reverse_pairs > 0);
+//!
+//! // 3. Run it: the dynamic IT hit count is below the oracle's bound —
+//! //    a machine-checked link between the static and dynamic views.
+//! let r = Simulator::new(&program, SimConfig::default()).run(20_000);
+//! let hits = r.stats.integration.integrations();
+//! assert!(hits > 0);
+//! assert!(hits <= opp.hit_bound(r.stats.retired));
+//! ```
 
+pub use rix_analysis as analysis;
 pub use rix_bench as bench;
 pub use rix_frontend as frontend;
 pub use rix_integration as integration;
@@ -230,6 +269,9 @@ pub use rix_workloads as workloads;
 /// program). The interpreter's type is re-exported under the `Interp`
 /// prefix so the two never shadow each other.
 pub mod prelude {
+    pub use rix_analysis::{
+        analyze_program, lint_program, Cfg, Dataflow, Diagnostic, LintCode, Opportunity,
+    };
     pub use rix_bench::{
         checkpoint_path, trials_json, Axis, AxisValue, ExperimentSpec, Harness, ParamSpace,
         Sweep, Trial, WarmupMode,

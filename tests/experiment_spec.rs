@@ -137,7 +137,7 @@ fn spec_run_equals_the_equivalent_hand_built_sweep() {
 fn temp_dir(tag: &str) -> String {
     let dir = std::env::temp_dir().join(format!("rix-exp-test-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
-    dir.to_str().unwrap().to_string()
+    dir.to_str().expect("utf-8 temp path").to_string()
 }
 
 #[test]

@@ -94,7 +94,7 @@ fn mcf_is_memory_bound_and_gains_least() {
     let full = run("mcf", SimConfig::default());
     let mcf_gain = full.ipc() / base.ipc() - 1.0;
     assert!(base.ipc() < 0.6, "mcf is memory bound: IPC {:.2}", base.ipc());
-    assert!(mcf_gain.abs() < 0.02, "mcf speedup is tiny: {:.3}", mcf_gain);
+    assert!(mcf_gain.abs() < 0.02, "mcf speedup is tiny: {mcf_gain:.3}");
     assert!(
         full.stats.integration.rate() > 0.05,
         "…even though it integrates plenty: {:.3}",
@@ -142,8 +142,7 @@ fn low_associativity_degrades_gracefully() {
     }
     assert!(
         ipcs[0] > ipcs[2] * 0.93,
-        "direct-mapped keeps most of the benefit: {:?}",
-        ipcs
+        "direct-mapped keeps most of the benefit: {ipcs:?}",
     );
 }
 

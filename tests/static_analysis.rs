@@ -1,0 +1,210 @@
+//! The static-analysis layer against the shipped workloads, plus a
+//! fixture pinning every stable diagnostic code to a minimal offending
+//! program.
+//!
+//! The oracle half is the load-bearing part: for every workload under
+//! both the baseline and the full-integration machine, the *static*
+//! integration-opportunity bound must dominate the *dynamic* IT hit
+//! count — a machine-checked link between `rix-analysis`' CFG/dataflow
+//! view of a program and what the pipeline actually did with it.
+
+use rix::prelude::*;
+
+const BUDGET: u64 = 25_000;
+
+fn has_code(program: &Program, code: LintCode) -> bool {
+    lint_program(program).iter().any(|d| d.code == code)
+}
+
+// --- fixture: one minimal offending program per diagnostic code -------
+
+#[test]
+fn rix001_read_before_write() {
+    let mut a = Asm::new();
+    a.addq(reg::R2, reg::R1, reg::R1); // r1 never written
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::ReadBeforeWrite));
+}
+
+#[test]
+fn rix001_flags_one_armed_writes() {
+    // r2 is written on only one arm of the hammock, then read after the
+    // join: not definitely assigned.
+    let mut a = Asm::new();
+    a.addq_i(reg::R1, reg::ZERO, 1);
+    a.beq(reg::R1, "else");
+    a.addq_i(reg::R2, reg::ZERO, 2);
+    a.label("else");
+    a.addq(reg::R3, reg::R2, reg::R2);
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::ReadBeforeWrite));
+}
+
+#[test]
+fn rix002_unreachable_block() {
+    let mut a = Asm::new();
+    a.br("end");
+    a.addq_i(reg::R1, reg::ZERO, 1); // jumped over, no path reaches it
+    a.label("end");
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::UnreachableBlock));
+}
+
+#[test]
+fn rix003_no_reachable_halt() {
+    let mut a = Asm::new();
+    a.label("spin");
+    a.br("spin");
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::NoReachableHalt));
+}
+
+#[test]
+fn rix004_branch_on_never_written() {
+    let mut a = Asm::new();
+    a.beq(reg::LogReg::int(7), "skip"); // r7 has no definition anywhere
+    a.nop();
+    a.label("skip");
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::BranchOnNeverWritten));
+}
+
+#[test]
+fn rix005_const_addr_outside_segments() {
+    let mut a = Asm::new();
+    a.addq_i(reg::R1, reg::ZERO, 0x2000);
+    a.ldq(reg::R2, 0, reg::R1); // constant 0x2000: no segment, no store
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::ConstAddrOutOfBounds));
+}
+
+#[test]
+fn rix005_suppressed_by_covering_store() {
+    // The generator's conflict-pair idiom: constant-address store first,
+    // then the load of the same word. Not a finding.
+    let mut a = Asm::new();
+    a.addq_i(reg::R1, reg::ZERO, 0x2000);
+    a.stq(reg::R1, 0, reg::R1);
+    a.ldq(reg::R2, 0, reg::R1);
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(!has_code(&p, LintCode::ConstAddrOutOfBounds));
+}
+
+#[test]
+fn rix006_misaligned_const_access() {
+    let mut a = Asm::new();
+    a.data(0x1000, (0..512).collect::<Vec<u64>>());
+    a.addq_i(reg::R1, reg::ZERO, 0x1001);
+    a.ldq(reg::R2, 3, reg::R1); // constant 0x1004: not 8-byte aligned
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::MisalignedConstAccess));
+    assert!(!has_code(&p, LintCode::ConstAddrOutOfBounds), "it is inside the segment");
+}
+
+#[test]
+fn rix007_falls_off_end() {
+    let mut a = Asm::new();
+    a.addq_i(reg::R1, reg::ZERO, 1); // no halt, no branch: runs off
+    let p = a.assemble().unwrap();
+    assert!(has_code(&p, LintCode::FallsOffEnd));
+}
+
+#[test]
+fn every_code_is_pinned_and_distinct() {
+    let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+    assert_eq!(
+        codes,
+        ["RIX001", "RIX002", "RIX003", "RIX004", "RIX005", "RIX006", "RIX007"]
+    );
+}
+
+// --- the shipped workloads lint clean ---------------------------------
+
+#[test]
+fn all_workloads_lint_clean_across_seeds() {
+    for seed in [1, 7, 42] {
+        for b in all_benchmarks() {
+            let p = b.build(seed);
+            let findings = lint_program(&p);
+            assert!(
+                findings.is_empty(),
+                "{} (seed {seed}) has lint findings:\n{}",
+                b.name,
+                findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+            );
+        }
+    }
+}
+
+// --- the integration-opportunity oracle vs. dynamic IT stats ----------
+
+/// Per-PC execution counts of the first `retired` architectural steps,
+/// from the reference interpreter (which retires the same stream as the
+/// detailed simulator — see tests/arch_equivalence.rs).
+fn profile(program: &Program, stack_top: u64, retired: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; program.len()];
+    let mut interp = Interp::new(program, stack_top);
+    for _ in 0..retired {
+        if interp.halted() {
+            break;
+        }
+        let pc = usize::try_from(interp.pc()).expect("pc fits in usize");
+        counts[pc] += 1;
+        interp.run(1);
+    }
+    counts
+}
+
+#[test]
+fn static_bound_dominates_dynamic_hits_all_workloads_both_configs() {
+    for b in all_benchmarks() {
+        let program = b.build(7);
+        let opp = analyze_program(&program);
+        assert!(opp.integrable > 0, "{}", b.name);
+        for (label, cfg) in [("base", SimConfig::baseline()), ("integration", SimConfig::default())]
+        {
+            let stack_top = cfg.stack_top;
+            let r = Simulator::new(&program, cfg).run(BUDGET);
+            let hits = r.stats.integration.integrations();
+            let retired = r.stats.retired;
+            assert!(
+                hits <= opp.hit_bound(retired),
+                "{}/{label}: {hits} dynamic hits exceed the static bound {} ({} retired)",
+                b.name,
+                opp.hit_bound(retired),
+                retired
+            );
+            // The profile-weighted bound is the tight one: total
+            // retirements of integration-eligible PCs.
+            let weighted = opp.weighted_bound(&profile(&program, stack_top, retired));
+            assert!(
+                hits <= weighted,
+                "{}/{label}: {hits} dynamic hits exceed the profile-weighted bound {weighted}",
+                b.name,
+            );
+            assert!(
+                weighted <= retired,
+                "{}/{label}: eligible retirements cannot exceed retirements",
+                b.name,
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_reports_reverse_pairs_for_call_heavy_workloads() {
+    // vortex is the paper's stack-traffic showcase: callee saves pair
+    // with restores, frame pushes pair with pops.
+    let p = by_name("vortex").unwrap().build(7);
+    let opp = analyze_program(&p);
+    assert!(opp.reverse_sources > 0);
+    assert!(opp.reverse_pairs > 0);
+    assert!(opp.opportunity_fraction() > 0.4, "{}", opp.opportunity_fraction());
+}
