@@ -27,6 +27,7 @@ const PIPE_DEPTHS: [u64; 4] = [0, 2, 4, 8];
 const REV_SCOPES: [&str; 3] = ["off", "stack pointer", "all invertible"];
 
 fn main() {
+    rix_bench::dispatch::maybe_worker();
     let h = Harness::from_args();
     let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
     let ncfg = spec.arms().expect("spec parsed").len();

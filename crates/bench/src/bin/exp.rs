@@ -6,15 +6,22 @@
 //!
 //! ```text
 //! exp run <spec.json> [--dry-run | --list-arms] [harness flags]
+//! exp worker            (internal: dispatch worker over stdin/stdout)
 //! ```
 //!
 //! * `exp run spec.json` — run the experiment; print a long-form result
 //!   table (bench × arm, IPC and counts).
 //! * `--dry-run` — parse and validate the spec (arms materialised,
-//!   benchmarks resolved, sweep shape checked), print its summary and
-//!   fingerprint, run nothing. Checkpoint files are *not* required to
-//!   exist for a dry run.
+//!   benchmarks resolved, sweep shape checked, checkpoint warm-up files
+//!   present — missing snapshots are named), print its summary and
+//!   fingerprint, run nothing.
 //! * `--list-arms` — print every materialised arm label in grid order.
+//! * `--workers N` — shard the grid across N worker processes
+//!   (re-execing this binary); trials are byte-identical to an
+//!   in-process run.
+//! * `--cache DIR` — content-addressed trial cache: re-runs simulate
+//!   only cells whose inputs changed; the result document grows a
+//!   `cache` section.
 //! * `--json` — print the `rix-exp-result/1` document (canonical spec +
 //!   fingerprint + trial records) instead of the table.
 //! * `--output FILE` — also write that document to FILE (the table
@@ -26,13 +33,17 @@
 //! run. Results embed the spec fingerprint, so a record names exactly
 //! the experiment that produced it.
 
-use rix_bench::{trials_json, ExperimentSpec, Harness, Table, Trial};
+use rix_bench::{
+    trials_json, DispatchOptions, DispatchReport, ExperimentSpec, Harness, Table, Trial,
+};
 
 const EXP_USAGE: &str = "\
 usage: exp run <spec.json> [flags]\n\
+\x20      exp worker   (internal: dispatch worker, speaks rix-dispatch/1 on stdio)\n\
 \n\
 exp-specific flags:\n\
-\x20 --dry-run               validate the spec and print its summary; run nothing\n\
+\x20 --dry-run               validate the spec (incl. checkpoint files) and print\n\
+\x20                         its summary; run nothing\n\
 \x20 --list-arms             print the materialised arm labels; run nothing\n\
 \n\
 plus the shared harness flags (see below); explicitly-given\n\
@@ -43,21 +54,36 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn result_doc(spec: &ExperimentSpec, trials: &[Trial]) -> String {
+fn result_doc(spec: &ExperimentSpec, trials: &[Trial], report: Option<&DispatchReport>) -> String {
     use rix_isa::json::Json;
+    // The `cache` section appears only when a cache is in use, so the
+    // document stays byte-identical across worker counts (and across
+    // fault histories) whenever no cache directory is given.
+    let cache = report.map_or_else(String::new, |r| {
+        format!(
+            "\n  \"cache\":{{\"hits\":{},\"misses\":{}}},",
+            r.cache_hits, r.simulated
+        )
+    });
     format!(
         "{{\n  \"schema\":\"rix-exp-result/1\",\n  \"name\":{},\n  \
-         \"spec_fingerprint\":\"{}\",\n  \"spec\":{},\n  \"trials\":{}\n}}",
+         \"spec_fingerprint\":\"{}\",\n  \"spec_fingerprint_fnv64\":\"{:#018x}\",\n  \
+         \"spec\":{},{}\n  \"trials\":{}\n}}",
         spec.name
             .as_ref()
             .map_or_else(|| "null".to_string(), |n| Json::Str(n.clone()).dump()),
         spec.fingerprint_hex(),
+        spec.fingerprint(),
         spec.to_json(),
+        cache,
         trials_json(trials),
     )
 }
 
 fn main() {
+    // A coordinator re-execs this binary with the internal worker
+    // argument; check before any user-facing parsing.
+    rix_bench::dispatch::maybe_worker();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!("{EXP_USAGE}\n\n{}", Harness::usage());
@@ -66,8 +92,13 @@ fn main() {
     if raw.is_empty() {
         fail("no command given");
     }
+    if raw[0] == "worker" {
+        // The documented spelling of the worker entry point (the
+        // coordinator itself uses the internal argv[1] marker).
+        rix_bench::dispatch::worker_main();
+    }
     if raw[0] != "run" {
-        fail(&format!("unknown command `{}` (expected `run`)", raw[0]));
+        fail(&format!("unknown command `{}` (expected `run` or `worker`)", raw[0]));
     }
     let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
         fail("`exp run` needs a spec file path");
@@ -112,9 +143,14 @@ fn main() {
     }
     if dry_run {
         // Validate the static sweep shape too (duplicate labels, empty
-        // grids, …) — everything short of running or touching
-        // checkpoint files.
+        // grids, …) and — under checkpoint warm-up — that every
+        // benchmark's snapshot file actually exists, naming any missing
+        // paths, so a scheduled run cannot fail hours in on a typo'd
+        // checkpoint directory.
         if let Err(msg) = sweep.validate() {
+            fail(&msg);
+        }
+        if let Err(msg) = sweep.validate_checkpoint_files() {
             fail(&msg);
         }
         // Count what this invocation would actually run: the spec's
@@ -157,11 +193,23 @@ fn main() {
         return;
     }
 
-    let trials = match sweep.try_run() {
-        Ok(t) => t,
-        Err(msg) => fail(&msg),
+    let (trials, report) = if h.workers > 0 || h.cache.is_some() {
+        match sweep.run_distributed(&DispatchOptions::from_harness(&h)) {
+            Ok((t, r)) => {
+                eprintln!("dispatch: {}", r.summary());
+                (t, Some(r))
+            }
+            Err(msg) => fail(&msg),
+        }
+    } else {
+        match sweep.try_run() {
+            Ok(t) => (t, None),
+            Err(msg) => fail(&msg),
+        }
     };
-    let doc = result_doc(&spec, &trials);
+    // The cache section only exists when a cache is in use.
+    let cache_report = report.filter(|_| h.cache.is_some());
+    let doc = result_doc(&spec, &trials, cache_report.as_ref());
     if let Some(out) = &h.output {
         if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
             fail(&format!("cannot write `{out}`: {e}"));

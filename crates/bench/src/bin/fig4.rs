@@ -20,6 +20,7 @@ use rix_bench::{amean, gmean_speedup, speedup_pct, ExperimentSpec, Harness, Tabl
 const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig4.json"));
 
 fn main() {
+    rix_bench::dispatch::maybe_worker();
     let h = Harness::from_args();
     let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
     let ncfg = spec.arms().expect("spec parsed").len();

@@ -28,6 +28,7 @@ fn pct(n: u64, d: u64) -> String {
 }
 
 fn main() {
+    rix_bench::dispatch::maybe_worker();
     let h = Harness::from_args();
     let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
     rix_bench::expect_arm_count("fig5", spec.arms().expect("spec parsed").len(), 1);

@@ -21,6 +21,7 @@ const N_ASSOC: usize = 4;
 const N_SIZE: usize = 4;
 
 fn main() {
+    rix_bench::dispatch::maybe_worker();
     let h = Harness::from_args();
     let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
     let ncfg = spec.arms().expect("spec parsed").len();

@@ -22,6 +22,7 @@ const SPEC: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../spec
 const N_CORES: usize = 4;
 
 fn main() {
+    rix_bench::dispatch::maybe_worker();
     let h = Harness::from_args();
     let (spec, trials) = ExperimentSpec::run_embedded(SPEC, &h);
     let ncfg = spec.arms().expect("spec parsed").len();

@@ -1,0 +1,642 @@
+//! Multi-process sweep execution and the trial cache — the bench-side
+//! glue over the generic [`rix_dispatch`] pool.
+//!
+//! A [`crate::Sweep`] serialises to a `rix-dispatch-plan/1` document
+//! (benchmark names, labelled configs as full canonical JSON, budgets,
+//! seed, warm-up policy); the coordinator ships the plan to every
+//! worker in the `init` message and assigns **cells** — bench-major
+//! grid indices, `cell = bench_idx * narms + arm_idx`, exactly
+//! [`crate::Sweep`]'s trial order. Workers rebuild programs and warm-up
+//! state lazily per benchmark row (including loading the same
+//! `rix-ckpt/1` snapshot files under [`crate::WarmupMode::Checkpoint`],
+//! program-hash-verified like the in-process path) and send back
+//! losslessly-serialised [`rix_sim::RunResult`]s, so the merged trials
+//! are **byte-identical** to a single-process [`crate::Sweep::try_run`]
+//! for every worker count.
+//!
+//! ## The cache (`--cache DIR`)
+//!
+//! With a cache directory set, every cell is first looked up by the
+//! 128-bit content hash of its `rix-cell/1` descriptor: benchmark,
+//! seed, arm label, the arm's **full canonical config JSON**, budgets,
+//! warm-up policy and stop condition — plus the checkpoint *file
+//! content hash* under checkpoint warm-up, so re-saving a snapshot
+//! invalidates the cells that forked from it. Keying each cell by its
+//! own content (rather than the whole spec's fingerprint) is what makes
+//! invalidation exact: editing one arm re-simulates only that arm's
+//! cells, and unrelated specs sharing identical cells share entries.
+//! Entry writes are atomic (temp file + rename) and corrupt entries
+//! read as misses — see [`rix_dispatch::cache`].
+//!
+//! Wall-clock time is not cached (a reused trial reports zero), which
+//! is why [`crate::Trial::to_json`] — and therefore every result
+//! document — deliberately excludes it.
+//!
+//! ## Fault injection (tests)
+//!
+//! `RIX_DISPATCH_FAULT=abort:K` makes worker `K` abort before running
+//! its first cell; `stall:K` makes it hang (exercising the per-cell
+//! deadline, tunable via `RIX_DISPATCH_TIMEOUT_SECS`; the retry budget
+//! via `RIX_DISPATCH_RETRIES`). The variables only affect worker
+//! processes, which inherit the coordinator's environment.
+
+use crate::{measure_cell, Harness, Sweep, Trial, WarmupMode};
+use rix_dispatch::{ResultCache, WORKER_ARG};
+use rix_isa::interp::Interp;
+use rix_isa::json::Json;
+use rix_isa::{ArchState, Program};
+use rix_sim::{Checkpoint, RunResult, SimConfig, StopWhen};
+use rix_workloads::Benchmark;
+use std::time::Duration;
+
+/// The plan document schema shipped to workers.
+pub const PLAN_SCHEMA: &str = "rix-dispatch-plan/1";
+/// The cache-key descriptor schema (hashed, never stored).
+pub const CELL_SCHEMA: &str = "rix-cell/1";
+
+/// How a distributed run executes: worker processes, cache, fault
+/// tolerance budgets.
+#[derive(Clone, Debug)]
+pub struct DispatchOptions {
+    /// Worker processes (0 = execute misses in this process).
+    pub workers: usize,
+    /// Trial cache directory (`None` = simulate everything).
+    pub cache: Option<String>,
+    /// Per-cell deadline before a worker is presumed hung.
+    pub cell_timeout: Duration,
+    /// Retries per cell after a worker death or timeout.
+    pub retries: u32,
+}
+
+impl Default for DispatchOptions {
+    fn default() -> Self {
+        Self { workers: 0, cache: None, cell_timeout: Duration::from_secs(300), retries: 2 }
+    }
+}
+
+impl DispatchOptions {
+    /// The options a [`Harness`] command line implies: `--workers` and
+    /// `--cache`, with the deadline and retry budget overridable via
+    /// the `RIX_DISPATCH_TIMEOUT_SECS` / `RIX_DISPATCH_RETRIES`
+    /// environment variables (primarily for tests that need a short
+    /// hang deadline).
+    #[must_use]
+    pub fn from_harness(h: &Harness) -> Self {
+        let mut opts =
+            Self { workers: h.workers, cache: h.cache.clone(), ..Self::default() };
+        if let Some(secs) = env_u64("RIX_DISPATCH_TIMEOUT_SECS") {
+            opts.cell_timeout = Duration::from_secs(secs.max(1));
+        }
+        if let Some(r) = env_u64("RIX_DISPATCH_RETRIES") {
+            opts.retries = u32::try_from(r).unwrap_or(u32::MAX);
+        }
+        opts
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// What a distributed run did: the split between simulated and reused
+/// cells, and the pool's fault history. Reported on stderr (and in the
+/// `exp` result document's `cache` section when a cache is in use) —
+/// never inside trial records, which stay byte-stable across worker
+/// counts and fault histories.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// Grid cells in the run.
+    pub cells: usize,
+    /// Cells actually simulated (cache misses, or everything without a
+    /// cache).
+    pub simulated: usize,
+    /// Cells reused from the cache.
+    pub cache_hits: usize,
+    /// Worker processes spawned (0 for an in-process run).
+    pub workers_spawned: usize,
+    /// Workers lost to death or deadline.
+    pub workers_lost: usize,
+    /// Cell assignments retried after a loss.
+    pub retries: u64,
+}
+
+impl DispatchReport {
+    /// One-line summary for stderr progress reporting.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} cells: {} simulated, {} cache hits",
+            self.cells, self.simulated, self.cache_hits
+        );
+        if self.workers_spawned > 0 {
+            s.push_str(&format!(", {} workers", self.workers_spawned));
+        }
+        if self.workers_lost > 0 {
+            s.push_str(&format!(
+                " ({} lost, {} cell retries)",
+                self.workers_lost, self.retries
+            ));
+        }
+        s
+    }
+}
+
+// ----- the worker-side plan ---------------------------------------------
+
+/// A parsed `rix-dispatch-plan/1`: everything a worker needs to run any
+/// cell of the grid.
+struct Plan {
+    benchmarks: Vec<Benchmark>,
+    arms: Vec<(String, SimConfig)>,
+    instructions: u64,
+    warmup: u64,
+    warmup_mode: WarmupMode,
+    seed: u64,
+    stop: Option<StopWhen>,
+}
+
+fn plan_json(sweep: &Sweep) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("schema".into(), Json::Str(PLAN_SCHEMA.into())),
+        (
+            "benchmarks".into(),
+            Json::Arr(sweep.benchmarks.iter().map(|b| Json::Str(b.name.into())).collect()),
+        ),
+        ("seed".into(), Json::Num(sweep.seed.to_string())),
+        ("instructions".into(), Json::Num(sweep.instructions.to_string())),
+        ("warmup".into(), Json::Num(sweep.warmup.to_string())),
+        ("warmup_mode".into(), crate::spec::warmup_mode_json(&sweep.warmup_mode)),
+    ];
+    if let Some(stop) = &sweep.stop {
+        let parsed = Json::parse(&stop.to_json()).expect("StopWhen::to_json is well-formed");
+        fields.push(("stop".into(), parsed));
+    }
+    let arms = sweep
+        .configs
+        .iter()
+        .map(|(label, cfg)| {
+            let config =
+                Json::parse(&cfg.to_json()).expect("SimConfig::to_json is well-formed");
+            Json::Obj(vec![
+                ("label".into(), Json::Str(label.clone())),
+                ("config".into(), config),
+            ])
+        })
+        .collect();
+    fields.push(("arms".into(), Json::Arr(arms)));
+    Json::Obj(fields)
+}
+
+fn plan_from_json(v: &Json) -> Result<Plan, String> {
+    match v.get("schema").and_then(Json::as_str) {
+        Some(PLAN_SCHEMA) => {}
+        other => return Err(format!("unsupported dispatch plan schema {other:?}")),
+    }
+    let benchmarks = v
+        .req("benchmarks")?
+        .as_arr()
+        .ok_or("plan `benchmarks` must be an array")?
+        .iter()
+        .map(|b| {
+            let name = b.as_str().ok_or("plan benchmark names must be strings")?;
+            rix_workloads::lookup(name)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let warmup_mode = crate::spec::parse_warmup_mode(v.req("warmup_mode")?)?;
+    let stop = v
+        .get("stop")
+        .map(|s| StopWhen::from_json_value(s).map_err(|e| format!("plan stop: {e}")))
+        .transpose()?;
+    let arms = v
+        .req("arms")?
+        .as_arr()
+        .ok_or("plan `arms` must be an array")?
+        .iter()
+        .map(|a| {
+            let label =
+                a.req("label")?.as_str().ok_or("arm `label` must be a string")?.to_string();
+            let cfg = SimConfig::from_json_value(a.req("config")?)
+                .map_err(|e| format!("arm `{label}`: {e}"))?;
+            Ok((label, cfg))
+        })
+        .collect::<Result<Vec<(String, SimConfig)>, String>>()?;
+    if arms.is_empty() || benchmarks.is_empty() {
+        return Err("dispatch plan has an empty grid".to_string());
+    }
+    Ok(Plan {
+        benchmarks,
+        arms,
+        instructions: v.req_u64("instructions")?,
+        warmup: v.req_u64("warmup")?,
+        warmup_mode,
+        seed: v.req_u64("seed")?,
+        stop,
+    })
+}
+
+/// Executes plan cells with per-benchmark lazy state: the program is
+/// built — and the warm-up provenance (checkpoint load + program-hash
+/// verification, or one functional fast-forward) prepared — on the
+/// first cell of each row, then shared by the row's other cells. Kept
+/// outside the wall-clock timer, exactly like [`Sweep::try_run`]'s
+/// shared row work, so per-cell `wall` means the same thing in both.
+struct CellRunner {
+    plan: Plan,
+    programs: Vec<Option<Program>>,
+    ckpts: Vec<Option<Checkpoint>>,
+    warms: Vec<Option<ArchState>>,
+}
+
+impl CellRunner {
+    fn new(plan: Plan) -> Self {
+        let n = plan.benchmarks.len();
+        Self { plan, programs: vec![None; n], ckpts: vec![None; n], warms: vec![None; n] }
+    }
+
+    fn run(&mut self, cell: u64) -> Result<(RunResult, Duration), String> {
+        let narms = self.plan.arms.len();
+        let total = self.plan.benchmarks.len() * narms;
+        let i = usize::try_from(cell).ok().filter(|&i| i < total).ok_or_else(|| {
+            format!("cell {cell} is outside the plan's {total}-cell grid")
+        })?;
+        let (bi, ai) = (i / narms, i % narms);
+        let bench = self.plan.benchmarks[bi];
+        if self.programs[bi].is_none() {
+            self.programs[bi] = Some(bench.build(self.plan.seed));
+        }
+        let program = self.programs[bi].as_ref().ok_or("program slot just filled")?;
+        match &self.plan.warmup_mode {
+            WarmupMode::Checkpoint { dir } if self.ckpts[bi].is_none() => {
+                let path = crate::checkpoint_path(dir, bench.name, self.plan.seed);
+                let ck = Checkpoint::load(&path)
+                    .map_err(|e| format!("warm-up checkpoint for `{}`: {e}", bench.name))?;
+                if rix_sim::checkpoint::fingerprint(program) != ck.program_hash {
+                    return Err(format!(
+                        "warm-up checkpoint {} belongs to a different program than `{}` at \
+                         seed {} (wrong benchmark, or saved at another seed)",
+                        path.display(),
+                        bench.name,
+                        self.plan.seed,
+                    ));
+                }
+                self.ckpts[bi] = Some(ck);
+            }
+            WarmupMode::Functional if self.plan.warmup > 0 && self.warms[bi].is_none() => {
+                let stack_top = self.plan.arms[0].1.stack_top;
+                self.warms[bi] =
+                    Some(Interp::new(program, stack_top).fast_forward(self.plan.warmup));
+            }
+            _ => {}
+        }
+        let (_, cfg) = &self.plan.arms[ai];
+        let start = std::time::Instant::now();
+        let result = measure_cell(
+            program,
+            *cfg,
+            self.ckpts[bi].as_ref(),
+            self.warms[bi].as_ref(),
+            self.plan.warmup,
+            self.plan.stop.as_ref(),
+            self.plan.instructions,
+        );
+        Ok((result, start.elapsed()))
+    }
+}
+
+// ----- payloads ---------------------------------------------------------
+
+fn payload_json(result: &RunResult, wall: Duration) -> Result<Json, String> {
+    let r = Json::parse(&rix_sim::checkpoint::result_to_json(result))?;
+    let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+    Ok(Json::Obj(vec![
+        ("wall_us".into(), Json::Num(wall_us.to_string())),
+        ("result".into(), r),
+    ]))
+}
+
+fn trial_from_payload(
+    bench: &'static str,
+    label: &str,
+    payload: &Json,
+) -> Result<Trial, String> {
+    let result = rix_sim::checkpoint::result_from_json(payload.req("result")?)?;
+    // Cache entries carry no wall clock (host timing is not content);
+    // a reused trial reports zero.
+    let wall = payload
+        .get("wall_us")
+        .and_then(Json::as_u64)
+        .map_or(Duration::ZERO, Duration::from_micros);
+    Ok(Trial { bench, config_label: label.to_string(), result, wall })
+}
+
+// ----- cache keys -------------------------------------------------------
+
+/// The `rix-cell/1` descriptor whose 128-bit FNV-1a is the cell's cache
+/// key: every input that determines the cell's result, nothing that
+/// does not (thread/worker counts, directory paths, spec names). Under
+/// checkpoint warm-up the *content hash of the snapshot file* stands in
+/// for the mode, so the same snapshot moved to another directory still
+/// hits while a re-saved one misses.
+fn cell_descriptor(
+    sweep: &Sweep,
+    bench: &Benchmark,
+    label: &str,
+    cfg: &SimConfig,
+    ckpt_hash: Option<&str>,
+) -> Result<String, String> {
+    let mode = match (&sweep.warmup_mode, ckpt_hash) {
+        (WarmupMode::Checkpoint { .. }, Some(h)) => {
+            Json::Obj(vec![("checkpoint".into(), Json::Str(h.into()))])
+        }
+        (m, _) => Json::Str(m.name().into()),
+    };
+    let mut fields: Vec<(String, Json)> = vec![
+        ("schema".into(), Json::Str(CELL_SCHEMA.into())),
+        ("bench".into(), Json::Str(bench.name.into())),
+        ("seed".into(), Json::Num(sweep.seed.to_string())),
+        ("instructions".into(), Json::Num(sweep.instructions.to_string())),
+        ("warmup".into(), Json::Num(sweep.warmup.to_string())),
+        ("warmup_mode".into(), mode),
+        ("label".into(), Json::Str(label.into())),
+        ("config".into(), Json::parse(&cfg.to_json())?),
+    ];
+    if let Some(stop) = &sweep.stop {
+        fields.push(("stop".into(), Json::parse(&stop.to_json())?));
+    }
+    Ok(Json::Obj(fields).dump())
+}
+
+// ----- the coordinator --------------------------------------------------
+
+/// Runs `sweep` under `opts`: consult the cache, simulate the misses
+/// (in worker processes, or in-process when `opts.workers == 0`), store
+/// fresh results back, and return the full trial grid in
+/// [`Sweep::try_run`] order. See the [module docs](self).
+pub(crate) fn run_sweep_distributed(
+    sweep: &Sweep,
+    opts: &DispatchOptions,
+) -> Result<(Vec<Trial>, DispatchReport), String> {
+    sweep.validate()?;
+    sweep.validate_checkpoint_files()?;
+    let narms = sweep.configs.len();
+    let total = sweep.benchmarks.len() * narms;
+    let cache = opts.cache.as_ref().map(ResultCache::open).transpose()?;
+    // Under checkpoint warm-up, cache keys embed each snapshot file's
+    // content hash (existence was validated above).
+    let ckpt_hashes: Vec<Option<String>> = match (&sweep.warmup_mode, &cache) {
+        (WarmupMode::Checkpoint { dir }, Some(_)) => sweep
+            .benchmarks
+            .iter()
+            .map(|b| {
+                let path = crate::checkpoint_path(dir, b.name, sweep.seed);
+                std::fs::read(&path)
+                    .map(|bytes| Some(rix_dispatch::hash::fnv128_hex(&bytes)))
+                    .map_err(|e| {
+                        format!("cannot read warm-up checkpoint {}: {e}", path.display())
+                    })
+            })
+            .collect::<Result<_, _>>()?,
+        _ => vec![None; sweep.benchmarks.len()],
+    };
+
+    let mut trials: Vec<Option<Trial>> = (0..total).map(|_| None).collect();
+    let mut keys: Vec<Option<String>> = vec![None; total];
+    let mut hits = 0usize;
+    let mut misses: Vec<u64> = Vec::new();
+    for i in 0..total {
+        let (bi, ai) = (i / narms, i % narms);
+        let bench = &sweep.benchmarks[bi];
+        let (label, cfg) = &sweep.configs[ai];
+        if let Some(cache) = &cache {
+            let desc = cell_descriptor(sweep, bench, label, cfg, ckpt_hashes[bi].as_deref())?;
+            let key = ResultCache::key(&desc);
+            let hit = cache
+                .load(&key)
+                .and_then(|payload| trial_from_payload(bench.name, label, &payload).ok());
+            keys[i] = Some(key);
+            if let Some(trial) = hit {
+                trials[i] = Some(trial);
+                hits += 1;
+                continue;
+            }
+        }
+        misses.push(i as u64);
+    }
+
+    let simulated = misses.len();
+    let mut pool_summary = rix_dispatch::PoolSummary::default();
+    if !misses.is_empty() {
+        let plan = plan_json(sweep);
+        let payloads: Vec<Json> = if opts.workers == 0 {
+            // In-process execution still goes through the plan's JSON
+            // round trip, so the single code path is the one the
+            // process boundary exercises.
+            let mut runner = CellRunner::new(
+                plan_from_json(&plan).map_err(|e| format!("internal dispatch plan: {e}"))?,
+            );
+            misses
+                .iter()
+                .map(|&cell| {
+                    let (result, wall) = runner.run(cell)?;
+                    payload_json(&result, wall)
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            let pool = rix_dispatch::PoolConfig {
+                workers: opts.workers,
+                cell_timeout: opts.cell_timeout,
+                retries: opts.retries,
+                worker_cmd: None,
+            };
+            let (payloads, summary) = rix_dispatch::dispatch_cells(&plan, &misses, &pool)?;
+            pool_summary = summary;
+            payloads
+        };
+        for (&cell, payload) in misses.iter().zip(&payloads) {
+            let i = cell as usize;
+            let (bi, ai) = (i / narms, i % narms);
+            let trial =
+                trial_from_payload(sweep.benchmarks[bi].name, &sweep.configs[ai].0, payload)?;
+            if let (Some(cache), Some(key)) = (&cache, &keys[i]) {
+                let entry = Json::Obj(vec![("result".into(), payload.req("result")?.clone())]);
+                cache.store(key, &entry)?;
+            }
+            trials[i] = Some(trial);
+        }
+    }
+
+    let trials = trials
+        .into_iter()
+        .map(|t| t.ok_or_else(|| "internal: unfilled trial slot".to_string()))
+        .collect::<Result<Vec<Trial>, String>>()?;
+    Ok((
+        trials,
+        DispatchReport {
+            cells: total,
+            simulated,
+            cache_hits: hits,
+            workers_spawned: pool_summary.workers_spawned,
+            workers_lost: pool_summary.workers_lost,
+            retries: pool_summary.retries,
+        },
+    ))
+}
+
+// ----- the worker entry points ------------------------------------------
+
+/// The first line of every binary that can be dispatched to: when the
+/// process was spawned as a worker (`argv[1]` is
+/// [`rix_dispatch::WORKER_ARG`]), enter the serve loop and never
+/// return; otherwise do nothing. Must run before any other argument
+/// parsing — the worker argument is not a user-facing flag.
+pub fn maybe_worker() {
+    if std::env::args().nth(1).as_deref() == Some(WORKER_ARG) {
+        worker_main();
+    }
+}
+
+/// The worker serve loop over stdin/stdout (also reachable as the
+/// `exp worker` subcommand). Parses the plan from the `init` message on
+/// the first cell, executes every assigned cell via the shared
+/// [`measure_cell`] path, and reports lossless results.
+pub fn worker_main() -> ! {
+    let mut state: Option<(u64, CellRunner)> = None;
+    rix_dispatch::serve(move |init, cell| {
+        if state.is_none() {
+            let worker = init.req_u64("worker")?;
+            let plan = plan_from_json(init.req("plan")?)?;
+            state = Some((worker, CellRunner::new(plan)));
+        }
+        let (worker, runner) = state.as_mut().ok_or("worker state just initialised")?;
+        inject_fault(*worker);
+        let (result, wall) = runner.run(cell)?;
+        payload_json(&result, wall)
+    })
+}
+
+/// Test-only fault injection, keyed by worker id so tests are
+/// deterministic about *which* process dies (see the module docs).
+fn inject_fault(worker: u64) {
+    let Ok(spec) = std::env::var("RIX_DISPATCH_FAULT") else { return };
+    let matches = |id: &str| id.parse() == Ok(worker);
+    match spec.split_once(':') {
+        Some(("abort", id)) if matches(id) => {
+            eprintln!("rix worker {worker}: injected abort (RIX_DISPATCH_FAULT={spec})");
+            std::process::abort();
+        }
+        Some(("stall", id)) if matches(id) => {
+            eprintln!("rix worker {worker}: injected stall (RIX_DISPATCH_FAULT={spec})");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> Sweep {
+        Sweep::new()
+            .benchmarks(rix_workloads::all_benchmarks().into_iter().take(2))
+            .config("base", SimConfig::baseline())
+            .config("integration", SimConfig::default())
+            .instructions(1_500)
+    }
+
+    #[test]
+    fn plan_round_trips_and_runner_matches_sweep() {
+        let sweep = small_sweep();
+        let reference = sweep.try_run().expect("sweep runs");
+        let plan = plan_from_json(&plan_json(&sweep)).expect("round trip");
+        assert_eq!(plan.arms.len(), 2);
+        assert_eq!(plan.benchmarks.len(), 2);
+        let mut runner = CellRunner::new(plan);
+        for (i, t) in reference.iter().enumerate() {
+            let (result, _) = runner.run(i as u64).expect("cell runs");
+            assert_eq!(result, t.result, "cell {i} ({}/{})", t.bench, t.config_label);
+        }
+        let err = runner.run(99).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn in_process_distributed_run_is_byte_identical() {
+        let sweep = small_sweep();
+        let reference = sweep.try_run().expect("sweep runs");
+        let (trials, report) =
+            sweep.run_distributed(&DispatchOptions::default()).expect("dispatch runs");
+        assert_eq!(trials.len(), reference.len());
+        for (a, b) in reference.iter().zip(&trials) {
+            assert_eq!(a.to_json(), b.to_json(), "{}/{}", a.bench, a.config_label);
+        }
+        assert_eq!(report.cells, 4);
+        assert_eq!(report.simulated, 4);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.workers_spawned, 0, "in-process run spawns nothing");
+    }
+
+    #[test]
+    fn payload_round_trip_is_lossless() {
+        let sweep = small_sweep();
+        let trials = sweep.try_run().expect("sweep runs");
+        let payload = payload_json(&trials[0].result, trials[0].wall).expect("serialises");
+        let back = trial_from_payload(trials[0].bench, &trials[0].config_label, &payload)
+            .expect("parses");
+        assert_eq!(back.result, trials[0].result);
+        assert_eq!(back.to_json(), trials[0].to_json());
+    }
+
+    #[test]
+    fn descriptors_differ_exactly_where_content_differs() {
+        let sweep = small_sweep();
+        let b = &sweep.benchmarks[0];
+        let (label, cfg) = &sweep.configs[0];
+        let base = cell_descriptor(&sweep, b, label, cfg, None).unwrap();
+        assert!(base.contains(CELL_SCHEMA));
+        // Same inputs, same descriptor.
+        assert_eq!(base, cell_descriptor(&sweep, b, label, cfg, None).unwrap());
+        // Any differing input, different descriptor.
+        let other_bench = cell_descriptor(&sweep, &sweep.benchmarks[1], label, cfg, None);
+        assert_ne!(base, other_bench.unwrap());
+        let seeded = sweep.clone().seed(8);
+        assert_ne!(base, cell_descriptor(&seeded, b, label, cfg, None).unwrap());
+        let mut tweaked = *cfg;
+        tweaked.num_pregs += 64;
+        assert_ne!(base, cell_descriptor(&sweep, b, label, &tweaked, None).unwrap());
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation_and_misses_are_exact() {
+        let dir = std::env::temp_dir()
+            .join(format!("rix-dispatch-unit-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache_dir = dir.to_str().expect("utf-8 temp dir").to_string();
+        let opts = DispatchOptions { cache: Some(cache_dir), ..DispatchOptions::default() };
+
+        let sweep = small_sweep();
+        let (cold, r1) = sweep.run_distributed(&opts).expect("cold run");
+        assert_eq!((r1.cache_hits, r1.simulated), (0, 4));
+        let (warm, r2) = sweep.run_distributed(&opts).expect("warm run");
+        assert_eq!((r2.cache_hits, r2.simulated), (4, 0), "identical re-run is all hits");
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+
+        // A one-field change invalidates exactly the affected arm's
+        // cells: 2 benchmarks × the changed arm = 2 misses, 2 hits.
+        let mut tweaked_cfg = SimConfig::default();
+        tweaked_cfg.integration.it_entries *= 2;
+        let tweaked = Sweep::new()
+            .benchmarks(rix_workloads::all_benchmarks().into_iter().take(2))
+            .config("base", SimConfig::baseline())
+            .config("integration", tweaked_cfg)
+            .instructions(1_500);
+        let (_, r3) = tweaked.run_distributed(&opts).expect("tweaked run");
+        assert_eq!((r3.cache_hits, r3.simulated), (2, 2), "only the changed arm re-runs");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

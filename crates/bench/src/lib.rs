@@ -39,9 +39,11 @@
 //! simulator's own throughput per subsystem and end-to-end, so
 //! performance regressions in the simulator itself are visible.
 
+pub mod dispatch;
 pub mod space;
 pub mod spec;
 
+pub use dispatch::{DispatchOptions, DispatchReport};
 pub use space::{Axis, AxisValue, ParamSpace};
 pub use spec::ExperimentSpec;
 
@@ -160,6 +162,14 @@ pub struct Harness {
     /// Also write the run's JSON (trial records, or the perf record) to
     /// this file; the stdout text table is preserved.
     pub output: Option<String>,
+    /// Worker **processes** to shard the sweep across (0, the default,
+    /// runs in-process; see [`dispatch`]). Orthogonal to
+    /// [`Harness::threads`], which parallelises within one process.
+    pub workers: usize,
+    /// Content-addressed trial cache directory: cells already simulated
+    /// under an identical configuration are reused instead of re-run
+    /// (see [`dispatch`]).
+    pub cache: Option<String>,
     /// Which flags were given explicitly on the command line (vs left at
     /// their defaults) — what an [`ExperimentSpec`] lets the CLI
     /// override.
@@ -194,6 +204,8 @@ impl Default for Harness {
             warmup: 0,
             warmup_mode: WarmupMode::Detailed,
             output: None,
+            workers: 0,
+            cache: None,
             given: GivenFlags::default(),
         }
     }
@@ -216,6 +228,11 @@ impl Harness {
          \x20                         or `checkpoint:DIR` (fork every arm from saved checkpoints)\n\
          \x20 --json                  print trial records as JSON, not tables\n\
          \x20 --output FILE           also write the run's JSON to FILE (table stays on stdout)\n\
+         \x20 --workers N             shard the sweep across N worker processes (default:\n\
+         \x20                         in-process; trials are byte-identical either way)\n\
+         \x20 --cache DIR             content-addressed trial cache: reuse every cell already\n\
+         \x20                         simulated under an identical configuration, simulate\n\
+         \x20                         and store the rest\n\
          \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
          \x20 --help, -h              this message"
     }
@@ -304,6 +321,15 @@ impl Harness {
                 }
                 "--json" => h.json = true,
                 "--output" => h.output = Some(value(&args, &mut i, "--output")?),
+                "--workers" => {
+                    let v = value(&args, &mut i, "--workers")?;
+                    h.workers = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--workers takes a count >= 1, got `{v}`"))?;
+                }
+                "--cache" => h.cache = Some(value(&args, &mut i, "--cache")?),
                 "--diagnostics" => h.diagnostics = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -428,6 +454,63 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// One grid cell's construction, warm-up and measurement — the code
+/// shared by [`Sweep::try_run`]'s in-process workers and the
+/// multi-process [`dispatch`] workers, so a cell's result is
+/// byte-identical however it is executed.
+///
+/// Exactly one warm-up provenance applies, in precedence order:
+/// a checkpoint fork (`ckpt`), a functional fast-forward fork (`warm`),
+/// a detailed per-cell warm-up (`warmup > 0`), or a cold start.
+pub(crate) fn measure_cell(
+    program: &Program,
+    cfg: SimConfig,
+    ckpt: Option<&Checkpoint>,
+    warm: Option<&ArchState>,
+    warmup: u64,
+    stop: Option<&StopWhen>,
+    instructions: u64,
+) -> RunResult {
+    // The per-cell measurement interval: the stop condition when one is
+    // set, the canonical instruction budget otherwise.
+    let measure = |sim: &mut Simulator| -> RunResult {
+        match stop {
+            Some(stop) => {
+                sim.run_until(stop);
+                sim.result()
+            }
+            None => sim.run_budget(instructions),
+        }
+    };
+    if let Some(ck) = ckpt {
+        // Fork the arm from the saved snapshot (cold microarchitecture
+        // at the checkpoint boundary) and measure fresh from there.
+        let mut sim = Simulator::from_checkpoint(program, cfg, ck);
+        sim.reset_stats();
+        measure(&mut sim)
+    } else if let Some(state) = warm {
+        // Boot the detailed machine at the fast-forwarded architectural
+        // boundary (cold microarchitecture) and measure from there.
+        let mut sim = Simulator::from_arch_state(program, cfg, state);
+        measure(&mut sim)
+    } else if warmup == 0 {
+        if stop.is_none() {
+            // The exact one-shot path, so a warm-up-free sweep is
+            // byte-identical to the historical serial loops.
+            Simulator::new(program, cfg).run(instructions)
+        } else {
+            measure(&mut Simulator::new(program, cfg))
+        }
+    } else {
+        let mut sim = Simulator::new(program, cfg);
+        // Budget safety nets on both phases, so a cell that crawls
+        // without deadlocking cannot hang the sweep.
+        sim.run_until(&StopWhen::budget(warmup));
+        sim.reset_stats();
+        measure(&mut sim)
+    }
 }
 
 /// A declarative experiment over the (benchmark × config) grid,
@@ -598,8 +681,9 @@ impl Sweep {
     /// measurement, and functional-warm-up `stack_top` disagreement are
     /// all reported with a descriptive message instead of panicking or
     /// silently producing an empty run. ([`WarmupMode::Checkpoint`] files are
-    /// checked by [`Sweep::try_run`], not here, so a spec can be
-    /// validated before its checkpoints exist.)
+    /// checked by [`Sweep::validate_checkpoint_files`] and
+    /// [`Sweep::try_run`], not here, so a spec can be validated before
+    /// its checkpoints exist.)
     pub fn validate(&self) -> Result<(), String> {
         if let Some(e) = &self.err {
             return Err(e.clone());
@@ -643,6 +727,50 @@ impl Sweep {
             }
         }
         Ok(())
+    }
+
+    /// Checks that every snapshot a [`WarmupMode::Checkpoint`] warm-up
+    /// will read actually exists, naming each missing path — a no-op
+    /// under the other modes. Separate from [`Sweep::validate`] so a
+    /// spec can still be *statically* validated before its checkpoints
+    /// are saved; `exp --dry-run` and the [`dispatch`] runner call this
+    /// too, so a missing file is reported up front instead of failing
+    /// mid-run.
+    pub fn validate_checkpoint_files(&self) -> Result<(), String> {
+        let WarmupMode::Checkpoint { dir } = &self.warmup_mode else {
+            return Ok(());
+        };
+        let missing: Vec<String> = self
+            .benchmarks
+            .iter()
+            .map(|b| checkpoint_path(dir, b.name, self.seed))
+            .filter(|p| !p.is_file())
+            .map(|p| p.display().to_string())
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} warm-up checkpoint file(s) missing: {} (save each benchmark's snapshot \
+                 with Checkpoint::save at checkpoint_path(dir, bench, seed))",
+                missing.len(),
+                missing.join(", "),
+            ))
+        }
+    }
+
+    /// Runs the sweep through the multi-process [`dispatch`] layer:
+    /// cells are sharded across [`DispatchOptions::workers`] worker
+    /// processes (0 runs them in this process) after consulting the
+    /// content-addressed trial cache when one is configured. The trials
+    /// are byte-identical to [`Sweep::try_run`]'s for every worker
+    /// count and cache state; the [`DispatchReport`] says what was
+    /// simulated versus reused.
+    pub fn run_distributed(
+        &self,
+        opts: &DispatchOptions,
+    ) -> Result<(Vec<Trial>, DispatchReport), String> {
+        dispatch::run_sweep_distributed(self, opts)
     }
 
     /// Runs every (benchmark × config) cell and returns the trials in
@@ -726,51 +854,20 @@ impl Sweep {
         } else {
             vec![None; programs.len()]
         };
-        // The per-cell measurement interval: the stop condition when one
-        // is set, the canonical instruction budget otherwise.
-        let measure = |sim: &mut Simulator| -> RunResult {
-            match &self.stop {
-                Some(stop) => {
-                    sim.run_until(stop);
-                    sim.result()
-                }
-                None => sim.run_budget(self.instructions),
-            }
-        };
         let run_cell = |i: usize| -> Trial {
             let bench = self.benchmarks[i / ncfg];
             let (label, cfg) = &self.configs[i % ncfg];
             let program = &programs[i / ncfg];
             let start = std::time::Instant::now();
-            let result = if let Some(ck) = &ckpts[i / ncfg] {
-                // Fork the arm from the saved snapshot (cold
-                // microarchitecture at the checkpoint boundary) and
-                // measure fresh from there.
-                let mut sim = Simulator::from_checkpoint(program, *cfg, ck);
-                sim.reset_stats();
-                measure(&mut sim)
-            } else if let Some(state) = &warm_states[i / ncfg] {
-                // Boot the detailed machine at the fast-forwarded
-                // architectural boundary (cold microarchitecture) and
-                // measure from there.
-                let mut sim = Simulator::from_arch_state(program, *cfg, state);
-                measure(&mut sim)
-            } else if self.warmup == 0 {
-                if self.stop.is_none() {
-                    // The exact one-shot path, so a warm-up-free sweep
-                    // is byte-identical to the historical serial loops.
-                    Simulator::new(program, *cfg).run(self.instructions)
-                } else {
-                    measure(&mut Simulator::new(program, *cfg))
-                }
-            } else {
-                let mut sim = Simulator::new(program, *cfg);
-                // Budget safety nets on both phases, so a cell that
-                // crawls without deadlocking cannot hang the sweep.
-                sim.run_until(&StopWhen::budget(self.warmup));
-                sim.reset_stats();
-                measure(&mut sim)
-            };
+            let result = measure_cell(
+                program,
+                *cfg,
+                ckpts[i / ncfg].as_ref(),
+                warm_states[i / ncfg].as_ref(),
+                self.warmup,
+                self.stop.as_ref(),
+                self.instructions,
+            );
             let wall = start.elapsed();
             Trial { bench: bench.name, config_label: label.clone(), result, wall }
         };

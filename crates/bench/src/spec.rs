@@ -247,14 +247,7 @@ impl ExperimentSpec {
         ));
         fields.push(("instructions".into(), Json::Num(self.instructions.to_string())));
         fields.push(("warmup".into(), Json::Num(self.warmup.to_string())));
-        let mode = match &self.warmup_mode {
-            WarmupMode::Checkpoint { dir } => Json::Obj(vec![(
-                "checkpoint".into(),
-                Json::Obj(vec![("dir".into(), Json::Str(dir.clone()))]),
-            )]),
-            other => Json::Str(other.name().into()),
-        };
-        fields.push(("warmup_mode".into(), mode));
+        fields.push(("warmup_mode".into(), warmup_mode_json(&self.warmup_mode)));
         fields.push(("seed".into(), Json::Num(self.seed.to_string())));
         if let Some(stop) = &self.stop {
             let parsed =
@@ -265,10 +258,30 @@ impl ExperimentSpec {
         Json::Obj(fields).dump()
     }
 
-    /// A 64-bit FNV-1a fingerprint of the canonical serialisation —
-    /// embedded in result records so a result names the exact experiment
-    /// (benchmarks, arms, budgets, seed; not execution details like
-    /// thread counts) that produced it.
+    /// The spec's primary fingerprint: 128-bit FNV-1a (with a trailing
+    /// length fold — see [`rix_dispatch::hash`]) over the canonical
+    /// serialisation [`ExperimentSpec::to_json`]. Embedded in result
+    /// records so a result names the exact experiment (benchmarks,
+    /// arms, budgets, seed; not execution details like thread or worker
+    /// counts) that produced it.
+    ///
+    /// 64 bits were enough to *distinguish* experiments by eye but not
+    /// to key long-lived artifact stores: with the trial cache keeping
+    /// content-addressed results around indefinitely, collision
+    /// probability has to stay negligible across every spec anyone ever
+    /// writes, hence 128 bits. The legacy 64-bit value remains readable
+    /// as [`ExperimentSpec::fingerprint`] (and is still emitted in
+    /// result documents as `spec_fingerprint_fnv64`) so result files
+    /// written by older builds can be matched during migration.
+    #[must_use]
+    pub fn fingerprint128(&self) -> u128 {
+        rix_dispatch::hash::fnv128(self.to_json().as_bytes())
+    }
+
+    /// The **legacy** 64-bit FNV-1a fingerprint of the canonical
+    /// serialisation — kept (same algorithm, same values as historical
+    /// result files) so old `spec_fingerprint` strings stay matchable.
+    /// New consumers should use [`ExperimentSpec::fingerprint128`].
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -278,11 +291,11 @@ impl ExperimentSpec {
         h
     }
 
-    /// [`ExperimentSpec::fingerprint`] as the `0x…` string used in
-    /// reports and result records.
+    /// [`ExperimentSpec::fingerprint128`] as the `0x…` string used in
+    /// reports and result records (34 characters: `0x` + 32 hex digits).
     #[must_use]
     pub fn fingerprint_hex(&self) -> String {
-        format!("{:#018x}", self.fingerprint())
+        format!("{:#034x}", self.fingerprint128())
     }
 
     /// Overrides the spec's parameters with the harness flags the user
@@ -336,14 +349,25 @@ impl ExperimentSpec {
 
     /// Parses an embedded spec, applies the harness overrides, and runs
     /// it on the shared engine — the whole body of a spec-driven figure
-    /// binary. Prints the error and exits with status 2 when the spec is
-    /// invalid (a broken committed spec) or the sweep fails.
+    /// binary. `--workers`/`--cache` route through the distributed
+    /// dispatcher (trials stay byte-identical; the dispatch summary
+    /// goes to stderr). Prints the error and exits with status 2 when
+    /// the spec is invalid (a broken committed spec) or the sweep
+    /// fails.
     #[must_use]
     pub fn run_embedded(text: &str, h: &Harness) -> (Self, Vec<Trial>) {
         let run = || -> Result<(Self, Vec<Trial>), String> {
             let mut spec = Self::from_json(text)?;
             spec.apply_harness(h);
-            let trials = spec.sweep(h).try_run()?;
+            let sweep = spec.sweep(h);
+            let trials = if h.workers > 0 || h.cache.is_some() {
+                let (trials, report) =
+                    sweep.run_distributed(&crate::DispatchOptions::from_harness(h))?;
+                eprintln!("dispatch: {}", report.summary());
+                trials
+            } else {
+                sweep.try_run()?
+            };
             Ok((spec, trials))
         };
         match run() {
@@ -379,7 +403,21 @@ fn parse_benchmarks(v: &Json) -> Result<Vec<Benchmark>, String> {
     }
 }
 
-fn parse_warmup_mode(v: &Json) -> Result<WarmupMode, String> {
+/// The canonical JSON encoding of a warm-up mode (`"detailed"`,
+/// `"functional"`, or `{"checkpoint":{"dir":…}}`) — shared by spec
+/// serialisation and the dispatch plan; [`parse_warmup_mode`] is its
+/// inverse.
+pub(crate) fn warmup_mode_json(mode: &WarmupMode) -> Json {
+    match mode {
+        WarmupMode::Checkpoint { dir } => Json::Obj(vec![(
+            "checkpoint".into(),
+            Json::Obj(vec![("dir".into(), Json::Str(dir.clone()))]),
+        )]),
+        other => Json::Str(other.name().into()),
+    }
+}
+
+pub(crate) fn parse_warmup_mode(v: &Json) -> Result<WarmupMode, String> {
     match v {
         Json::Str(s) => match s.as_str() {
             "detailed" => Ok(WarmupMode::Detailed),

@@ -1,0 +1,264 @@
+//! The distributed dispatcher, end to end against the real `exp`
+//! binary: worker-count invariance (byte-identical result documents for
+//! `--workers {1,2,4}` vs in-process), cache semantics (warm re-runs
+//! simulate nothing, a one-field spec change invalidates exactly the
+//! affected arm's cells, corrupt entries are misses), fault tolerance
+//! (an aborted or stalled worker's cells are retried and the merged
+//! document converges to the no-failure bytes), checkpoint-seeded
+//! warm-up hand-off, and the `--dry-run` missing-checkpoint report.
+
+use rix_bench::{checkpoint_path, Harness};
+use rix_isa::json::Json;
+use rix_sim::{SimConfig, Simulator, StopWhen};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const EXP: &str = env!("CARGO_BIN_EXE_exp");
+
+/// A 2-benchmark × 2-arm spec — 4 cells, small budgets, fast runs.
+const SPEC: &str = r#"{
+    "schema": "rix-exp/1",
+    "name": "dispatch-e2e",
+    "benchmarks": ["gcc", "vortex"],
+    "instructions": 2000,
+    "seed": 7,
+    "arms": [
+        {"label": "base", "preset": "base"},
+        {"label": "integration", "preset": "plus_reverse",
+         "overrides": {"integration": {"it_entries": 1024}}}
+    ]
+}"#;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rix-dispatch-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_spec(dir: &Path, text: &str) -> String {
+    let path = dir.join("spec.json");
+    std::fs::write(&path, text).expect("write spec");
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn exp(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(EXP);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("exp spawns")
+}
+
+/// Runs `exp run … --json` expecting success; returns stdout.
+fn run_json(extra: &[&str], envs: &[(&str, &str)], spec: &str) -> String {
+    let mut args = vec!["run", spec, "--json"];
+    args.extend_from_slice(extra);
+    let out = exp(&args, envs);
+    assert!(
+        out.status.success(),
+        "exp {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 result doc")
+}
+
+fn cache_counts(doc: &str) -> (u64, u64) {
+    let v = Json::parse(doc).expect("result doc parses");
+    let c = v.req("cache").expect("cache section present");
+    (
+        c.req_u64("hits").expect("hits"),
+        c.req_u64("misses").expect("misses"),
+    )
+}
+
+fn trials_of(doc: &str) -> String {
+    Json::parse(doc).expect("parses").req("trials").expect("trials").dump()
+}
+
+#[test]
+fn worker_counts_are_byte_identical_to_in_process() {
+    let dir = scratch("identity");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    assert!(!reference.contains("\"cache\""), "no cache section without --cache");
+    for workers in ["1", "2", "4"] {
+        let doc = run_json(&["--workers", workers], &[], &spec);
+        assert_eq!(doc, reference, "--workers {workers} changed the result document");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_rerun_simulates_zero_cells() {
+    let dir = scratch("cache-warm");
+    let spec = write_spec(&dir, SPEC);
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("utf-8");
+
+    let cold = run_json(&["--workers", "2", "--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&cold), (0, 4), "cold run misses everything");
+    // Second run — in-process, proving the cache is execution-mode
+    // agnostic — reuses all four cells.
+    let warm = run_json(&["--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&warm), (4, 0), "warm re-run simulates nothing");
+    assert_eq!(trials_of(&cold), trials_of(&warm), "reused trials are byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_field_change_invalidates_exactly_the_affected_arm() {
+    let dir = scratch("cache-invalidate");
+    let spec = write_spec(&dir, SPEC);
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("utf-8");
+
+    let cold = run_json(&["--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&cold), (0, 4));
+    // Change one config field of one arm: both benchmarks' cells of
+    // that arm miss, the untouched arm's cells still hit.
+    let tweaked = write_spec(&dir, &SPEC.replace("1024", "4096"));
+    let doc = run_json(&["--cache", cache], &[], &tweaked);
+    assert_eq!(cache_counts(&doc), (2, 2), "exactly the changed arm re-simulates");
+    // The unchanged arm's trials are bit-for-bit the cached originals.
+    let (a, b) = (trials_of(&cold), trials_of(&doc));
+    let pick = |t: &str| {
+        Json::parse(&format!("{{\"trials\":{t}}}"))
+            .expect("parses")
+            .req("trials")
+            .expect("trials")
+            .as_arr()
+            .expect("array")
+            .iter()
+            .filter(|t| t.get("config").and_then(Json::as_str) == Some("base"))
+            .map(Json::dump)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(pick(&a), pick(&b), "untouched arm came from the cache unchanged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_misses_not_crashes() {
+    let dir = scratch("cache-corrupt");
+    let spec = write_spec(&dir, SPEC);
+    let cache_dir = dir.join("cache");
+    let cache = cache_dir.to_str().expect("utf-8");
+
+    let cold = run_json(&["--cache", cache], &[], &spec);
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 4, "one entry per cell");
+    // Truncate one entry mid-document and garbage another.
+    std::fs::write(&entries[0], &std::fs::read(&entries[0]).expect("read")[..20])
+        .expect("truncate");
+    std::fs::write(&entries[1], b"not json at all").expect("garbage");
+
+    let doc = run_json(&["--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&doc), (2, 2), "corrupt entries read as misses");
+    assert_eq!(trials_of(&cold), trials_of(&doc), "and re-simulation heals them");
+    let healed = run_json(&["--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&healed), (4, 0), "the rewritten entries hit again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aborted_worker_cells_are_retried_and_converge() {
+    let dir = scratch("fault-abort");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&["--workers", "2"], &[], &spec);
+    // Worker 1 aborts before its first cell; its work lands on worker 0.
+    let out = exp(
+        &["run", &spec, "--json", "--workers", "2"],
+        &[("RIX_DISPATCH_FAULT", "abort:1")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "faulted run still succeeds:\n{stderr}");
+    assert!(stderr.contains("injected abort"), "the fault actually fired:\n{stderr}");
+    assert!(stderr.contains("1 lost"), "the loss is reported:\n{stderr}");
+    let doc = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(doc, reference, "retried cells merge to the no-failure bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_worker_hits_the_deadline_and_cells_converge() {
+    let dir = scratch("fault-stall");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&["--workers", "2"], &[], &spec);
+    let out = exp(
+        &["run", &spec, "--json", "--workers", "2"],
+        &[("RIX_DISPATCH_FAULT", "stall:1"), ("RIX_DISPATCH_TIMEOUT_SECS", "1")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stalled run still succeeds:\n{stderr}");
+    assert!(stderr.contains("injected stall"), "the fault actually fired:\n{stderr}");
+    let doc = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(doc, reference, "timed-out cells merge to the no-failure bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn checkpoint_spec(dir: &str) -> String {
+    SPEC.replace(
+        "\"seed\": 7,",
+        &format!("\"seed\": 7,\n    \"warmup_mode\": {{\"checkpoint\": {{\"dir\": \"{dir}\"}}}},"),
+    )
+}
+
+#[test]
+fn checkpoint_warmup_hands_off_to_workers() {
+    let dir = scratch("ckpt");
+    let ckpt_dir = dir.join("snapshots");
+    std::fs::create_dir_all(&ckpt_dir).expect("snapshot dir");
+    let ckpt = ckpt_dir.to_str().expect("utf-8");
+    for name in ["gcc", "vortex"] {
+        let program = rix_workloads::lookup(name).expect("benchmark").build(7);
+        let mut sim = Simulator::new(&program, SimConfig::default());
+        sim.run_until(&StopWhen::RetiredAtLeast(5_000));
+        sim.checkpoint().save(checkpoint_path(ckpt, name, 7)).expect("save snapshot");
+    }
+    let spec = write_spec(&dir, &checkpoint_spec(ckpt));
+    let reference = run_json(&[], &[], &spec);
+    let doc = run_json(&["--workers", "2"], &[], &spec);
+    assert_eq!(doc, reference, "workers fork the same snapshots to the same bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dry_run_names_missing_checkpoint_files() {
+    let dir = scratch("dry");
+    let empty = dir.join("no-snapshots");
+    std::fs::create_dir_all(&empty).expect("dir");
+    let empty = empty.to_str().expect("utf-8");
+    let spec = write_spec(&dir, &checkpoint_spec(empty));
+    let out = exp(&["run", &spec, "--dry-run"], &[]);
+    assert!(!out.status.success(), "a dry run with missing snapshots fails");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 warm-up checkpoint file(s) missing"), "{stderr}");
+    for name in ["gcc", "vortex"] {
+        let path = checkpoint_path(empty, name, 7);
+        assert!(
+            stderr.contains(path.to_str().expect("utf-8")),
+            "missing path {} is named:\n{stderr}",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn harness_parses_the_dispatch_flags() {
+    let args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+    let h = Harness::try_parse(args("--workers 4 --cache /tmp/c")).expect("parses");
+    assert_eq!(h.workers, 4);
+    assert_eq!(h.cache.as_deref(), Some("/tmp/c"));
+    let h = Harness::try_parse(args("--instructions 500")).expect("parses");
+    assert_eq!(h.workers, 0, "default is in-process");
+    assert_eq!(h.cache, None);
+    let err = Harness::try_parse(args("--workers 0")).expect_err("rejects zero");
+    assert!(err.contains("--workers"), "{err}");
+}

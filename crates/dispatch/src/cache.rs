@@ -1,0 +1,160 @@
+//! The content-addressed trial cache (`--cache DIR`).
+//!
+//! One file per cell result, named by the 128-bit content hash of the
+//! cell's *descriptor* (everything that determines the result:
+//! benchmark, seed, config, budgets, warm-up provenance — built by the
+//! caller, hashed with [`crate::hash::fnv128_hex`]). Entries are
+//! `rix-trial-cache/1` JSON documents written atomically (temp file in
+//! the cache directory, then `rename`), so a reader never observes a
+//! torn entry and concurrent writers of the same key converge on one
+//! winner with identical content.
+//!
+//! The cache is **forgiving on read, strict on write**: any unreadable,
+//! unparsable, truncated or mismatched entry is a miss — the cell is
+//! simply re-simulated and the entry rewritten — never an error. A
+//! cache can be deleted, rsynced, or half-written by a crashed run
+//! without poisoning anything.
+
+use crate::hash::fnv128_hex;
+use rix_isa::json::Json;
+use std::path::{Path, PathBuf};
+
+/// The on-disk entry schema.
+pub const CACHE_SCHEMA: &str = "rix-trial-cache/1";
+
+/// A directory of content-addressed cell results. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, String> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create cache directory `{}`: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache key for a cell descriptor: the 32-hex-digit 128-bit
+    /// FNV-1a of its canonical text. Two descriptors that differ in any
+    /// byte get unrelated keys; the descriptor itself is not stored.
+    #[must_use]
+    pub fn key(descriptor: &str) -> String {
+        fnv128_hex(descriptor.as_bytes())
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up `key`, returning the stored payload on a hit. Every
+    /// failure mode — no entry, unreadable file, corrupt JSON, a
+    /// truncated write from a crashed run, an entry recorded under a
+    /// different schema or key — is a miss (`None`), never an error.
+    #[must_use]
+    pub fn load(&self, key: &str) -> Option<Json> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let v = Json::parse(text.trim_end()).ok()?;
+        if v.get("schema")?.as_str()? != CACHE_SCHEMA {
+            return None;
+        }
+        if v.get("key")?.as_str()? != key {
+            return None;
+        }
+        v.get("payload").cloned()
+    }
+
+    /// Stores `payload` under `key`, atomically: the entry is written
+    /// to a temporary file in the cache directory and renamed into
+    /// place, so concurrent readers see either the old entry or the
+    /// complete new one.
+    pub fn store(&self, key: &str, payload: &Json) -> Result<(), String> {
+        let entry = Json::Obj(vec![
+            ("schema".into(), Json::Str(CACHE_SCHEMA.into())),
+            ("key".into(), Json::Str(key.into())),
+            ("payload".into(), payload.clone()),
+        ]);
+        let tmp = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        let target = self.entry_path(key);
+        std::fs::write(&tmp, format!("{}\n", entry.dump()))
+            .map_err(|e| format!("cannot write cache entry `{}`: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &target).map_err(|e| {
+            // Clean the orphan up; the rename error is the one to report.
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot commit cache entry `{}`: {e}", target.display())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rix-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = ResultCache::open(scratch_dir("roundtrip")).unwrap();
+        let key = ResultCache::key("cell descriptor text");
+        assert_eq!(cache.load(&key), None, "cold cache misses");
+        let payload = Json::parse(r#"{"result":{"cycles":41},"note":"x"}"#).unwrap();
+        cache.store(&key, &payload).unwrap();
+        assert_eq!(cache.load(&key), Some(payload));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_truncated_and_mismatched_entries_are_misses() {
+        let cache = ResultCache::open(scratch_dir("corrupt")).unwrap();
+        let key = ResultCache::key("the cell");
+        let payload = Json::parse(r#"{"v":1}"#).unwrap();
+        cache.store(&key, &payload).unwrap();
+        let path = cache.dir().join(format!("{key}.json"));
+
+        // Truncated mid-write (a crash before rename never leaves this,
+        // but a copied/rsynced cache could).
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key), None, "truncated entry is a miss, not a crash");
+
+        // Not JSON at all.
+        std::fs::write(&path, "not json\n").unwrap();
+        assert_eq!(cache.load(&key), None);
+
+        // Valid JSON, wrong schema.
+        std::fs::write(&path, r#"{"schema":"rix-perf/1","key":"x","payload":{}}"#).unwrap();
+        assert_eq!(cache.load(&key), None);
+
+        // Valid entry filed under the wrong key (manual rename).
+        let other = ResultCache::key("another cell");
+        cache.store(&other, &payload).unwrap();
+        std::fs::rename(cache.dir().join(format!("{other}.json")), &path).unwrap();
+        assert_eq!(cache.load(&key), None, "key recorded inside the entry must match");
+
+        // And a rewrite heals it.
+        cache.store(&key, &payload).unwrap();
+        assert_eq!(cache.load(&key), Some(payload));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn distinct_descriptors_distinct_keys() {
+        let a = ResultCache::key(r#"{"bench":"gcc","seed":7}"#);
+        let b = ResultCache::key(r#"{"bench":"gcc","seed":8}"#);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+}

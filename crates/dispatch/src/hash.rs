@@ -1,0 +1,85 @@
+//! 128-bit FNV-1a, the workspace's content-hash for cache keys and
+//! spec fingerprints.
+//!
+//! The 64-bit FNV-1a used by `rix-ckpt/1` program hashes and the
+//! original `rix-exp/1` fingerprint is fine for *naming* things a human
+//! cross-checks, but a content-addressed cache turns hash collisions
+//! into silently wrong results. The 128-bit variant (standard FNV-1a
+//! offset/prime) with the input length folded in at the end makes
+//! accidental collisions implausible while staying dependency-free and
+//! byte-stable across platforms.
+
+/// 128-bit FNV-1a offset basis.
+pub const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime (2^88 + 2^8 + 0x3b).
+pub const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// 128-bit FNV-1a over `bytes`, with the byte count folded in after the
+/// data (length mixing: a trailing-truncation corruption changes the
+/// hash even when the dropped suffix was all zero bytes).
+#[must_use]
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h = (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+    }
+    for b in (bytes.len() as u64).to_le_bytes() {
+        h = (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// [`fnv128`] as the fixed-width 32-hex-digit string used for cache
+/// file names and fingerprint fields.
+#[must_use]
+pub fn fnv128_hex(bytes: &[u8]) -> String {
+    format!("{:032x}", fnv128(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        let inputs: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"b".to_vec(),
+            b"ab".to_vec(),
+            b"ba".to_vec(),
+            b"a\0".to_vec(),
+            b"\0a".to_vec(),
+            vec![0],
+            vec![0, 0],
+            vec![0, 0, 0],
+        ];
+        let hashes: std::collections::HashSet<u128> =
+            inputs.iter().map(|i| fnv128(i)).collect();
+        assert_eq!(hashes.len(), inputs.len(), "no collisions among the probes");
+    }
+
+    #[test]
+    fn length_mixing_separates_zero_padded_prefixes() {
+        // Plain FNV-1a maps any all-zero input to offset * prime^n; the
+        // length fold must keep truncations apart even there.
+        assert_ne!(fnv128(&[0u8; 4]), fnv128(&[0u8; 8]));
+    }
+
+    #[test]
+    fn hex_is_fixed_width_and_stable() {
+        let h = fnv128_hex(b"rix");
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(h, fnv128_hex(b"rix"), "deterministic");
+        // Pin the value: the cache's on-disk names must never drift
+        // across refactors without a schema bump.
+        assert_eq!(fnv128(b""), {
+            let mut h = FNV128_OFFSET;
+            for b in 0u64.to_le_bytes() {
+                h = (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+            }
+            h
+        });
+    }
+}

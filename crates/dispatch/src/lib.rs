@@ -1,0 +1,65 @@
+//! # rix-dispatch: multi-process experiment dispatch
+//!
+//! The experiment layer's service tier: a [`pool`] coordinator that
+//! shards independent grid cells across **worker processes**, a
+//! [`worker`] serve loop those processes run, and a content-addressed
+//! result [`cache`] so a re-run only simulates what changed.
+//!
+//! The crate is deliberately generic — it knows nothing about
+//! simulators, benchmarks or sweeps. A *plan* is an opaque JSON value
+//! the caller serialises, a *cell* is a `u64` index into work only the
+//! caller can interpret, and a *payload* is whatever JSON the worker's
+//! executor returns for a cell. `rix-bench` layers the (benchmark ×
+//! config) grid semantics on top; anything else with independent,
+//! deterministic, numberable work units can reuse the same pool.
+//!
+//! ## Protocol (`rix-dispatch/1`)
+//!
+//! Newline-delimited JSON over the worker's stdio (stderr passes
+//! through to the coordinator's, so worker diagnostics stay visible):
+//!
+//! ```text
+//! coordinator → worker   {"schema":"rix-dispatch/1","type":"init","worker":0,"plan":{…}}
+//! coordinator → worker   {"type":"cell","cell":5}
+//! worker → coordinator   {"type":"result","cell":5,"payload":{…}}
+//! worker → coordinator   {"type":"error","cell":5,"message":"…"}
+//! ```
+//!
+//! One `init` opens the stream, then one `cell` at a time per worker
+//! (the coordinator keeps every worker single-occupied, so a slow cell
+//! never queues behind a fast one on the same process). A worker that
+//! dies (EOF on its stdout) or exceeds the per-cell deadline is killed
+//! and its in-flight cell is retried on a surviving worker, up to a
+//! bounded per-cell retry budget. An explicit `error` message is
+//! **fatal** to the whole run: cells are deterministic, so an error
+//! that a worker could report is an error every retry would hit too.
+//!
+//! ## Fault model
+//!
+//! * worker process death (crash, abort, kill) → in-flight cell retried;
+//! * worker hang → per-cell deadline, kill, retry;
+//! * all workers dead with work remaining → the run fails with a
+//!   descriptive error (workers are not respawned — a workload that
+//!   kills every process it touches is a bug to report, not mask);
+//! * deterministic executor error → immediate failure, no retry.
+//!
+//! [`hash::fnv128`] is the shared 128-bit FNV-1a used for cache keys
+//! and spec fingerprints.
+
+pub mod cache;
+pub mod hash;
+pub mod pool;
+pub mod worker;
+
+pub use cache::ResultCache;
+pub use pool::{dispatch_cells, PoolConfig, PoolSummary};
+pub use worker::serve;
+
+/// The hidden first argument a coordinator passes when self-exec'ing a
+/// worker (`current_exe() __rix-worker`). Binaries that can act as
+/// workers check for it first thing in `main` (before any other flag
+/// parsing) and enter their serve loop.
+pub const WORKER_ARG: &str = "__rix-worker";
+
+/// The protocol schema named in every `init` message.
+pub const PROTOCOL_SCHEMA: &str = "rix-dispatch/1";

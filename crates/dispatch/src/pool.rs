@@ -1,0 +1,509 @@
+//! The coordinator: a pool of worker processes fed one cell at a time.
+//!
+//! [`dispatch_cells`] spawns `workers` processes (by default
+//! `current_exe()` with the [`crate::WORKER_ARG`] argument, overridable
+//! for tests), sends each an `init` message carrying the plan, then
+//! streams cell assignments and collects result payloads. Every worker
+//! holds at most one in-flight cell; a reader thread per worker drains
+//! its stdout into one mpsc channel, so the coordinator's single event
+//! loop sees results, worker deaths (EOF) and per-cell deadline expiry
+//! in arrival order and a verbose worker can never dead-lock the pipe.
+//!
+//! See the [crate docs](crate) for the wire protocol and fault model.
+
+use rix_isa::json::Json;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`dispatch_cells`] run.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker processes to spawn (clamped to at least 1 and at most the
+    /// number of cells).
+    pub workers: usize,
+    /// Deadline per cell assignment; a worker that exceeds it is
+    /// presumed hung, killed, and its cell retried elsewhere.
+    pub cell_timeout: Duration,
+    /// How many times one cell may be *retried* after a worker death or
+    /// timeout (so a cell runs at most `retries + 1` times).
+    pub retries: u32,
+    /// The worker command as `(program, args)`. `None` self-execs:
+    /// `current_exe()` with the single argument [`crate::WORKER_ARG`].
+    pub worker_cmd: Option<(std::path::PathBuf, Vec<String>)>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            cell_timeout: Duration::from_secs(300),
+            retries: 2,
+            worker_cmd: None,
+        }
+    }
+}
+
+/// What a pool run did, beyond the results: fodder for stderr
+/// reporting (never for result documents, which must stay byte-stable
+/// across worker counts and fault histories).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSummary {
+    /// Worker processes spawned.
+    pub workers_spawned: usize,
+    /// Workers lost to death or deadline during the run.
+    pub workers_lost: usize,
+    /// Cell assignments retried after a loss.
+    pub retries: u64,
+}
+
+enum Event {
+    /// One stdout line from worker `idx`.
+    Line(usize, String),
+    /// Worker `idx`'s stdout closed (exit, crash, or our kill).
+    Eof(usize),
+}
+
+struct WorkerSlot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    /// `(position in `cells`, deadline)` of the in-flight assignment.
+    busy: Option<(usize, Instant)>,
+    alive: bool,
+}
+
+/// Runs every entry of `cells` on the worker pool and returns the
+/// payloads in `cells` order, plus a [`PoolSummary`].
+///
+/// Fails on: an unspawnable worker command, a worker-reported `error`
+/// (deterministic, so never retried), a protocol violation, a cell
+/// exhausting its retry budget, or every worker dying with work left.
+pub fn dispatch_cells(
+    plan: &Json,
+    cells: &[u64],
+    cfg: &PoolConfig,
+) -> Result<(Vec<Json>, PoolSummary), String> {
+    let mut summary = PoolSummary::default();
+    if cells.is_empty() {
+        return Ok((Vec::new(), summary));
+    }
+    let nworkers = cfg.workers.clamp(1, cells.len());
+    let (exe, args) = match &cfg.worker_cmd {
+        Some((exe, args)) => (exe.clone(), args.clone()),
+        None => {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate this executable to self-exec workers: {e}"))?;
+            (exe, vec![crate::WORKER_ARG.to_string()])
+        }
+    };
+    let plan_line = plan.dump();
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut slots: Vec<WorkerSlot> = Vec::with_capacity(nworkers);
+    for w in 0..nworkers {
+        match spawn_worker(&exe, &args, w, &plan_line, &tx) {
+            Ok(slot) => slots.push(slot),
+            Err(e) => {
+                kill_all(&mut slots);
+                return Err(e);
+            }
+        }
+    }
+    summary.workers_spawned = nworkers;
+
+    let mut queue: VecDeque<usize> = (0..cells.len()).collect();
+    let mut attempts: Vec<u32> = vec![0; cells.len()];
+    let mut results: Vec<Option<Json>> = vec![None; cells.len()];
+    let mut done = 0usize;
+
+    let out = loop {
+        if done == cells.len() {
+            break Ok(());
+        }
+        // Feed every idle surviving worker.
+        for slot in &mut slots {
+            if !(slot.alive && slot.busy.is_none()) {
+                continue;
+            }
+            let Some(pos) = queue.pop_front() else { break };
+            let line = format!("{{\"type\":\"cell\",\"cell\":{}}}", cells[pos]);
+            let sent = slot
+                .stdin
+                .as_mut()
+                .is_some_and(|s| writeln!(s, "{line}").and_then(|()| s.flush()).is_ok());
+            if sent {
+                slot.busy = Some((pos, Instant::now() + cfg.cell_timeout));
+            } else {
+                // The pipe is gone: the worker died between assignments.
+                // Put the cell back (it never ran — no attempt charged)
+                // and retire the worker; its EOF event is already in
+                // flight and will find `busy` empty.
+                queue.push_front(pos);
+                let _ = slot.child.kill();
+                slot.alive = false;
+                summary.workers_lost += 1;
+            }
+        }
+        if !slots.iter().any(|s| s.alive) {
+            break Err(format!(
+                "all {nworkers} workers died with {} of {} cells unfinished \
+                 ({} lost, {} retries used)",
+                cells.len() - done,
+                cells.len(),
+                summary.workers_lost,
+                summary.retries,
+            ));
+        }
+        // Sleep until the next event or the nearest deadline, bounded
+        // so a missed wakeup can never stall the loop for long.
+        let now = Instant::now();
+        let wait = slots
+            .iter()
+            .filter_map(|s| s.busy.map(|(_, d)| d))
+            .min()
+            .map_or(Duration::from_millis(500), |d| {
+                d.saturating_duration_since(now).min(Duration::from_millis(500))
+            });
+        match rx.recv_timeout(wait) {
+            Ok(Event::Line(w, line)) => {
+                if let Err(e) = handle_line(
+                    &mut slots[w],
+                    w,
+                    &line,
+                    cells,
+                    &mut results,
+                    &mut done,
+                ) {
+                    break Err(e);
+                }
+            }
+            Ok(Event::Eof(w)) => {
+                let slot = &mut slots[w];
+                if slot.alive {
+                    slot.alive = false;
+                    summary.workers_lost += 1;
+                    let _ = slot.child.kill();
+                    if let Some((pos, _)) = slot.busy.take() {
+                        if let Err(e) =
+                            requeue(pos, cells, &mut attempts, &mut queue, &mut summary, cfg)
+                        {
+                            break Err(e);
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Unreachable while `tx` lives in this scope; treat it
+                // as every worker gone.
+                break Err("worker event channel closed unexpectedly".to_string());
+            }
+        }
+        // Deadline sweep: kill hung workers and retry their cells.
+        let now = Instant::now();
+        let mut sweep_err = None;
+        for slot in &mut slots {
+            let Some((pos, deadline)) = slot.busy else { continue };
+            if slot.alive && now >= deadline {
+                let _ = slot.child.kill();
+                slot.alive = false;
+                slot.busy = None;
+                summary.workers_lost += 1;
+                if let Err(e) =
+                    requeue(pos, cells, &mut attempts, &mut queue, &mut summary, cfg)
+                {
+                    sweep_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = sweep_err {
+            break Err(e);
+        }
+    };
+    match out {
+        Ok(()) => {
+            shutdown(&mut slots);
+            let payloads = results
+                .into_iter()
+                .map(|r| r.ok_or_else(|| "internal: unfilled result slot".to_string()))
+                .collect::<Result<Vec<Json>, String>>()?;
+            Ok((payloads, summary))
+        }
+        Err(e) => fail(slots, e),
+    }
+}
+
+fn fail(mut slots: Vec<WorkerSlot>, e: String) -> Result<(Vec<Json>, PoolSummary), String> {
+    kill_all(&mut slots);
+    Err(e)
+}
+
+/// One worker stdout line: a `result` fills its slot, an `error` fails
+/// the run. Lines from workers already retired (killed on deadline, but
+/// their reader thread had buffered output) are dropped.
+fn handle_line(
+    slot: &mut WorkerSlot,
+    w: usize,
+    line: &str,
+    cells: &[u64],
+    results: &mut [Option<Json>],
+    done: &mut usize,
+) -> Result<(), String> {
+    if !slot.alive {
+        return Ok(());
+    }
+    let msg = Json::parse(line)
+        .map_err(|e| format!("worker {w}: unparsable protocol line {line:?}: {e}"))?;
+    match msg.get("type").and_then(Json::as_str) {
+        Some("result") => {
+            let cell = msg.req_u64("cell").map_err(|e| format!("worker {w}: {e}"))?;
+            let payload = msg
+                .req("payload")
+                .map_err(|e| format!("worker {w}: {e}"))?
+                .clone();
+            match slot.busy {
+                Some((pos, _)) if cells[pos] == cell => {
+                    slot.busy = None;
+                    if results[pos].is_none() {
+                        results[pos] = Some(payload);
+                        *done += 1;
+                    }
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "worker {w}: result for cell {cell} it was not assigned"
+                )),
+            }
+        }
+        Some("error") => {
+            let cell = msg.get("cell").and_then(Json::as_u64);
+            let message = msg
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("(no message)");
+            Err(match cell {
+                Some(c) => format!("worker {w}, cell {c}: {message}"),
+                None => format!("worker {w}: {message}"),
+            })
+        }
+        other => Err(format!(
+            "worker {w}: unexpected protocol message type {other:?} in {line:?}"
+        )),
+    }
+}
+
+/// Puts a lost cell back at the front of the queue, or fails the run
+/// when its retry budget is spent.
+fn requeue(
+    pos: usize,
+    cells: &[u64],
+    attempts: &mut [u32],
+    queue: &mut VecDeque<usize>,
+    summary: &mut PoolSummary,
+    cfg: &PoolConfig,
+) -> Result<(), String> {
+    attempts[pos] += 1;
+    if attempts[pos] > cfg.retries {
+        return Err(format!(
+            "cell {} lost its worker {} times (retry budget {}); giving up",
+            cells[pos], attempts[pos], cfg.retries,
+        ));
+    }
+    summary.retries += 1;
+    queue.push_front(pos);
+    Ok(())
+}
+
+fn spawn_worker(
+    exe: &std::path::Path,
+    args: &[String],
+    w: usize,
+    plan_line: &str,
+    tx: &mpsc::Sender<Event>,
+) -> Result<WorkerSlot, String> {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        // stderr inherited: worker diagnostics surface on the
+        // coordinator's stderr.
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker `{}`: {e}", exe.display()))?;
+    let mut stdin = child
+        .stdin
+        .take()
+        .ok_or_else(|| "worker stdin was not piped".to_string())?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| "worker stdout was not piped".to_string())?;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    let _ = tx.send(Event::Eof(w));
+                    break;
+                }
+                Ok(_) => {
+                    let _ = tx.send(Event::Line(w, line.trim_end().to_string()));
+                }
+            }
+        }
+    });
+    // An init failure here just means the worker died at birth; its EOF
+    // event reports it, so the write result is advisory.
+    let init = format!(
+        "{{\"schema\":\"{}\",\"type\":\"init\",\"worker\":{w},\"plan\":{plan_line}}}",
+        crate::PROTOCOL_SCHEMA
+    );
+    let _ = writeln!(stdin, "{init}").and_then(|()| stdin.flush());
+    Ok(WorkerSlot { child, stdin: Some(stdin), busy: None, alive: true })
+}
+
+/// Graceful shutdown of the survivors: closing stdin EOFs the worker's
+/// serve loop, which exits cleanly; `wait` reaps it (and anything
+/// already killed).
+fn shutdown(slots: &mut [WorkerSlot]) {
+    for slot in slots.iter_mut() {
+        drop(slot.stdin.take());
+    }
+    for slot in slots {
+        let _ = slot.child.wait();
+    }
+}
+
+fn kill_all(slots: &mut [WorkerSlot]) {
+    for slot in slots.iter_mut() {
+        let _ = slot.child.kill();
+        drop(slot.stdin.take());
+    }
+    for slot in slots {
+        let _ = slot.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A POSIX-sh stand-in worker: answers every `cell` assignment with
+    /// a `result` whose payload echoes the cell id — enough to test the
+    /// pool's scheduling, merging and fault handling without dragging a
+    /// simulator in.
+    const SH_ECHO_WORKER: &str = r#"
+while IFS= read -r line; do
+  case "$line" in
+    *'"type":"cell"'*)
+      c=${line##*\"cell\":}; c=${c%%\}*}
+      printf '{"type":"result","cell":%s,"payload":{"cell":%s}}\n' "$c" "$c"
+      ;;
+  esac
+done
+"#;
+
+    fn sh_cmd(script: &str) -> Option<(std::path::PathBuf, Vec<String>)> {
+        Some(("sh".into(), vec!["-c".into(), script.into()]))
+    }
+
+    fn plan() -> Json {
+        Json::parse(r#"{"note":"test plan"}"#).unwrap()
+    }
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        let cells: Vec<u64> = vec![3, 1, 4, 1_000_000, 9];
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = PoolConfig { workers, worker_cmd: sh_cmd(SH_ECHO_WORKER), ..PoolConfig::default() };
+            let (payloads, summary) = dispatch_cells(&plan(), &cells, &cfg).unwrap();
+            assert_eq!(payloads.len(), cells.len());
+            for (cell, payload) in cells.iter().zip(&payloads) {
+                assert_eq!(payload.get("cell").and_then(Json::as_u64), Some(*cell));
+            }
+            assert_eq!(summary.workers_spawned, workers.min(cells.len()));
+            assert_eq!(summary.workers_lost, 0);
+            assert_eq!(summary.retries, 0);
+        }
+    }
+
+    #[test]
+    fn empty_cell_list_spawns_nothing() {
+        let cfg = PoolConfig { worker_cmd: sh_cmd(SH_ECHO_WORKER), ..PoolConfig::default() };
+        let (payloads, summary) = dispatch_cells(&plan(), &[], &cfg).unwrap();
+        assert!(payloads.is_empty());
+        assert_eq!(summary.workers_spawned, 0);
+    }
+
+    #[test]
+    fn dead_worker_cells_are_retried_on_survivors() {
+        // Worker 0 exits as soon as it is assigned a cell; worker 1
+        // serves normally. Every cell must still complete.
+        let script = r#"
+read -r init
+case "$init" in *'"worker":0'*) die=1;; *) die=0;; esac
+while IFS= read -r line; do
+  case "$line" in
+    *'"type":"cell"'*)
+      [ "$die" = 1 ] && exit 7
+      c=${line##*\"cell\":}; c=${c%%\}*}
+      printf '{"type":"result","cell":%s,"payload":{"cell":%s}}\n' "$c" "$c"
+      ;;
+  esac
+done
+"#;
+        let cells: Vec<u64> = (0..6).collect();
+        let cfg = PoolConfig { workers: 2, worker_cmd: sh_cmd(script), ..PoolConfig::default() };
+        let (payloads, summary) = dispatch_cells(&plan(), &cells, &cfg).unwrap();
+        for (cell, payload) in cells.iter().zip(&payloads) {
+            assert_eq!(payload.get("cell").and_then(Json::as_u64), Some(*cell));
+        }
+        assert_eq!(summary.workers_lost, 1);
+        assert!(summary.retries >= 1, "{summary:?}");
+    }
+
+    #[test]
+    fn hung_worker_hits_the_deadline_and_all_dead_is_an_error() {
+        // The worker reads assignments and never answers; with one
+        // worker the pool must detect the hang and fail descriptively.
+        let script = "while IFS= read -r line; do :; done";
+        let cfg = PoolConfig {
+            workers: 1,
+            cell_timeout: Duration::from_millis(100),
+            retries: 1,
+            worker_cmd: sh_cmd(script),
+        };
+        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err();
+        assert!(err.contains("workers died"), "{err}");
+    }
+
+    #[test]
+    fn worker_error_is_fatal_not_retried() {
+        let script = r#"
+while IFS= read -r line; do
+  case "$line" in
+    *'"type":"cell"'*)
+      printf '{"type":"error","cell":0,"message":"deterministic failure"}\n'
+      ;;
+  esac
+done
+"#;
+        let cfg = PoolConfig { workers: 1, worker_cmd: sh_cmd(script), ..PoolConfig::default() };
+        let err = dispatch_cells(&plan(), &[0, 1], &cfg).unwrap_err();
+        assert!(err.contains("deterministic failure"), "{err}");
+    }
+
+    #[test]
+    fn unspawnable_worker_command_is_an_error() {
+        let cfg = PoolConfig {
+            worker_cmd: Some(("/nonexistent/rix-worker".into(), vec![])),
+            ..PoolConfig::default()
+        };
+        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err();
+        assert!(err.contains("cannot spawn worker"), "{err}");
+    }
+}

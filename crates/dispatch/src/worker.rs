@@ -1,0 +1,120 @@
+//! The worker side: a serve loop over stdin/stdout.
+//!
+//! [`serve`] is what a worker process runs after recognising
+//! [`crate::WORKER_ARG`]: it reads protocol messages line by line,
+//! hands each cell assignment to the caller's executor, and writes the
+//! result (or error) back. The executor receives the full `init`
+//! message — including the opaque `plan` — on every call, so it can
+//! lazily build whatever per-plan state it needs on the first cell and
+//! reuse it after.
+//!
+//! Results go to stdout (the protocol channel); anything the executor
+//! prints must therefore go to std**err**, which passes through to the
+//! coordinator's stderr.
+
+use rix_isa::json::Json;
+use std::io::{BufRead, Write};
+
+fn protocol_exit(msg: &str) -> ! {
+    // A malformed coordinator message is unrecoverable: report on both
+    // channels (the error line for the coordinator, stderr for humans)
+    // and die. The coordinator treats the explicit error as fatal.
+    emit(&format!(
+        "{{\"type\":\"error\",\"message\":{}}}",
+        Json::Str(msg.to_string()).dump()
+    ));
+    eprintln!("rix worker: {msg}");
+    std::process::exit(1);
+}
+
+fn emit(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Serves cell assignments until the coordinator closes stdin, then
+/// exits the process (status 0 on a clean close, 1 on a protocol or
+/// executor error).
+///
+/// `execute` maps (the `init` message, a cell id) to a result payload;
+/// its `Err` is reported to the coordinator and ends the worker —
+/// executor failures are deterministic by contract, so retrying
+/// elsewhere cannot help.
+pub fn serve<F>(mut execute: F) -> !
+where
+    F: FnMut(&Json, u64) -> Result<Json, String>,
+{
+    let stdin = std::io::stdin();
+    let mut init: Option<Json> = None;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else {
+            protocol_exit("cannot read stdin");
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let msg = match Json::parse(line) {
+            Ok(m) => m,
+            Err(e) => protocol_exit(&format!("unparsable message {line:?}: {e}")),
+        };
+        match msg.get("type").and_then(Json::as_str) {
+            Some("init") => {
+                match msg.get("schema").and_then(Json::as_str) {
+                    Some(crate::PROTOCOL_SCHEMA) => {}
+                    other => protocol_exit(&format!(
+                        "unsupported protocol schema {other:?} (this build speaks {})",
+                        crate::PROTOCOL_SCHEMA
+                    )),
+                }
+                init = Some(msg);
+            }
+            Some("cell") => {
+                let cell = match msg.req_u64("cell") {
+                    Ok(c) => c,
+                    Err(e) => protocol_exit(&e),
+                };
+                let Some(init_msg) = &init else {
+                    protocol_exit("cell assignment before init");
+                };
+                match execute(init_msg, cell) {
+                    Ok(payload) => emit(&format!(
+                        "{{\"type\":\"result\",\"cell\":{cell},\"payload\":{}}}",
+                        payload.dump()
+                    )),
+                    Err(e) => {
+                        emit(&format!(
+                            "{{\"type\":\"error\",\"cell\":{cell},\"message\":{}}}",
+                            Json::Str(e.clone()).dump()
+                        ));
+                        eprintln!("rix worker: cell {cell}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => protocol_exit(&format!("unexpected message type {other:?}")),
+        }
+    }
+    std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `serve` never returns, so unit tests cover the message shapes it
+    // emits instead (the pool tests exercise the loop end to end via
+    // stand-in workers, and `crates/bench` drives the real binary).
+    #[test]
+    fn error_lines_escape_messages() {
+        let msg = Json::Str("tab\there \"quoted\"".to_string()).dump();
+        let line = format!("{{\"type\":\"error\",\"cell\":3,\"message\":{msg}}}");
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            v.get("message").and_then(Json::as_str),
+            Some("tab\there \"quoted\"")
+        );
+    }
+}

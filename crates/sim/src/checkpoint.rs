@@ -139,6 +139,41 @@ impl Checkpoint {
     }
 }
 
+// ----- lossless RunResult serialisation ---------------------------------
+
+/// Serialises a [`RunResult`] losslessly (every raw counter, plus the
+/// halt/timeout flags): the multi-process dispatch wire format and
+/// trial-cache payload. The figure-facing [`RunResult::to_json`] emits
+/// derived metrics and is **not** invertible; this pair is.
+///
+/// [`RunResult`]: crate::RunResult
+/// [`RunResult::to_json`]: crate::RunResult::to_json
+#[must_use]
+pub fn result_to_json(r: &crate::RunResult) -> String {
+    format!(
+        r#"{{"halted":{},"timed_out":{},"stats":{}}}"#,
+        r.halted,
+        r.timed_out,
+        stats_to_json(&r.stats),
+    )
+}
+
+/// Parses a [`result_to_json`] document back into the identical
+/// [`RunResult`] (`result_to_json(&result_from_json(v)?) ==` the
+/// original text).
+///
+/// [`RunResult`]: crate::RunResult
+pub fn result_from_json(v: &Json) -> Result<crate::RunResult, String> {
+    let flag = |key: &str| -> Result<bool, String> {
+        v.req(key)?.as_bool().ok_or_else(|| format!("key `{key}` must be a boolean"))
+    };
+    Ok(crate::RunResult {
+        halted: flag("halted")?,
+        timed_out: flag("timed_out")?,
+        stats: stats_from_json(v.req("stats")?)?,
+    })
+}
+
 // ----- lossless SimStats serialisation ----------------------------------
 
 fn hist_json<const N: usize>(h: &[[u64; 2]; N]) -> String {
@@ -357,6 +392,20 @@ mod tests {
         assert!(j.contains(r#""schema":"rix-ckpt/1""#));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(rix_isa::json::Json::parse(&j).is_ok());
+    }
+
+    #[test]
+    fn run_result_serde_is_lossless() {
+        let p = busy_program();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let r = sim.run_budget(2_000);
+        let text = result_to_json(&r);
+        let v = rix_isa::json::Json::parse(&text).expect("well-formed");
+        let back = result_from_json(&v).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(result_to_json(&back), text, "byte-stable round trip");
+        // And it is the *lossless* form, not the derived-metric one.
+        assert!(text.contains("\"rs_occupancy_sum\""), "{text}");
     }
 
     #[test]

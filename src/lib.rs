@@ -22,6 +22,8 @@
 //! * [`sim`] — the out-of-order pipeline with DIVA verification, driven
 //!   through resumable sessions (`step` / `run_until` / `reset_stats`),
 //! * [`workloads`] — synthetic SPEC2000int-like benchmark programs,
+//! * [`dispatch`] — multi-process experiment dispatch: the
+//!   coordinator/worker pool and the content-addressed trial cache,
 //! * [`bench`] — the experiment layer: the thread-parallel [`Sweep`]
 //!   grid runner and the figure binaries' shared [`Harness`].
 //!
@@ -214,6 +216,66 @@
 //! fields), and experiments worth committing are better said as spec
 //! files: data that `exp` can run, validate and fingerprint.
 //!
+//! ## Distributed experiments: worker processes and the trial cache
+//!
+//! Big grids shard across worker **processes** (crash isolation — a
+//! worker taken down by a bug or the OOM killer costs a retry, not the
+//! run) and re-runs reuse cached trials. On the command line every
+//! figure binary and `exp` take the same two flags:
+//!
+//! ```text
+//! exp run specs/fig4.json --workers 4 --cache ~/.rix-cache --json
+//! # edit one arm of the spec, re-run: only that arm's cells simulate
+//! exp run specs/fig4.json --workers 4 --cache ~/.rix-cache --json
+//! ```
+//!
+//! The coordinator re-execs its own binary as workers, streams cell
+//! assignments over stdio (schema `rix-dispatch/1`), detects dead or
+//! hung workers and retries their cells on survivors — and the merged
+//! trials are **byte-identical** to a single-process run for any worker
+//! count, fault history, or cache state, so `--workers`/`--cache` are
+//! pure execution policy, never methodology. The same machinery is
+//! callable from code ([`DispatchOptions::workers`]` = 0` executes
+//! in-process, still through the cache):
+//!
+//! ```
+//! use rix::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join("rix-doc-trial-cache");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let sweep = Sweep::new()
+//!     .benchmarks([by_name("vortex").unwrap()])
+//!     .config("base", SimConfig::baseline())
+//!     .config("integration", SimConfig::default())
+//!     .instructions(1_500);
+//! let opts = DispatchOptions {
+//!     cache: Some(dir.to_str().unwrap().to_string()),
+//!     ..DispatchOptions::default()
+//! };
+//!
+//! let (cold, first) = sweep.run_distributed(&opts).unwrap();
+//! assert_eq!((first.cache_hits, first.simulated), (0, 2));
+//!
+//! // An identical re-run simulates nothing and reproduces every trial.
+//! let (warm, again) = sweep.run_distributed(&opts).unwrap();
+//! assert_eq!((again.cache_hits, again.simulated), (2, 0));
+//! assert_eq!(cold[0].to_json(), warm[0].to_json());
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! Cache entries are addressed by a 128-bit content hash of everything
+//! that determines a cell's result (benchmark, seed, the arm's full
+//! canonical config, budgets, warm-up policy — including the checkpoint
+//! *file content* under checkpoint warm-up) and nothing that doesn't
+//! (thread/worker counts, paths, spec names), so invalidation is exact
+//! and caches are shareable across specs. Writes are atomic and corrupt
+//! entries read as misses. Under [`WarmupMode::Checkpoint`] the workers
+//! load the same `rix-ckpt/1` snapshots the in-process path does, and
+//! `exp run --dry-run` verifies the snapshot files exist before a run
+//! is scheduled.
+//!
+//! [`DispatchOptions::workers`]: bench::DispatchOptions
+//!
 //! ## Lint a generated workload, then run it
 //!
 //! Every simulated data point starts life as a generated program, and a
@@ -252,6 +314,7 @@
 
 pub use rix_analysis as analysis;
 pub use rix_bench as bench;
+pub use rix_dispatch as dispatch;
 pub use rix_frontend as frontend;
 pub use rix_integration as integration;
 pub use rix_isa as isa;
@@ -273,9 +336,10 @@ pub mod prelude {
         analyze_program, lint_program, Cfg, Dataflow, Diagnostic, LintCode, Opportunity,
     };
     pub use rix_bench::{
-        checkpoint_path, trials_json, Axis, AxisValue, ExperimentSpec, Harness, ParamSpace,
-        Sweep, Trial, WarmupMode,
+        checkpoint_path, trials_json, Axis, AxisValue, DispatchOptions, DispatchReport,
+        ExperimentSpec, Harness, ParamSpace, Sweep, Trial, WarmupMode,
     };
+    pub use rix_dispatch::ResultCache;
     pub use rix_integration::{IndexScheme, IntegrationConfig, ReverseScope, Suppression};
     pub use rix_isa::interp::{Interp, StopReason as InterpStopReason};
     pub use rix_isa::{reg, ArchState, Asm, Instr, MemImage, Opcode, Program};
