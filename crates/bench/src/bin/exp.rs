@@ -6,11 +6,23 @@
 //!
 //! ```text
 //! exp run <spec.json> [--dry-run | --list-arms] [harness flags]
-//! exp worker            (internal: dispatch worker over stdin/stdout)
+//! exp serve <spec.json> --listen ADDR [harness flags]
+//! exp worker [--connect ADDR [--name NAME]]
+//! exp workers --status --connect ADDR [--json]
 //! ```
 //!
 //! * `exp run spec.json` — run the experiment; print a long-form result
 //!   table (bench × arm, IPC and counts).
+//! * `exp serve spec.json --listen ADDR` — the same run, but served to
+//!   remote TCP workers (`exp worker --connect ADDR` on any host that
+//!   can reach the coordinator). The listener's bound address goes to
+//!   stderr as `dispatch: listening on …`. Cells the network cannot
+//!   finish degrade to in-process execution, so the run completes.
+//! * `exp worker --connect ADDR` — a remote worker: reconnects with
+//!   backoff, heartbeats, and executes cells until shut down.
+//! * `exp workers --status --connect ADDR` — one-shot liveness query
+//!   against a serving coordinator: per-worker state, completions,
+//!   failures, reconnects.
 //! * `--dry-run` — parse and validate the spec (arms materialised,
 //!   benchmarks resolved, sweep shape checked, checkpoint warm-up files
 //!   present — missing snapshots are named), print its summary and
@@ -39,7 +51,9 @@ use rix_bench::{
 
 const EXP_USAGE: &str = "\
 usage: exp run <spec.json> [flags]\n\
-\x20      exp worker   (internal: dispatch worker, speaks rix-dispatch/1 on stdio)\n\
+\x20      exp serve <spec.json> --listen ADDR [flags]   (coordinator for remote workers)\n\
+\x20      exp worker [--connect ADDR [--name NAME]]     (remote worker; bare = stdio)\n\
+\x20      exp workers --status --connect ADDR [--json]  (query a serving coordinator)\n\
 \n\
 exp-specific flags:\n\
 \x20 --dry-run               validate the spec (incl. checkpoint files) and print\n\
@@ -80,6 +94,67 @@ fn result_doc(spec: &ExperimentSpec, trials: &[Trial], report: Option<&DispatchR
     )
 }
 
+/// `exp workers --status --connect ADDR [--json]`: one status hello to
+/// a serving coordinator, rendered as a table (or the raw
+/// `rix-dispatch-status/1` document with `--json`).
+fn workers_command(args: &[String]) -> ! {
+    use rix_isa::json::Json;
+    let mut connect: Option<String> = None;
+    let mut status = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--status" => status = true,
+            "--json" => json = true,
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i).cloned().unwrap_or_else(|| fail("--connect needs an address")),
+                );
+            }
+            other => fail(&format!("unknown `exp workers` argument `{other}`")),
+        }
+        i += 1;
+    }
+    if !status {
+        fail("`exp workers` supports exactly one query: --status");
+    }
+    let Some(addr) = connect else {
+        fail("`exp workers --status` needs --connect ADDR");
+    };
+    let doc = match rix_dispatch::query_status(&addr) {
+        Ok(doc) => doc,
+        Err(msg) => fail(&msg),
+    };
+    if json {
+        println!("{}", doc.dump());
+        std::process::exit(0);
+    }
+    let n = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "dispatch @ {addr}: {}/{} cells done, {} queued, {} retries",
+        n("cells_done"),
+        n("cells_total"),
+        n("queued"),
+        n("retries"),
+    );
+    let mut table = Table::new(&["worker", "state", "cells", "failures", "reconnects"]);
+    for w in doc.get("workers").and_then(Json::as_arr).unwrap_or(&Vec::new()) {
+        let s = |name: &str| w.get(name).and_then(Json::as_str).unwrap_or("?").to_string();
+        let u = |name: &str| w.get(name).and_then(Json::as_u64).unwrap_or(0).to_string();
+        table.row(vec![
+            s("name"),
+            s("state"),
+            u("cells_completed"),
+            u("failures"),
+            u("reconnects"),
+        ]);
+    }
+    println!("{}", table.render());
+    std::process::exit(0);
+}
+
 fn main() {
     // A coordinator re-execs this binary with the internal worker
     // argument; check before any user-facing parsing.
@@ -93,15 +168,41 @@ fn main() {
         fail("no command given");
     }
     if raw[0] == "worker" {
-        // The documented spelling of the worker entry point (the
-        // coordinator itself uses the internal argv[1] marker).
-        rix_bench::dispatch::worker_main();
+        // The documented spelling of the worker entry points: bare for
+        // stdio (the coordinator itself uses the internal argv[1]
+        // marker), `--connect` for a remote TCP worker.
+        let mut connect: Option<String> = None;
+        let mut name: Option<String> = None;
+        let mut i = 1;
+        while i < raw.len() {
+            let value = |i: &mut usize, flag: &str| -> String {
+                *i += 1;
+                raw.get(*i).cloned().unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+            };
+            match raw[i].as_str() {
+                "--connect" => connect = Some(value(&mut i, "--connect")),
+                "--name" => name = Some(value(&mut i, "--name")),
+                other => fail(&format!("unknown `exp worker` argument `{other}`")),
+            }
+            i += 1;
+        }
+        match connect {
+            Some(addr) => rix_bench::dispatch::worker_connect_main(&addr, name.as_deref()),
+            None => rix_bench::dispatch::worker_main(),
+        }
     }
-    if raw[0] != "run" {
-        fail(&format!("unknown command `{}` (expected `run` or `worker`)", raw[0]));
+    if raw[0] == "workers" {
+        workers_command(&raw[1..]);
+    }
+    let serve = raw[0] == "serve";
+    if !serve && raw[0] != "run" {
+        fail(&format!(
+            "unknown command `{}` (expected `run`, `serve`, `worker` or `workers`)",
+            raw[0]
+        ));
     }
     let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
-        fail("`exp run` needs a spec file path");
+        fail(&format!("`exp {}` needs a spec file path", raw[0]));
     };
     let mut dry_run = false;
     let mut list_arms = false;
@@ -117,6 +218,9 @@ fn main() {
         Ok(h) => h,
         Err(msg) => fail(&msg),
     };
+    if serve && h.listen.is_none() {
+        fail("`exp serve` needs --listen ADDR");
+    }
 
     let mut spec = match ExperimentSpec::load(path) {
         Ok(s) => s,
@@ -193,10 +297,13 @@ fn main() {
         return;
     }
 
-    let (trials, report) = if h.workers > 0 || h.cache.is_some() {
+    let (trials, report) = if h.workers > 0 || h.cache.is_some() || h.listen.is_some() {
         match sweep.run_distributed(&DispatchOptions::from_harness(&h)) {
             Ok((t, r)) => {
                 eprintln!("dispatch: {}", r.summary());
+                if h.verbose {
+                    eprint!("{}", r.worker_table());
+                }
                 (t, Some(r))
             }
             Err(msg) => fail(&msg),

@@ -90,9 +90,9 @@ fn parse_args() -> Result<PerfArgs, String> {
     if workloads.is_some() && harness.filter.is_some() {
         return Err("--workloads and --bench are mutually exclusive filters".into());
     }
-    if harness.workers > 0 || harness.cache.is_some() {
-        return Err("perf times the simulator in-process; --workers/--cache would measure \
-                    dispatch overhead instead of simulation speed"
+    if harness.workers > 0 || harness.cache.is_some() || harness.listen.is_some() {
+        return Err("perf times the simulator in-process; --workers/--cache/--listen would \
+                    measure dispatch overhead instead of simulation speed"
             .into());
     }
     // The record path is the shared `--output` flag; `--out` remains as

@@ -32,16 +32,38 @@
 //! is why [`crate::Trial::to_json`] — and therefore every result
 //! document — deliberately excludes it.
 //!
+//! ## Multi-host (`--listen` / `exp serve` + `exp worker --connect`)
+//!
+//! With `--listen ADDR` the coordinator spawns nothing: it binds a TCP
+//! listener and serves the *whole* grid to remote workers over
+//! `rix-dispatch/2` ([`rix_dispatch::net`]), heartbeats and all. Served
+//! runs do not prefilter against the cache — every cell ships with its
+//! key and the workers run the cache dance over the wire, so diskless
+//! remote hosts still dedup against the coordinator's local cache.
+//! Cells the network cannot finish (retry budgets spent, or all remote
+//! capacity lost past the grace period) **degrade** to in-process
+//! execution here, so a distributed sweep completes with a slower tail
+//! rather than failing; the degradation is visible in the
+//! [`DispatchReport`]. Merged trials stay byte-identical to a
+//! single-process run under any fault history.
+//!
 //! ## Fault injection (tests)
 //!
 //! `RIX_DISPATCH_FAULT=abort:K` makes worker `K` abort before running
 //! its first cell; `stall:K` makes it hang (exercising the per-cell
 //! deadline, tunable via `RIX_DISPATCH_TIMEOUT_SECS`; the retry budget
-//! via `RIX_DISPATCH_RETRIES`). The variables only affect worker
-//! processes, which inherit the coordinator's environment.
+//! via `RIX_DISPATCH_RETRIES`). TCP workers additionally honour the
+//! network-level specs `net-drop:N[:repeat]` / `net-stall:N` /
+//! `net-exit:N` (see [`rix_dispatch::transport::NetFault`]), and their
+//! reconnect schedule is tunable via `RIX_DISPATCH_BACKOFF_MS` /
+//! `RIX_DISPATCH_BACKOFF_ATTEMPTS`; the served coordinator reads
+//! `RIX_DISPATCH_HEARTBEAT_MS`, `RIX_DISPATCH_QUARANTINE` and
+//! `RIX_DISPATCH_WAIT_SECS`. The variables only affect the processes
+//! they are set for (spawned stdio workers inherit the coordinator's
+//! environment; remote workers have their own).
 
 use crate::{measure_cell, Harness, Sweep, Trial, WarmupMode};
-use rix_dispatch::{ResultCache, WORKER_ARG};
+use rix_dispatch::{ResultCache, WorkerStat, WORKER_ARG};
 use rix_isa::interp::Interp;
 use rix_isa::json::Json;
 use rix_isa::{ArchState, Program};
@@ -62,33 +84,69 @@ pub struct DispatchOptions {
     pub workers: usize,
     /// Trial cache directory (`None` = simulate everything).
     pub cache: Option<String>,
+    /// Serve the grid to remote TCP workers on this address instead of
+    /// spawning local processes (mutually exclusive with `workers`).
+    pub listen: Option<String>,
     /// Per-cell deadline before a worker is presumed hung.
     pub cell_timeout: Duration,
     /// Retries per cell after a worker death or timeout.
     pub retries: u32,
+    /// Heartbeat interval on served (TCP) runs; the liveness deadline
+    /// is 4× this.
+    pub heartbeat: Duration,
+    /// Consecutive attributed failures that quarantine a remote peer.
+    pub quarantine_after: u32,
+    /// How long a served run waits with zero connected capacity before
+    /// degrading the remaining cells to in-process execution.
+    pub worker_wait: Duration,
 }
 
 impl Default for DispatchOptions {
     fn default() -> Self {
-        Self { workers: 0, cache: None, cell_timeout: Duration::from_secs(300), retries: 2 }
+        Self {
+            workers: 0,
+            cache: None,
+            listen: None,
+            cell_timeout: Duration::from_secs(300),
+            retries: 2,
+            heartbeat: Duration::from_secs(2),
+            quarantine_after: 3,
+            worker_wait: Duration::from_secs(60),
+        }
     }
 }
 
 impl DispatchOptions {
-    /// The options a [`Harness`] command line implies: `--workers` and
-    /// `--cache`, with the deadline and retry budget overridable via
-    /// the `RIX_DISPATCH_TIMEOUT_SECS` / `RIX_DISPATCH_RETRIES`
-    /// environment variables (primarily for tests that need a short
-    /// hang deadline).
+    /// The options a [`Harness`] command line implies: `--workers`,
+    /// `--cache` and `--listen`, with the fault-tolerance budgets
+    /// overridable via environment variables (primarily for tests that
+    /// need short deadlines): `RIX_DISPATCH_TIMEOUT_SECS` (cell
+    /// deadline), `RIX_DISPATCH_RETRIES` (retry budget),
+    /// `RIX_DISPATCH_HEARTBEAT_MS` (served-run heartbeat),
+    /// `RIX_DISPATCH_QUARANTINE` (consecutive-failure threshold) and
+    /// `RIX_DISPATCH_WAIT_SECS` (zero-capacity grace period).
     #[must_use]
     pub fn from_harness(h: &Harness) -> Self {
-        let mut opts =
-            Self { workers: h.workers, cache: h.cache.clone(), ..Self::default() };
+        let mut opts = Self {
+            workers: h.workers,
+            cache: h.cache.clone(),
+            listen: h.listen.clone(),
+            ..Self::default()
+        };
         if let Some(secs) = env_u64("RIX_DISPATCH_TIMEOUT_SECS") {
             opts.cell_timeout = Duration::from_secs(secs.max(1));
         }
         if let Some(r) = env_u64("RIX_DISPATCH_RETRIES") {
             opts.retries = u32::try_from(r).unwrap_or(u32::MAX);
+        }
+        if let Some(ms) = env_u64("RIX_DISPATCH_HEARTBEAT_MS") {
+            opts.heartbeat = Duration::from_millis(ms.max(1));
+        }
+        if let Some(k) = env_u64("RIX_DISPATCH_QUARANTINE") {
+            opts.quarantine_after = u32::try_from(k.max(1)).unwrap_or(u32::MAX);
+        }
+        if let Some(secs) = env_u64("RIX_DISPATCH_WAIT_SECS") {
+            opts.worker_wait = Duration::from_secs(secs);
         }
         opts
     }
@@ -103,7 +161,7 @@ fn env_u64(name: &str) -> Option<u64> {
 /// `exp` result document's `cache` section when a cache is in use) —
 /// never inside trial records, which stay byte-stable across worker
 /// counts and fault histories.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DispatchReport {
     /// Grid cells in the run.
     pub cells: usize,
@@ -112,12 +170,20 @@ pub struct DispatchReport {
     pub simulated: usize,
     /// Cells reused from the cache.
     pub cache_hits: usize,
-    /// Worker processes spawned (0 for an in-process run).
+    /// Worker processes spawned, or distinct remote peers that
+    /// connected (0 for an in-process run).
     pub workers_spawned: usize,
-    /// Workers lost to death or deadline.
+    /// Workers lost to death, deadline, or liveness expiry.
     pub workers_lost: usize,
     /// Cell assignments retried after a loss.
     pub retries: u64,
+    /// Cells that degraded from remote workers to in-process execution
+    /// (served runs only).
+    pub degraded: u64,
+    /// Remote peers quarantined for consecutive failures.
+    pub quarantined: usize,
+    /// Per-worker detail for `--verbose` (empty for in-process runs).
+    pub workers: Vec<WorkerStat>,
 }
 
 impl DispatchReport {
@@ -135,6 +201,37 @@ impl DispatchReport {
             s.push_str(&format!(
                 " ({} lost, {} cell retries)",
                 self.workers_lost, self.retries
+            ));
+        }
+        if self.degraded > 0 {
+            s.push_str(&format!(", {} degraded to in-process", self.degraded));
+        }
+        if self.quarantined > 0 {
+            s.push_str(&format!(", {} quarantined", self.quarantined));
+        }
+        s
+    }
+
+    /// Multi-line per-worker table (liveness, completions, failures,
+    /// reconnects, quarantine) for `--verbose`. Empty string when the
+    /// run had no workers.
+    #[must_use]
+    pub fn worker_table(&self) -> String {
+        if self.workers.is_empty() {
+            return String::new();
+        }
+        let mut s = format!(
+            "{:<16} {:<12} {:>6} {:>9} {:>11}\n",
+            "worker", "state", "cells", "failures", "reconnects"
+        );
+        for w in &self.workers {
+            s.push_str(&format!(
+                "{:<16} {:<12} {:>6} {:>9} {:>11}\n",
+                w.name,
+                w.state(),
+                w.cells_completed,
+                w.failures,
+                w.reconnects
             ));
         }
         s
@@ -376,28 +473,18 @@ pub(crate) fn run_sweep_distributed(
     sweep: &Sweep,
     opts: &DispatchOptions,
 ) -> Result<(Vec<Trial>, DispatchReport), String> {
+    if let Some(addr) = &opts.listen {
+        if opts.workers > 0 {
+            return Err("--listen and --workers are mutually exclusive".to_string());
+        }
+        return run_sweep_served(sweep, opts, addr);
+    }
     sweep.validate()?;
     sweep.validate_checkpoint_files()?;
     let narms = sweep.configs.len();
     let total = sweep.benchmarks.len() * narms;
     let cache = opts.cache.as_ref().map(ResultCache::open).transpose()?;
-    // Under checkpoint warm-up, cache keys embed each snapshot file's
-    // content hash (existence was validated above).
-    let ckpt_hashes: Vec<Option<String>> = match (&sweep.warmup_mode, &cache) {
-        (WarmupMode::Checkpoint { dir }, Some(_)) => sweep
-            .benchmarks
-            .iter()
-            .map(|b| {
-                let path = crate::checkpoint_path(dir, b.name, sweep.seed);
-                std::fs::read(&path)
-                    .map(|bytes| Some(rix_dispatch::hash::fnv128_hex(&bytes)))
-                    .map_err(|e| {
-                        format!("cannot read warm-up checkpoint {}: {e}", path.display())
-                    })
-            })
-            .collect::<Result<_, _>>()?,
-        _ => vec![None; sweep.benchmarks.len()],
-    };
+    let ckpt_hashes = checkpoint_hashes(sweep, cache.is_some())?;
 
     let mut trials: Vec<Option<Trial>> = (0..total).map(|_| None).collect();
     let mut keys: Vec<Option<String>> = vec![None; total];
@@ -448,7 +535,8 @@ pub(crate) fn run_sweep_distributed(
                 retries: opts.retries,
                 worker_cmd: None,
             };
-            let (payloads, summary) = rix_dispatch::dispatch_cells(&plan, &misses, &pool)?;
+            let (payloads, summary) = rix_dispatch::dispatch_cells(&plan, &misses, &pool)
+                .map_err(|e| describe_pool_error(e, sweep, narms))?;
             pool_summary = summary;
             payloads
         };
@@ -478,6 +566,167 @@ pub(crate) fn run_sweep_distributed(
             workers_spawned: pool_summary.workers_spawned,
             workers_lost: pool_summary.workers_lost,
             retries: pool_summary.retries,
+            degraded: pool_summary.degraded_cells,
+            quarantined: pool_summary.quarantined,
+            workers: pool_summary.workers,
+        },
+    ))
+}
+
+/// Under checkpoint warm-up with a cache, each snapshot file's content
+/// hash goes into its row's cache keys (file existence was validated by
+/// the caller).
+fn checkpoint_hashes(sweep: &Sweep, caching: bool) -> Result<Vec<Option<String>>, String> {
+    match &sweep.warmup_mode {
+        WarmupMode::Checkpoint { dir } if caching => sweep
+            .benchmarks
+            .iter()
+            .map(|b| {
+                let path = crate::checkpoint_path(dir, b.name, sweep.seed);
+                std::fs::read(&path)
+                    .map(|bytes| Some(rix_dispatch::hash::fnv128_hex(&bytes)))
+                    .map_err(|e| {
+                        format!("cannot read warm-up checkpoint {}: {e}", path.display())
+                    })
+            })
+            .collect(),
+        _ => Ok(vec![None; sweep.benchmarks.len()]),
+    }
+}
+
+/// Renders a pool error with the failing cell named in grid terms —
+/// `gcc/integration (seed 7)`, not `cell 5` — plus the cell's fault
+/// history, so a retry-budget exhaustion tells the user exactly which
+/// benchmark/arm to investigate.
+fn describe_pool_error(e: rix_dispatch::PoolError, sweep: &Sweep, narms: usize) -> String {
+    e.with_cell_description(|cell| {
+        let i = usize::try_from(cell).ok()?;
+        let bench = sweep.benchmarks.get(i / narms)?;
+        let (label, _) = sweep.configs.get(i % narms)?;
+        Some(format!("{}/{} (seed {})", bench.name, label, sweep.seed))
+    })
+    .to_string()
+}
+
+/// A served (TCP) run: bind the listener, hand the whole grid to
+/// [`rix_dispatch::serve_cells`] — no cache prefilter; keyed cells let
+/// remote workers run the cache dance against our local cache — and
+/// finish whatever degraded back to us in-process. See the
+/// [module docs](self).
+fn run_sweep_served(
+    sweep: &Sweep,
+    opts: &DispatchOptions,
+    addr: &str,
+) -> Result<(Vec<Trial>, DispatchReport), String> {
+    sweep.validate()?;
+    sweep.validate_checkpoint_files()?;
+    let narms = sweep.configs.len();
+    let total = sweep.benchmarks.len() * narms;
+    let cache = opts.cache.as_ref().map(ResultCache::open).transpose()?;
+    let ckpt_hashes = checkpoint_hashes(sweep, cache.is_some())?;
+    let keys: Option<Vec<String>> = if cache.is_some() {
+        let mut keys = Vec::with_capacity(total);
+        for i in 0..total {
+            let (bi, ai) = (i / narms, i % narms);
+            let (label, cfg) = &sweep.configs[ai];
+            let desc = cell_descriptor(
+                sweep,
+                &sweep.benchmarks[bi],
+                label,
+                cfg,
+                ckpt_hashes[bi].as_deref(),
+            )?;
+            keys.push(ResultCache::key(&desc));
+        }
+        Some(keys)
+    } else {
+        None
+    };
+
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    eprintln!("dispatch: listening on {local}");
+
+    let cfg = rix_dispatch::NetPoolConfig {
+        cell_timeout: opts.cell_timeout,
+        retries: opts.retries,
+        heartbeat: opts.heartbeat,
+        quarantine_after: opts.quarantine_after,
+        worker_wait: opts.worker_wait,
+    };
+    let plan = plan_json(sweep);
+    let cells: Vec<u64> = (0..total as u64).collect();
+    let outcome =
+        rix_dispatch::serve_cells(listener, &plan, &cells, keys.as_deref(), cache.as_ref(), &cfg)
+            .map_err(|e| describe_pool_error(e, sweep, narms))?;
+    let summary = outcome.summary;
+    let mut hits = usize::try_from(summary.cache_hits).unwrap_or(usize::MAX);
+
+    let mut trials: Vec<Option<Trial>> = (0..total).map(|_| None).collect();
+    for (i, payload) in outcome.payloads.iter().enumerate() {
+        if let Some(payload) = payload {
+            let (bi, ai) = (i / narms, i % narms);
+            trials[i] = Some(trial_from_payload(
+                sweep.benchmarks[bi].name,
+                &sweep.configs[ai].0,
+                payload,
+            )?);
+        }
+    }
+
+    // Graceful degradation: whatever the network could not finish runs
+    // here, through the same plan round trip as every other path.
+    if !outcome.unfinished.is_empty() {
+        eprintln!(
+            "dispatch: finishing {} degraded cell(s) in-process",
+            outcome.unfinished.len()
+        );
+        let mut runner = CellRunner::new(
+            plan_from_json(&plan).map_err(|e| format!("internal dispatch plan: {e}"))?,
+        );
+        for &i in &outcome.unfinished {
+            let (bi, ai) = (i / narms, i % narms);
+            let (bench, label) = (sweep.benchmarks[bi].name, &sweep.configs[ai].0);
+            let key = keys.as_ref().map(|k| k[i].as_str());
+            if let (Some(cache), Some(key)) = (&cache, key) {
+                let hit = cache
+                    .load(key)
+                    .and_then(|payload| trial_from_payload(bench, label, &payload).ok());
+                if let Some(trial) = hit {
+                    trials[i] = Some(trial);
+                    hits += 1;
+                    continue;
+                }
+            }
+            let (result, wall) = runner.run(i as u64)?;
+            let payload = payload_json(&result, wall)?;
+            if let (Some(cache), Some(key)) = (&cache, key) {
+                let entry = Json::Obj(vec![("result".into(), payload.req("result")?.clone())]);
+                cache.store(key, &entry)?;
+            }
+            trials[i] = Some(trial_from_payload(bench, label, &payload)?);
+        }
+    }
+
+    let trials = trials
+        .into_iter()
+        .map(|t| t.ok_or_else(|| "internal: unfilled trial slot".to_string()))
+        .collect::<Result<Vec<Trial>, String>>()?;
+    Ok((
+        trials,
+        DispatchReport {
+            cells: total,
+            simulated: total - hits,
+            cache_hits: hits,
+            workers_spawned: summary.workers_spawned,
+            workers_lost: summary.workers_lost,
+            retries: summary.retries,
+            degraded: summary.degraded_cells,
+            quarantined: summary.quarantined,
+            workers: summary.workers,
         },
     ))
 }
@@ -512,6 +761,59 @@ pub fn worker_main() -> ! {
         let (result, wall) = runner.run(cell)?;
         payload_json(&result, wall)
     })
+}
+
+/// The remote worker entry point (`exp worker --connect ADDR`):
+/// connect to a served coordinator, reconnecting with exponential
+/// backoff + jitter under a capped attempt budget, and execute assigned
+/// cells until told to shut down. Exits 0 on a clean `shutdown`, 1 on a
+/// fatal executor error, 2 when the reconnect budget is spent, 3 when
+/// quarantined.
+pub fn worker_connect_main(addr: &str, name: Option<&str>) -> ! {
+    let name = name.map_or_else(default_worker_name, str::to_string);
+    let backoff = backoff_from_env();
+    let mut state: Option<(u64, CellRunner)> = None;
+    let code = rix_dispatch::connect_worker(addr, &name, &backoff, move |init, cell| {
+        if state.is_none() {
+            let worker = init.req_u64("worker")?;
+            let plan = plan_from_json(init.req("plan")?)?;
+            state = Some((worker, CellRunner::new(plan)));
+        }
+        let (worker, runner) = state.as_mut().ok_or("worker state just initialised")?;
+        inject_fault(*worker);
+        let (result, _wall) = runner.run(cell)?;
+        // No wall clock in remote payloads: the coordinator writes
+        // cache entries straight from them, and host timing is not
+        // content — a cell simulated remotely must produce the same
+        // bytes as one simulated anywhere else.
+        let r = Json::parse(&rix_sim::checkpoint::result_to_json(&result))?;
+        Ok(Json::Obj(vec![("result".into(), r)]))
+    });
+    std::process::exit(code)
+}
+
+/// The default hello name for a remote worker: `w{pid}`, unique enough
+/// per host and stable across that worker's reconnects (which is what
+/// quarantine accounting keys on).
+fn default_worker_name() -> String {
+    format!("w{}", std::process::id())
+}
+
+/// The reconnect schedule, tunable for tests: `RIX_DISPATCH_BACKOFF_MS`
+/// scales the base delay (the cap scales with it so short schedules
+/// stay short), `RIX_DISPATCH_BACKOFF_ATTEMPTS` bounds the budget. The
+/// jitter seed is the pid, so a fleet restarting together spreads out.
+fn backoff_from_env() -> rix_dispatch::Backoff {
+    let mut b =
+        rix_dispatch::Backoff { seed: u64::from(std::process::id()), ..Default::default() };
+    if let Some(ms) = env_u64("RIX_DISPATCH_BACKOFF_MS") {
+        b.base = Duration::from_millis(ms.max(1));
+        b.cap = b.base.saturating_mul(8).min(b.cap.max(b.base));
+    }
+    if let Some(n) = env_u64("RIX_DISPATCH_BACKOFF_ATTEMPTS") {
+        b.max_attempts = u32::try_from(n).unwrap_or(u32::MAX);
+    }
+    b
 }
 
 /// Test-only fault injection, keyed by worker id so tests are

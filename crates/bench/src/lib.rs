@@ -170,6 +170,13 @@ pub struct Harness {
     /// under an identical configuration are reused instead of re-run
     /// (see [`dispatch`]).
     pub cache: Option<String>,
+    /// Serve the sweep to remote TCP workers on this address instead of
+    /// spawning local worker processes (`exp serve`; see
+    /// [`dispatch`]). Mutually exclusive with [`Harness::workers`].
+    pub listen: Option<String>,
+    /// Print the per-worker dispatch table (liveness, completions,
+    /// failures, reconnects, quarantine) after a distributed run.
+    pub verbose: bool,
     /// Which flags were given explicitly on the command line (vs left at
     /// their defaults) — what an [`ExperimentSpec`] lets the CLI
     /// override.
@@ -206,6 +213,8 @@ impl Default for Harness {
             output: None,
             workers: 0,
             cache: None,
+            listen: None,
+            verbose: false,
             given: GivenFlags::default(),
         }
     }
@@ -233,6 +242,10 @@ impl Harness {
          \x20 --cache DIR             content-addressed trial cache: reuse every cell already\n\
          \x20                         simulated under an identical configuration, simulate\n\
          \x20                         and store the rest\n\
+         \x20 --listen ADDR           serve the sweep to remote TCP workers on ADDR\n\
+         \x20                         (e.g. 0.0.0.0:7777; pair with `exp worker --connect`;\n\
+         \x20                         mutually exclusive with --workers)\n\
+         \x20 --verbose               print the per-worker dispatch table after the run\n\
          \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
          \x20 --help, -h              this message"
     }
@@ -330,10 +343,19 @@ impl Harness {
                         .ok_or_else(|| format!("--workers takes a count >= 1, got `{v}`"))?;
                 }
                 "--cache" => h.cache = Some(value(&args, &mut i, "--cache")?),
+                "--listen" => h.listen = Some(value(&args, &mut i, "--listen")?),
+                "--verbose" => h.verbose = true,
                 "--diagnostics" => h.diagnostics = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
             i += 1;
+        }
+        if h.listen.is_some() && h.workers > 0 {
+            return Err(
+                "--listen and --workers are mutually exclusive (serve to remote workers \
+                 OR spawn local ones)"
+                    .to_string(),
+            );
         }
         Ok(h)
     }

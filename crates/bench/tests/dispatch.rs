@@ -6,12 +6,25 @@
 //! (an aborted or stalled worker's cells are retried and the merged
 //! document converges to the no-failure bytes), checkpoint-seeded
 //! warm-up hand-off, and the `--dry-run` missing-checkpoint report.
+//!
+//! Plus the multi-host (TCP) transport: `exp serve` + `exp worker
+//! --connect` byte-identity, mid-cell worker kills (requeue on a
+//! healthy peer), reconnect after a dropped connection, half-open
+//! stall detection via heartbeat liveness, quarantine of a repeat
+//! offender, graceful degradation with no workers at all, the remote
+//! cache dance, and `exp workers --status`. Network faults are injected
+//! with `RIX_DISPATCH_FAULT=net-{exit,drop,stall}:N` in the *worker's*
+//! environment — the coordinator's own environment carries the budget
+//! knobs (`RIX_DISPATCH_{HEARTBEAT_MS,QUARANTINE,WAIT_SECS,RETRIES}`).
 
 use rix_bench::{checkpoint_path, Harness};
 use rix_isa::json::Json;
 use rix_sim::{SimConfig, Simulator, StopWhen};
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const EXP: &str = env!("CARGO_BIN_EXE_exp");
 
@@ -75,6 +88,93 @@ fn cache_counts(doc: &str) -> (u64, u64) {
 
 fn trials_of(doc: &str) -> String {
     Json::parse(doc).expect("parses").req("trials").expect("trials").dump()
+}
+
+// ----- multi-host helpers -----------------------------------------------
+
+/// A serving coordinator (`exp serve … --listen 127.0.0.1:0`): its
+/// bound address parsed from the `dispatch: listening on …` stderr
+/// line, the rest of its stderr drained into a shared buffer so tests
+/// can both sequence on it (wait for a worker to connect) and assert on
+/// it after the fact.
+struct Serve {
+    child: Child,
+    addr: String,
+    stderr: Arc<Mutex<String>>,
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+fn spawn_serve(spec: &str, extra: &[&str], envs: &[(&str, &str)]) -> Serve {
+    let mut cmd = Command::new(EXP);
+    cmd.args(["serve", spec, "--json", "--listen", "127.0.0.1:0"]);
+    cmd.args(extra);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("serve spawns");
+    let mut reader = std::io::BufReader::new(child.stderr.take().expect("stderr piped"));
+    let stderr = Arc::new(Mutex::new(String::new()));
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read serve stderr") == 0 {
+            panic!("serve exited before listening:\n{}", stderr.lock().expect("lock"));
+        }
+        stderr.lock().expect("lock").push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("dispatch: listening on ") {
+            break rest.to_string();
+        }
+    };
+    let acc = Arc::clone(&stderr);
+    let drain = std::thread::spawn(move || {
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            acc.lock().expect("lock").push_str(&line);
+            line.clear();
+        }
+    });
+    Serve { child, addr, stderr, drain: Some(drain) }
+}
+
+impl Serve {
+    /// Blocks until the coordinator's stderr contains `needle` (e.g. a
+    /// `worker NAME connected` line) — how tests sequence "this worker
+    /// holds a cell" without sleeping blind.
+    fn wait_stderr_contains(&self, needle: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            if self.stderr.lock().expect("lock").contains(needle) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("serve stderr never contained `{needle}`:\n{}", self.stderr.lock().expect("lock"));
+    }
+
+    /// Waits for the run to end; returns `(stdout, stderr, success)`.
+    fn finish(mut self) -> (String, String, bool) {
+        let out = self.child.wait_with_output().expect("serve waits");
+        if let Some(drain) = self.drain.take() {
+            let _ = drain.join();
+        }
+        let stderr = self.stderr.lock().expect("lock").clone();
+        (String::from_utf8(out.stdout).expect("utf-8 result doc"), stderr, out.status.success())
+    }
+}
+
+/// A remote worker (`exp worker --connect ADDR --name NAME`) with a
+/// fast, bounded reconnect schedule so tests never sleep long and
+/// orphans die on their own once the coordinator is gone.
+fn spawn_worker(addr: &str, name: &str, envs: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(EXP);
+    cmd.args(["worker", "--connect", addr, "--name", name]);
+    cmd.env("RIX_DISPATCH_BACKOFF_MS", "20");
+    cmd.env("RIX_DISPATCH_BACKOFF_ATTEMPTS", "40");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.stdout(Stdio::null()).stderr(Stdio::null());
+    cmd.spawn().expect("worker spawns")
 }
 
 #[test]
@@ -261,4 +361,237 @@ fn harness_parses_the_dispatch_flags() {
     assert_eq!(h.cache, None);
     let err = Harness::try_parse(args("--workers 0")).expect_err("rejects zero");
     assert!(err.contains("--workers"), "{err}");
+    let h = Harness::try_parse(args("--listen 0.0.0.0:7777 --verbose")).expect("parses");
+    assert_eq!(h.listen.as_deref(), Some("0.0.0.0:7777"));
+    assert!(h.verbose);
+    let err = Harness::try_parse(args("--listen :0 --workers 2")).expect_err("exclusive");
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn retry_exhaustion_names_the_failing_cell() {
+    // A one-worker pool whose only worker stalls on its first cell,
+    // with no retry budget: the run must fail, and the error must name
+    // the cell in grid terms (bench/arm and seed) plus its fault
+    // history — not just an opaque cell number.
+    let dir = scratch("budget-error");
+    let spec = write_spec(&dir, SPEC);
+    let out = exp(
+        &["run", &spec, "--json", "--workers", "1"],
+        &[
+            ("RIX_DISPATCH_FAULT", "stall:0"),
+            ("RIX_DISPATCH_TIMEOUT_SECS", "1"),
+            ("RIX_DISPATCH_RETRIES", "0"),
+        ],
+    );
+    assert!(!out.status.success(), "a spent retry budget fails the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gcc/base (seed 7)"), "the cell is named in grid terms:\n{stderr}");
+    assert!(stderr.contains("fault history"), "the cell's history is included:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- the multi-host transport -----------------------------------------
+
+#[test]
+fn tcp_workers_are_byte_identical_to_in_process() {
+    let dir = scratch("tcp-identity");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    let serve = spawn_serve(&spec, &[], &[]);
+    let mut w1 = spawn_worker(&serve.addr, "alpha", &[]);
+    let mut w2 = spawn_worker(&serve.addr, "beta", &[]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "served run succeeds:\n{stderr}");
+    assert_eq!(doc, reference, "TCP trials merge to the in-process bytes");
+    assert!(stderr.contains("workers"), "peers counted:\n{stderr}");
+    // 0 = clean shutdown; 2 = the grid drained before this peer got in
+    // and its reconnect budget spent against the closed listener.
+    for (name, w) in [("alpha", &mut w1), ("beta", &mut w2)] {
+        let code = w.wait().expect("worker exits").code();
+        assert!(matches!(code, Some(0 | 2)), "{name} exit {code:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_tcp_worker_mid_cell_requeues_and_converges() {
+    let dir = scratch("tcp-kill");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    let serve = spawn_serve(&spec, &["--verbose"], &[]);
+    // The victim dies at its 2nd actionable frame — init is the 1st, so
+    // it exits holding its first cell; a healthy peer finishes it.
+    let mut victim =
+        spawn_worker(&serve.addr, "victim", &[("RIX_DISPATCH_FAULT", "net-exit:2")]);
+    serve.wait_stderr_contains("worker victim connected");
+    let mut steady = spawn_worker(&serve.addr, "steady", &[]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "the kill does not fail the run:\n{stderr}");
+    assert_eq!(doc, reference, "requeued cells merge to the no-failure bytes");
+    assert!(stderr.contains("1 lost"), "the loss lands in the summary:\n{stderr}");
+    assert!(stderr.contains("cell retries"), "so does the requeue:\n{stderr}");
+    // --verbose: the per-worker table names both peers and their fates.
+    assert!(stderr.contains("victim"), "table names the lost peer:\n{stderr}");
+    assert!(stderr.contains("steady"), "and the healthy one:\n{stderr}");
+    assert_eq!(victim.wait().expect("victim exits").code(), Some(86), "injected exit");
+    let _ = steady.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_connection_reconnects_with_backoff_and_converges() {
+    let dir = scratch("tcp-drop");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    let serve = spawn_serve(&spec, &["--verbose"], &[]);
+    // One worker, one injected drop: it loses its first cell, comes
+    // back through the backoff schedule, and finishes the whole grid.
+    let mut w = spawn_worker(&serve.addr, "flaky", &[("RIX_DISPATCH_FAULT", "net-drop:2")]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "the drop does not fail the run:\n{stderr}");
+    assert_eq!(doc, reference);
+    assert!(stderr.contains("1 lost"), "{stderr}");
+    let _ = w.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_tcp_worker_is_declared_lost_by_liveness() {
+    let dir = scratch("tcp-stall");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    // A half-open peer sends nothing — no result, no EOF, no pings. The
+    // 4×heartbeat liveness deadline is the only thing that can catch
+    // it; shrink the heartbeat so it catches quickly.
+    let serve = spawn_serve(&spec, &[], &[("RIX_DISPATCH_HEARTBEAT_MS", "100")]);
+    let mut sleepy =
+        spawn_worker(&serve.addr, "sleepy", &[("RIX_DISPATCH_FAULT", "net-stall:2")]);
+    serve.wait_stderr_contains("worker sleepy connected");
+    std::thread::sleep(Duration::from_millis(150)); // let its cell land
+    let mut steady = spawn_worker(&serve.addr, "steady", &[]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "the stall does not fail the run:\n{stderr}");
+    assert_eq!(doc, reference, "the stalled cell re-ran elsewhere to the same bytes");
+    assert!(stderr.contains("1 lost"), "liveness expiry is a loss:\n{stderr}");
+    // The stalled process sleeps forever by design; reap it.
+    let _ = sleepy.kill();
+    let _ = sleepy.wait();
+    let _ = steady.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeat_offender_is_quarantined_and_the_run_converges() {
+    let dir = scratch("tcp-quarantine");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    let serve = spawn_serve(
+        &spec,
+        &["--verbose"],
+        &[("RIX_DISPATCH_QUARANTINE", "1"), ("RIX_DISPATCH_RETRIES", "4")],
+    );
+    // `badpeer` drops every connection on its first cell (`:repeat`);
+    // one attributed failure quarantines it, so its reconnects are
+    // refused work and the grid drains to the healthy peer.
+    let mut bad =
+        spawn_worker(&serve.addr, "badpeer", &[("RIX_DISPATCH_FAULT", "net-drop:2:repeat")]);
+    serve.wait_stderr_contains("worker badpeer connected");
+    let mut steady = spawn_worker(&serve.addr, "steady", &[]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "quarantine does not fail the run:\n{stderr}");
+    assert_eq!(doc, reference);
+    assert!(stderr.contains("1 quarantined"), "{stderr}");
+    assert!(stderr.contains("quarantined"), "table shows the state:\n{stderr}");
+    // Exit 3 when its reconnect was told `quarantine`; exit 2 when the
+    // run ended (listener gone) before it got back in.
+    let code = bad.wait().expect("badpeer exits").code();
+    assert!(matches!(code, Some(2 | 3)), "badpeer exit {code:?}");
+    let _ = steady.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_workers_lost_degrades_to_in_process_and_completes() {
+    let dir = scratch("tcp-degrade");
+    let spec = write_spec(&dir, SPEC);
+    let reference = run_json(&[], &[], &spec);
+    // Nobody ever connects: after the (shortened) zero-capacity grace
+    // period every cell degrades to the coordinator's own process and
+    // the run still exits 0 with identical bytes.
+    let serve = spawn_serve(&spec, &[], &[("RIX_DISPATCH_WAIT_SECS", "1")]);
+    let (doc, stderr, ok) = serve.finish();
+    assert!(ok, "graceful degradation completes the run:\n{stderr}");
+    assert_eq!(doc, reference, "degraded cells produce the same bytes");
+    assert!(stderr.contains("4 degraded to in-process"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn remote_cache_dance_round_trips_over_the_wire() {
+    let dir = scratch("tcp-cache");
+    let spec = write_spec(&dir, SPEC);
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("utf-8");
+
+    // Cold served run: the worker's lookups all miss, it stores
+    // everything back over the wire into the coordinator's cache.
+    let serve = spawn_serve(&spec, &["--cache", cache], &[]);
+    let mut w = spawn_worker(&serve.addr, "first", &[]);
+    let (cold, stderr, ok) = serve.finish();
+    assert!(ok, "{stderr}");
+    assert_eq!(cache_counts(&cold), (0, 4), "cold served run misses everything");
+    let _ = w.wait();
+
+    // Warm served run: the (diskless) worker is served four hits and
+    // simulates nothing.
+    let serve = spawn_serve(&spec, &["--cache", cache], &[]);
+    let mut w = spawn_worker(&serve.addr, "second", &[]);
+    let (warm, stderr, ok) = serve.finish();
+    assert!(ok, "{stderr}");
+    assert_eq!(cache_counts(&warm), (4, 0), "warm served run is all remote hits");
+    assert_eq!(trials_of(&cold), trials_of(&warm), "reused trials are byte-identical");
+    let _ = w.wait();
+
+    // And the cache is transport-agnostic: an in-process --cache run
+    // reuses what the TCP run stored.
+    let local = run_json(&["--cache", cache], &[], &spec);
+    assert_eq!(cache_counts(&local), (4, 0), "stdio and TCP share entries");
+    assert_eq!(trials_of(&cold), trials_of(&local));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workers_status_reports_queue_and_liveness() {
+    let dir = scratch("tcp-status");
+    let spec = write_spec(&dir, SPEC);
+    // Hold the run open (nothing connected, generous grace period) and
+    // query it from outside.
+    let serve = spawn_serve(&spec, &[], &[("RIX_DISPATCH_WAIT_SECS", "30")]);
+    let out = exp(&["workers", "--status", "--connect", &serve.addr], &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(table.contains("0/4 cells done"), "{table}");
+    assert!(table.contains("4 queued"), "{table}");
+
+    // Let a worker in, then finish; a `--json` status query mid-run
+    // parses as the documented schema.
+    let mut w = spawn_worker(&serve.addr, "probe", &[]);
+    serve.wait_stderr_contains("worker probe connected");
+    let out = exp(&["workers", "--status", "--json", "--connect", &serve.addr], &[]);
+    if out.status.success() {
+        // (The run may already have finished; only assert when it was
+        // actually answered.)
+        let doc = Json::parse(String::from_utf8(out.stdout).expect("utf-8").trim())
+            .expect("status document parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("rix-dispatch-status/1"),
+            "documented schema"
+        );
+    }
+    let (_, stderr, ok) = serve.finish();
+    assert!(ok, "{stderr}");
+    let _ = w.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -18,9 +18,21 @@
 use crate::hash::fnv128_hex;
 use rix_isa::json::Json;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::SystemTime;
 
 /// The on-disk entry schema.
 pub const CACHE_SCHEMA: &str = "rix-trial-cache/1";
+
+/// When this process started, captured once — the stale-temp-file
+/// cutoff. A temp file older than this cannot belong to a live write of
+/// ours, and a concurrent writer's temp file only exists for the
+/// instant between write and rename — so anything predating our start
+/// is a crash leftover.
+fn process_start() -> SystemTime {
+    static START: OnceLock<SystemTime> = OnceLock::new();
+    *START.get_or_init(SystemTime::now)
+}
 
 /// A directory of content-addressed cell results. See the
 /// [module docs](self).
@@ -30,12 +42,39 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory, sweeping away
+    /// temp files left behind by crashed writers (anything matching the
+    /// `.{key}.{pid}.tmp` shape with a modification time before this
+    /// process started).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, String> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create cache directory `{}`: {e}", dir.display()))?;
-        Ok(Self { dir })
+        let cache = Self { dir };
+        cache.sweep_stale_tmp(process_start());
+        Ok(cache)
+    }
+
+    /// Deletes crash-leftover temp files older than `cutoff`. Best
+    /// effort on a shared directory: races (another opener sweeping the
+    /// same file, a writer renaming it away) just make the remove a
+    /// no-op, and sweep failures never fail the open.
+    fn sweep_stale_tmp(&self, cutoff: SystemTime) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !(name.starts_with('.') && name.ends_with(".tmp")) {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .is_ok_and(|mtime| mtime < cutoff);
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The cache directory.
@@ -147,6 +186,44 @@ mod tests {
         // And a rewrite heals it.
         cache.store(&key, &payload).unwrap();
         assert_eq!(cache.load(&key), Some(payload));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_fresh_ones_kept() {
+        let dir = scratch_dir("tmp-sweep");
+        let cache = ResultCache::open(&dir).unwrap();
+        let stale = dir.join(".deadbeef.12345.tmp");
+        let fresh = dir.join(".cafebabe.12346.tmp");
+        let entry = dir.join("deadbeef.json");
+        std::fs::write(&stale, "half-written").unwrap();
+        std::fs::write(&fresh, "in flight").unwrap();
+        std::fs::write(&entry, "a real entry").unwrap();
+
+        // A cutoff in the future marks both tmp files stale; real
+        // entries are never touched.
+        cache.sweep_stale_tmp(SystemTime::now() + std::time::Duration::from_secs(3600));
+        assert!(!stale.exists(), "stale tmp file swept");
+        assert!(!fresh.exists());
+        assert!(entry.exists(), "committed entries survive the sweep");
+
+        // A cutoff in the past keeps everything.
+        std::fs::write(&stale, "half-written").unwrap();
+        cache.sweep_stale_tmp(SystemTime::now() - std::time::Duration::from_secs(3600));
+        assert!(stale.exists(), "young tmp files are presumed live");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn open_does_not_sweep_tmp_files_written_after_process_start() {
+        // An in-flight writer's tmp file (necessarily younger than any
+        // live process's start) must survive a concurrent open.
+        let dir = scratch_dir("tmp-live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = dir.join(".0123abcd.999.tmp");
+        std::fs::write(&live, "concurrent write in flight").unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(live.exists(), "open must not sweep fresh tmp files");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

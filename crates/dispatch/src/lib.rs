@@ -1,8 +1,10 @@
-//! # rix-dispatch: multi-process experiment dispatch
+//! # rix-dispatch: multi-process and multi-host experiment dispatch
 //!
 //! The experiment layer's service tier: a [`pool`] coordinator that
-//! shards independent grid cells across **worker processes**, a
-//! [`worker`] serve loop those processes run, and a content-addressed
+//! shards independent grid cells across **worker processes** over
+//! stdio, a [`net`] coordinator that does the same across **remote
+//! workers** over TCP, the [`worker`] serve loop those workers run, a
+//! [`transport`] abstraction both share, and a content-addressed
 //! result [`cache`] so a re-run only simulates what changed.
 //!
 //! The crate is deliberately generic — it knows nothing about
@@ -13,46 +15,110 @@
 //! config) grid semantics on top; anything else with independent,
 //! deterministic, numberable work units can reuse the same pool.
 //!
-//! ## Protocol (`rix-dispatch/1`)
+//! ## Protocol (`rix-dispatch/2`, superset of `/1`)
 //!
-//! Newline-delimited JSON over the worker's stdio (stderr passes
-//! through to the coordinator's, so worker diagnostics stay visible):
+//! Newline-delimited JSON frames. Over stdio the channel is the
+//! worker's stdin/stdout (stderr passes through to the coordinator's,
+//! so worker diagnostics stay visible); over TCP it is one socket per
+//! worker connection. The `/1` core:
 //!
 //! ```text
-//! coordinator → worker   {"schema":"rix-dispatch/1","type":"init","worker":0,"plan":{…}}
-//! coordinator → worker   {"type":"cell","cell":5}
+//! coordinator → worker   {"schema":"rix-dispatch/2","type":"init","worker":0,
+//!                         "heartbeat_ms":2000,"cache":true,"plan":{…}}
+//! coordinator → worker   {"type":"cell","cell":5,"key":"<cache key>"}
 //! worker → coordinator   {"type":"result","cell":5,"payload":{…}}
 //! worker → coordinator   {"type":"error","cell":5,"message":"…"}
 //! ```
 //!
-//! One `init` opens the stream, then one `cell` at a time per worker
-//! (the coordinator keeps every worker single-occupied, so a slow cell
-//! never queues behind a fast one on the same process). A worker that
-//! dies (EOF on its stdout) or exceeds the per-cell deadline is killed
-//! and its in-flight cell is retried on a surviving worker, up to a
-//! bounded per-cell retry budget. An explicit `error` message is
-//! **fatal** to the whole run: cells are deterministic, so an error
-//! that a worker could report is an error every retry would hit too.
+//! and the `/2` extensions (all absent over plain stdio dispatch, which
+//! sends `heartbeat_ms:0`, `cache:false` and keyless cells):
+//!
+//! ```text
+//! worker → coordinator   {"schema":"rix-dispatch/2","type":"hello",
+//!                         "name":"w4242","role":"worker"}
+//! either direction       {"type":"ping","n":7}
+//! worker → coordinator   {"type":"cache_load","key":"…"}
+//! coordinator → worker   {"type":"cache_hit","key":"…","payload":{…}}
+//! coordinator → worker   {"type":"cache_miss","key":"…"}
+//! worker → coordinator   {"type":"cache_store","key":"…","payload":{…}}
+//! worker → coordinator   {"type":"result","cell":5,"cached":true,"payload":{…}}
+//! coordinator → worker   {"type":"shutdown"}
+//! coordinator → worker   {"type":"quarantine"}
+//! ```
+//!
+//! A TCP connection opens with the worker's `hello` (a `"role":"status"`
+//! hello instead receives one `rix-dispatch-status/1` document and is
+//! closed — that is how `exp workers --status` works). The coordinator
+//! answers with `init`, then one `cell` at a time per worker (every
+//! worker stays single-occupied, so a slow cell never queues behind a
+//! fast one). Any received frame proves the peer alive; `ping` frames
+//! exist so that proof keeps arriving while a long cell runs. `init`
+//! with `"cache":true` tells the worker to run the cache dance for
+//! keyed cells: `cache_load` before executing (a `cache_hit` payload is
+//! returned as a `"cached":true` result without executing), and
+//! `cache_store` after a miss — the coordinator serves both from its
+//! local [`cache::ResultCache`], so diskless remote hosts still dedup.
+//! `shutdown` ends a worker cleanly (exit 0); `quarantine` tells a peer
+//! the coordinator gave up on it (exit 3).
+//!
+//! Workers accept `/1` or `/2` in `init`; every frame a `/1`
+//! coordinator sends is valid `/2`.
 //!
 //! ## Fault model
 //!
-//! * worker process death (crash, abort, kill) → in-flight cell retried;
-//! * worker hang → per-cell deadline, kill, retry;
+//! Shared (both transports):
+//!
+//! * worker death (crash, abort, kill — EOF on the channel) →
+//!   in-flight cell retried elsewhere, bounded per-cell retry budget;
+//! * worker hang → per-cell deadline, kill/disconnect, retry;
+//! * deterministic executor `error` → **fatal** to the whole run, no
+//!   retry: cells are deterministic, so an error one worker can report
+//!   is an error every retry would hit too.
+//!
+//! stdio only:
+//!
 //! * all workers dead with work remaining → the run fails with a
 //!   descriptive error (workers are not respawned — a workload that
-//!   kills every process it touches is a bug to report, not mask);
-//! * deterministic executor error → immediate failure, no retry.
+//!   kills every process it touches is a bug to report, not mask).
+//!
+//! TCP only (networks add failure modes pipes cannot have):
+//!
+//! * half-open connection / partition → no frames arrive; the peer is
+//!   declared lost when silent past the liveness deadline (4× the
+//!   heartbeat interval), its in-flight cell requeued;
+//! * lost worker → reconnects with exponential backoff + jitter under
+//!   a capped attempt budget ([`transport::Backoff`]);
+//! * a peer whose consecutive failures reach the quarantine threshold
+//!   is quarantined: its connections are refused work, its cells drain
+//!   to healthy peers;
+//! * all remote capacity lost (and not recovered within the grace
+//!   period) or a cell's retry budget spent → **graceful degradation**:
+//!   the affected cells are handed back to the caller to finish
+//!   in-process, and the degradation is reported in
+//!   [`pool::PoolSummary`] — a distributed sweep completes with a
+//!   slower tail rather than failing.
+//!
+//! Fault injection for tests: `RIX_DISPATCH_FAULT` takes the legacy
+//! process-level specs (`abort:K` / `stall:K`, interpreted by the
+//! executor layer) and the network-level specs
+//! ([`transport::NetFault`]: `net-drop:N[:repeat]` / `net-stall:N` /
+//! `net-exit:N`, fired by the remote worker at its `N`th actionable
+//! frame).
 //!
 //! [`hash::fnv128`] is the shared 128-bit FNV-1a used for cache keys
 //! and spec fingerprints.
 
 pub mod cache;
 pub mod hash;
+pub mod net;
 pub mod pool;
+pub mod transport;
 pub mod worker;
 
 pub use cache::ResultCache;
-pub use pool::{dispatch_cells, PoolConfig, PoolSummary};
+pub use net::{connect_worker, query_status, serve_cells, NetOutcome, NetPoolConfig};
+pub use pool::{dispatch_cells, PoolConfig, PoolError, PoolSummary, WorkerStat};
+pub use transport::{Backoff, NetFault, NetFaultKind};
 pub use worker::serve;
 
 /// The hidden first argument a coordinator passes when self-exec'ing a
@@ -61,5 +127,14 @@ pub use worker::serve;
 /// parsing) and enter their serve loop.
 pub const WORKER_ARG: &str = "__rix-worker";
 
-/// The protocol schema named in every `init` message.
-pub const PROTOCOL_SCHEMA: &str = "rix-dispatch/1";
+/// The protocol schema this build speaks (named in `init` and `hello`).
+pub const PROTOCOL_SCHEMA: &str = "rix-dispatch/2";
+
+/// The previous protocol schema, still accepted in `init`: `/2` is a
+/// strict superset, so a `/1` coordinator drives a `/2` worker
+/// unchanged.
+pub const PROTOCOL_SCHEMA_V1: &str = "rix-dispatch/1";
+
+/// The schema of the status document served to a `"role":"status"`
+/// hello (see [`net::query_status`]).
+pub const STATUS_SCHEMA: &str = "rix-dispatch-status/1";

@@ -9,6 +9,11 @@
 //! loop sees results, worker deaths (EOF) and per-cell deadline expiry
 //! in arrival order and a verbose worker can never dead-lock the pipe.
 //!
+//! This is the *process* pool (stdio transport). The *socket* pool —
+//! remote workers over TCP, with heartbeats, reconnects, quarantine and
+//! graceful degradation — lives in [`crate::net`] and shares this
+//! module's [`PoolSummary`] / [`PoolError`] accounting.
+//!
 //! See the [crate docs](crate) for the wire protocol and fault model.
 
 use rix_isa::json::Json;
@@ -46,17 +51,181 @@ impl Default for PoolConfig {
     }
 }
 
+/// Per-worker accounting inside a [`PoolSummary`] — one row per worker
+/// process (stdio pool) or per named remote peer across all of its
+/// connections (socket pool).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// `proc-N` for spawned processes; the hello-declared name for
+    /// remote peers.
+    pub name: String,
+    /// Still connected/alive when the run ended.
+    pub connected: bool,
+    /// Cells this worker completed.
+    pub cells_completed: u64,
+    /// Cell losses attributed to this worker (death, deadline, or
+    /// liveness expiry with a cell in flight).
+    pub failures: u64,
+    /// Reconnections beyond the first connection (socket pool only).
+    pub reconnects: u64,
+    /// Quarantined after too many consecutive failures (socket pool
+    /// only — a dead stdio worker is simply gone).
+    pub quarantined: bool,
+}
+
+impl WorkerStat {
+    /// One table row for status displays: `name  state  cells failures
+    /// reconnects`.
+    #[must_use]
+    pub fn state(&self) -> &'static str {
+        if self.quarantined {
+            "quarantined"
+        } else if self.connected {
+            "live"
+        } else {
+            "lost"
+        }
+    }
+}
+
 /// What a pool run did, beyond the results: fodder for stderr
 /// reporting (never for result documents, which must stay byte-stable
 /// across worker counts and fault histories).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PoolSummary {
-    /// Worker processes spawned.
+    /// Worker processes spawned (stdio pool) or distinct peers that
+    /// connected (socket pool).
     pub workers_spawned: usize,
-    /// Workers lost to death or deadline during the run.
+    /// Workers lost to death, deadline, or heartbeat-liveness expiry
+    /// during the run.
     pub workers_lost: usize,
     /// Cell assignments retried after a loss.
     pub retries: u64,
+    /// Results served from the coordinator's cache over the wire
+    /// (socket pool with a remote-backed cache).
+    pub cache_hits: u64,
+    /// Cells handed back to the caller to finish in-process after
+    /// remote capacity was lost or a retry budget was spent (socket
+    /// pool's graceful degradation).
+    pub degraded_cells: u64,
+    /// Peers quarantined for consecutive failures (socket pool).
+    pub quarantined: usize,
+    /// Per-worker detail, in a deterministic (name) order.
+    pub workers: Vec<WorkerStat>,
+}
+
+/// A pool failure: what went wrong, which cell it is attributable to
+/// (when one is), and the fault history that led there — so "cell 5
+/// exhausted its retry budget" arrives with the three worker deaths
+/// that spent it. Callers that can map cell ids back to meaningful
+/// work units (benchmark / seed / arm label) should re-render with
+/// [`PoolError::with_cell_description`].
+#[derive(Clone, Debug)]
+pub struct PoolError {
+    /// The cell whose fate failed the run, when attributable.
+    pub cell: Option<u64>,
+    /// The fault events that led here, oldest first.
+    pub history: Vec<String>,
+    /// The failure itself.
+    pub message: String,
+}
+
+impl PoolError {
+    /// An error with no attributable cell.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self { cell: None, history: Vec::new(), message: message.into() }
+    }
+
+    /// Re-renders the message with a caller-supplied description of the
+    /// failing cell (e.g. `gcc/integration (seed 7)`).
+    #[must_use]
+    pub fn with_cell_description(mut self, describe: impl Fn(u64) -> Option<String>) -> Self {
+        if let Some(desc) = self.cell.and_then(describe) {
+            self.message = format!("{desc}: {}", self.message);
+        }
+        self
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cell {
+            Some(cell) => write!(f, "cell {cell}: {}", self.message)?,
+            None => write!(f, "{}", self.message)?,
+        }
+        if !self.history.is_empty() {
+            write!(f, "; fault history: {}", self.history.join("; "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared cell bookkeeping of both pools: the work queue, per-cell
+/// attempt counts and fault histories, and the filled results.
+pub(crate) struct CellLedger<'a> {
+    pub cells: &'a [u64],
+    pub queue: VecDeque<usize>,
+    pub attempts: Vec<u32>,
+    /// Per-cell fault events (worker deaths, deadline hits), oldest
+    /// first — surfaced in [`PoolError`] and degradation notes.
+    pub history: Vec<Vec<String>>,
+    pub results: Vec<Option<Json>>,
+    pub done: usize,
+    pub started: Instant,
+}
+
+impl<'a> CellLedger<'a> {
+    pub fn new(cells: &'a [u64]) -> Self {
+        Self {
+            cells,
+            queue: (0..cells.len()).collect(),
+            attempts: vec![0; cells.len()],
+            history: vec![Vec::new(); cells.len()],
+            results: vec![None; cells.len()],
+            done: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a fault event against cell `pos`, stamped with the time
+    /// since the run started.
+    pub fn record(&mut self, pos: usize, event: &str) {
+        let t = self.started.elapsed();
+        self.history[pos].push(format!("[t+{:.1}s] {event}", t.as_secs_f64()));
+    }
+
+    /// Fills cell `pos` with `payload` (first writer wins).
+    pub fn complete(&mut self, pos: usize, payload: Json) {
+        if self.results[pos].is_none() {
+            self.results[pos] = Some(payload);
+            self.done += 1;
+        }
+    }
+
+    /// Puts a lost cell back at the front of the queue; `Err(())` when
+    /// its retry budget is spent (the caller decides whether that is
+    /// fatal or a degradation).
+    pub fn requeue(&mut self, pos: usize, retries: u32, summary: &mut PoolSummary) -> Result<(), ()> {
+        self.attempts[pos] += 1;
+        if self.attempts[pos] > retries {
+            return Err(());
+        }
+        summary.retries += 1;
+        self.queue.push_front(pos);
+        Ok(())
+    }
+
+    /// The [`PoolError`] for cell `pos` exhausting its retry budget.
+    pub fn budget_error(&self, pos: usize, retries: u32) -> PoolError {
+        PoolError {
+            cell: Some(self.cells[pos]),
+            history: self.history[pos].clone(),
+            message: format!(
+                "lost its worker {} times (retry budget {retries}); giving up",
+                self.attempts[pos],
+            ),
+        }
+    }
 }
 
 enum Event {
@@ -72,6 +241,8 @@ struct WorkerSlot {
     /// `(position in `cells`, deadline)` of the in-flight assignment.
     busy: Option<(usize, Instant)>,
     alive: bool,
+    cells_completed: u64,
+    failures: u64,
 }
 
 /// Runs every entry of `cells` on the worker pool and returns the
@@ -80,11 +251,13 @@ struct WorkerSlot {
 /// Fails on: an unspawnable worker command, a worker-reported `error`
 /// (deterministic, so never retried), a protocol violation, a cell
 /// exhausting its retry budget, or every worker dying with work left.
+/// The error names the failing cell and carries its fault history when
+/// one is attributable.
 pub fn dispatch_cells(
     plan: &Json,
     cells: &[u64],
     cfg: &PoolConfig,
-) -> Result<(Vec<Json>, PoolSummary), String> {
+) -> Result<(Vec<Json>, PoolSummary), PoolError> {
     let mut summary = PoolSummary::default();
     if cells.is_empty() {
         return Ok((Vec::new(), summary));
@@ -93,8 +266,9 @@ pub fn dispatch_cells(
     let (exe, args) = match &cfg.worker_cmd {
         Some((exe, args)) => (exe.clone(), args.clone()),
         None => {
-            let exe = std::env::current_exe()
-                .map_err(|e| format!("cannot locate this executable to self-exec workers: {e}"))?;
+            let exe = std::env::current_exe().map_err(|e| {
+                PoolError::msg(format!("cannot locate this executable to self-exec workers: {e}"))
+            })?;
             (exe, vec![crate::WORKER_ARG.to_string()])
         }
     };
@@ -106,19 +280,16 @@ pub fn dispatch_cells(
             Ok(slot) => slots.push(slot),
             Err(e) => {
                 kill_all(&mut slots);
-                return Err(e);
+                return Err(PoolError::msg(e));
             }
         }
     }
     summary.workers_spawned = nworkers;
 
-    let mut queue: VecDeque<usize> = (0..cells.len()).collect();
-    let mut attempts: Vec<u32> = vec![0; cells.len()];
-    let mut results: Vec<Option<Json>> = vec![None; cells.len()];
-    let mut done = 0usize;
+    let mut ledger = CellLedger::new(cells);
 
     let out = loop {
-        if done == cells.len() {
+        if ledger.done == cells.len() {
             break Ok(());
         }
         // Feed every idle surviving worker.
@@ -126,7 +297,7 @@ pub fn dispatch_cells(
             if !(slot.alive && slot.busy.is_none()) {
                 continue;
             }
-            let Some(pos) = queue.pop_front() else { break };
+            let Some(pos) = ledger.queue.pop_front() else { break };
             let line = format!("{{\"type\":\"cell\",\"cell\":{}}}", cells[pos]);
             let sent = slot
                 .stdin
@@ -139,21 +310,21 @@ pub fn dispatch_cells(
                 // Put the cell back (it never ran — no attempt charged)
                 // and retire the worker; its EOF event is already in
                 // flight and will find `busy` empty.
-                queue.push_front(pos);
+                ledger.queue.push_front(pos);
                 let _ = slot.child.kill();
                 slot.alive = false;
                 summary.workers_lost += 1;
             }
         }
         if !slots.iter().any(|s| s.alive) {
-            break Err(format!(
+            break Err(PoolError::msg(format!(
                 "all {nworkers} workers died with {} of {} cells unfinished \
                  ({} lost, {} retries used)",
-                cells.len() - done,
+                cells.len() - ledger.done,
                 cells.len(),
                 summary.workers_lost,
                 summary.retries,
-            ));
+            )));
         }
         // Sleep until the next event or the nearest deadline, bounded
         // so a missed wakeup can never stall the loop for long.
@@ -167,14 +338,7 @@ pub fn dispatch_cells(
             });
         match rx.recv_timeout(wait) {
             Ok(Event::Line(w, line)) => {
-                if let Err(e) = handle_line(
-                    &mut slots[w],
-                    w,
-                    &line,
-                    cells,
-                    &mut results,
-                    &mut done,
-                ) {
+                if let Err(e) = handle_line(&mut slots[w], w, &line, &mut ledger) {
                     break Err(e);
                 }
             }
@@ -185,10 +349,10 @@ pub fn dispatch_cells(
                     summary.workers_lost += 1;
                     let _ = slot.child.kill();
                     if let Some((pos, _)) = slot.busy.take() {
-                        if let Err(e) =
-                            requeue(pos, cells, &mut attempts, &mut queue, &mut summary, cfg)
-                        {
-                            break Err(e);
+                        slot.failures += 1;
+                        ledger.record(pos, &format!("worker proc-{w} died with the cell in flight"));
+                        if ledger.requeue(pos, cfg.retries, &mut summary).is_err() {
+                            break Err(ledger.budget_error(pos, cfg.retries));
                         }
                     }
                 }
@@ -197,23 +361,29 @@ pub fn dispatch_cells(
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // Unreachable while `tx` lives in this scope; treat it
                 // as every worker gone.
-                break Err("worker event channel closed unexpectedly".to_string());
+                break Err(PoolError::msg("worker event channel closed unexpectedly"));
             }
         }
         // Deadline sweep: kill hung workers and retry their cells.
         let now = Instant::now();
         let mut sweep_err = None;
-        for slot in &mut slots {
+        for (w, slot) in slots.iter_mut().enumerate() {
             let Some((pos, deadline)) = slot.busy else { continue };
             if slot.alive && now >= deadline {
                 let _ = slot.child.kill();
                 slot.alive = false;
                 slot.busy = None;
+                slot.failures += 1;
                 summary.workers_lost += 1;
-                if let Err(e) =
-                    requeue(pos, cells, &mut attempts, &mut queue, &mut summary, cfg)
-                {
-                    sweep_err = Some(e);
+                ledger.record(
+                    pos,
+                    &format!(
+                        "worker proc-{w} exceeded the {:.0}s cell deadline (presumed hung)",
+                        cfg.cell_timeout.as_secs_f64()
+                    ),
+                );
+                if ledger.requeue(pos, cfg.retries, &mut summary).is_err() {
+                    sweep_err = Some(ledger.budget_error(pos, cfg.retries));
                     break;
                 }
             }
@@ -222,20 +392,33 @@ pub fn dispatch_cells(
             break Err(e);
         }
     };
+    summary.workers = slots
+        .iter()
+        .enumerate()
+        .map(|(w, s)| WorkerStat {
+            name: format!("proc-{w}"),
+            connected: s.alive,
+            cells_completed: s.cells_completed,
+            failures: s.failures,
+            reconnects: 0,
+            quarantined: false,
+        })
+        .collect();
     match out {
         Ok(()) => {
             shutdown(&mut slots);
-            let payloads = results
+            let payloads = ledger
+                .results
                 .into_iter()
-                .map(|r| r.ok_or_else(|| "internal: unfilled result slot".to_string()))
-                .collect::<Result<Vec<Json>, String>>()?;
+                .map(|r| r.ok_or_else(|| PoolError::msg("internal: unfilled result slot")))
+                .collect::<Result<Vec<Json>, PoolError>>()?;
             Ok((payloads, summary))
         }
         Err(e) => fail(slots, e),
     }
 }
 
-fn fail(mut slots: Vec<WorkerSlot>, e: String) -> Result<(Vec<Json>, PoolSummary), String> {
+fn fail(mut slots: Vec<WorkerSlot>, e: PoolError) -> Result<(Vec<Json>, PoolSummary), PoolError> {
     kill_all(&mut slots);
     Err(e)
 }
@@ -247,34 +430,30 @@ fn handle_line(
     slot: &mut WorkerSlot,
     w: usize,
     line: &str,
-    cells: &[u64],
-    results: &mut [Option<Json>],
-    done: &mut usize,
-) -> Result<(), String> {
+    ledger: &mut CellLedger<'_>,
+) -> Result<(), PoolError> {
     if !slot.alive {
         return Ok(());
     }
     let msg = Json::parse(line)
-        .map_err(|e| format!("worker {w}: unparsable protocol line {line:?}: {e}"))?;
+        .map_err(|e| PoolError::msg(format!("worker {w}: unparsable protocol line {line:?}: {e}")))?;
     match msg.get("type").and_then(Json::as_str) {
         Some("result") => {
-            let cell = msg.req_u64("cell").map_err(|e| format!("worker {w}: {e}"))?;
+            let cell = msg.req_u64("cell").map_err(|e| PoolError::msg(format!("worker {w}: {e}")))?;
             let payload = msg
                 .req("payload")
-                .map_err(|e| format!("worker {w}: {e}"))?
+                .map_err(|e| PoolError::msg(format!("worker {w}: {e}")))?
                 .clone();
             match slot.busy {
-                Some((pos, _)) if cells[pos] == cell => {
+                Some((pos, _)) if ledger.cells[pos] == cell => {
                     slot.busy = None;
-                    if results[pos].is_none() {
-                        results[pos] = Some(payload);
-                        *done += 1;
-                    }
+                    slot.cells_completed += 1;
+                    ledger.complete(pos, payload);
                     Ok(())
                 }
-                _ => Err(format!(
+                _ => Err(PoolError::msg(format!(
                     "worker {w}: result for cell {cell} it was not assigned"
-                )),
+                ))),
             }
         }
         Some("error") => {
@@ -283,37 +462,19 @@ fn handle_line(
                 .get("message")
                 .and_then(Json::as_str)
                 .unwrap_or("(no message)");
-            Err(match cell {
-                Some(c) => format!("worker {w}, cell {c}: {message}"),
-                None => format!("worker {w}: {message}"),
+            Err(PoolError {
+                cell,
+                history: cell
+                    .and_then(|c| ledger.cells.iter().position(|&x| x == c))
+                    .map(|pos| ledger.history[pos].clone())
+                    .unwrap_or_default(),
+                message: format!("worker {w} reported: {message}"),
             })
         }
-        other => Err(format!(
+        other => Err(PoolError::msg(format!(
             "worker {w}: unexpected protocol message type {other:?} in {line:?}"
-        )),
+        ))),
     }
-}
-
-/// Puts a lost cell back at the front of the queue, or fails the run
-/// when its retry budget is spent.
-fn requeue(
-    pos: usize,
-    cells: &[u64],
-    attempts: &mut [u32],
-    queue: &mut VecDeque<usize>,
-    summary: &mut PoolSummary,
-    cfg: &PoolConfig,
-) -> Result<(), String> {
-    attempts[pos] += 1;
-    if attempts[pos] > cfg.retries {
-        return Err(format!(
-            "cell {} lost its worker {} times (retry budget {}); giving up",
-            cells[pos], attempts[pos], cfg.retries,
-        ));
-    }
-    summary.retries += 1;
-    queue.push_front(pos);
-    Ok(())
 }
 
 fn spawn_worker(
@@ -359,11 +520,19 @@ fn spawn_worker(
     // An init failure here just means the worker died at birth; its EOF
     // event reports it, so the write result is advisory.
     let init = format!(
-        "{{\"schema\":\"{}\",\"type\":\"init\",\"worker\":{w},\"plan\":{plan_line}}}",
+        "{{\"schema\":\"{}\",\"type\":\"init\",\"worker\":{w},\"heartbeat_ms\":0,\
+         \"cache\":false,\"plan\":{plan_line}}}",
         crate::PROTOCOL_SCHEMA
     );
     let _ = writeln!(stdin, "{init}").and_then(|()| stdin.flush());
-    Ok(WorkerSlot { child, stdin: Some(stdin), busy: None, alive: true })
+    Ok(WorkerSlot {
+        child,
+        stdin: Some(stdin),
+        busy: None,
+        alive: true,
+        cells_completed: 0,
+        failures: 0,
+    })
 }
 
 /// Graceful shutdown of the survivors: closing stdin EOFs the worker's
@@ -428,6 +597,9 @@ done
             assert_eq!(summary.workers_spawned, workers.min(cells.len()));
             assert_eq!(summary.workers_lost, 0);
             assert_eq!(summary.retries, 0);
+            assert_eq!(summary.workers.len(), summary.workers_spawned);
+            let total: u64 = summary.workers.iter().map(|w| w.cells_completed).sum();
+            assert_eq!(total, cells.len() as u64, "per-worker counts add up");
         }
     }
 
@@ -464,6 +636,8 @@ done
         }
         assert_eq!(summary.workers_lost, 1);
         assert!(summary.retries >= 1, "{summary:?}");
+        let dead = summary.workers.iter().find(|w| w.name == "proc-0").unwrap();
+        assert!(!dead.connected && dead.failures >= 1, "{dead:?}");
     }
 
     #[test]
@@ -477,8 +651,31 @@ done
             retries: 1,
             worker_cmd: sh_cmd(script),
         };
-        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err();
+        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err().to_string();
         assert!(err.contains("workers died"), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_names_the_cell_and_its_fault_history() {
+        // Two hang-forever workers, zero retries, a short deadline: the
+        // first deadline expiry spends cell 0's budget, and the error
+        // must name the cell and carry the deadline event.
+        let script = "while IFS= read -r line; do :; done";
+        let cfg = PoolConfig {
+            workers: 2,
+            cell_timeout: Duration::from_millis(100),
+            retries: 0,
+            worker_cmd: sh_cmd(script),
+        };
+        let err = dispatch_cells(&plan(), &[41, 42, 43], &cfg).unwrap_err();
+        assert!(err.cell.is_some(), "{err}");
+        assert!(!err.history.is_empty(), "history travels with the error: {err}");
+        let text = err.to_string();
+        assert!(text.contains("fault history"), "{text}");
+        assert!(text.contains("deadline"), "{text}");
+        // The caller can re-render the cell as a meaningful label.
+        let described = err.with_cell_description(|c| Some(format!("bench-{c}/arm"))).to_string();
+        assert!(described.contains("/arm"), "{described}");
     }
 
     #[test]
@@ -493,7 +690,7 @@ while IFS= read -r line; do
 done
 "#;
         let cfg = PoolConfig { workers: 1, worker_cmd: sh_cmd(script), ..PoolConfig::default() };
-        let err = dispatch_cells(&plan(), &[0, 1], &cfg).unwrap_err();
+        let err = dispatch_cells(&plan(), &[0, 1], &cfg).unwrap_err().to_string();
         assert!(err.contains("deterministic failure"), "{err}");
     }
 
@@ -503,7 +700,7 @@ done
             worker_cmd: Some(("/nonexistent/rix-worker".into(), vec![])),
             ..PoolConfig::default()
         };
-        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err();
+        let err = dispatch_cells(&plan(), &[0], &cfg).unwrap_err().to_string();
         assert!(err.contains("cannot spawn worker"), "{err}");
     }
 }

@@ -1,41 +1,192 @@
-//! The worker side: a serve loop over stdin/stdout.
+//! The worker side: the serve loop shared by both transports.
 //!
 //! [`serve`] is what a worker process runs after recognising
-//! [`crate::WORKER_ARG`]: it reads protocol messages line by line,
-//! hands each cell assignment to the caller's executor, and writes the
-//! result (or error) back. The executor receives the full `init`
-//! message — including the opaque `plan` — on every call, so it can
-//! lazily build whatever per-plan state it needs on the first cell and
-//! reuse it after.
+//! [`crate::WORKER_ARG`]: it reads protocol messages from stdin line by
+//! line, hands each cell assignment to the caller's executor, and
+//! writes the result (or error) back to stdout. The executor receives
+//! the full `init` message — including the opaque `plan` — on every
+//! call, so it can lazily build whatever per-plan state it needs on the
+//! first cell and reuse it after.
 //!
-//! Results go to stdout (the protocol channel); anything the executor
-//! prints must therefore go to std**err**, which passes through to the
+//! The cell-handling core ([`run_cell`]) is transport-agnostic and also
+//! drives remote TCP workers (see [`crate::net::connect_worker`]),
+//! including the remote cache dance: when the coordinator's `init`
+//! advertises `"cache":true` and a `cell` frame carries a `key`, the
+//! worker asks the coordinator for the cached payload (`cache_load`)
+//! before executing and publishes fresh results back (`cache_store`) —
+//! so diskless remote hosts still dedup against the coordinator's
+//! cache.
+//!
+//! Results go to the protocol channel; anything the executor prints
+//! must therefore go to std**err**, which passes through to the
 //! coordinator's stderr.
 
+use crate::transport::{BlockingSource, FrameSink, LineSource, NextLine, WriteSink};
 use rix_isa::json::Json;
-use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
-fn protocol_exit(msg: &str) -> ! {
-    // A malformed coordinator message is unrecoverable: report on both
-    // channels (the error line for the coordinator, stderr for humans)
-    // and die. The coordinator treats the explicit error as fatal.
-    emit(&format!(
-        "{{\"type\":\"error\",\"message\":{}}}",
-        Json::Str(msg.to_string()).dump()
-    ));
-    eprintln!("rix worker: {msg}");
-    std::process::exit(1);
+/// How long a worker waits for the coordinator to answer a
+/// `cache_load` before declaring the connection lost.
+const CACHE_REPLY_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How a cell (or the connection serving it) failed, from the worker's
+/// point of view.
+pub enum ServeError {
+    /// The channel died (send failure, EOF, or an unanswered cache
+    /// lookup). Reconnecting may help; the coordinator requeues the
+    /// cell either way.
+    Lost(String),
+    /// A deterministic failure (executor error, protocol violation).
+    /// Already reported to the coordinator where possible; retrying
+    /// elsewhere cannot help, so the worker must die non-zero.
+    Fatal(String),
 }
 
-fn emit(line: &str) {
-    let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "{line}");
-    let _ = out.flush();
+/// Sends a protocol `error` frame; best-effort (the caller is usually
+/// about to die anyway).
+pub(crate) fn send_error(sink: &mut dyn FrameSink, cell: Option<u64>, msg: &str) {
+    let m = Json::Str(msg.to_string()).dump();
+    let line = match cell {
+        Some(c) => format!("{{\"type\":\"error\",\"cell\":{c},\"message\":{m}}}"),
+        None => format!("{{\"type\":\"error\",\"message\":{m}}}"),
+    };
+    let _ = sink.send(&line);
 }
 
-/// Serves cell assignments until the coordinator closes stdin, then
-/// exits the process (status 0 on a clean close, 1 on a protocol or
-/// executor error).
+/// Checks an `init` frame's schema: this build speaks
+/// [`crate::PROTOCOL_SCHEMA`] and still accepts its `/1` subset.
+pub(crate) fn check_init_schema(msg: &Json) -> Result<(), String> {
+    match msg.get("schema").and_then(Json::as_str) {
+        Some(crate::PROTOCOL_SCHEMA | crate::PROTOCOL_SCHEMA_V1) => Ok(()),
+        other => Err(format!(
+            "unsupported protocol schema {other:?} (this build speaks {} and accepts {})",
+            crate::PROTOCOL_SCHEMA,
+            crate::PROTOCOL_SCHEMA_V1
+        )),
+    }
+}
+
+/// Handles one `cell` frame: consult the coordinator's cache when the
+/// session advertises one, execute on a miss, publish the payload.
+///
+/// The cache protocol is strictly request/response from the worker's
+/// side — `cache_load` is answered by `cache_hit` or `cache_miss`
+/// (heartbeat `ping`s may interleave and are ignored); a reply that
+/// takes longer than [`CACHE_REPLY_DEADLINE`] means the link is dead.
+pub(crate) fn run_cell(
+    source: &mut dyn LineSource,
+    sink: &mut dyn FrameSink,
+    init: &Json,
+    msg: &Json,
+    execute: &mut dyn FnMut(&Json, u64) -> Result<Json, String>,
+) -> Result<(), ServeError> {
+    let cell = msg
+        .req_u64("cell")
+        .map_err(|e| ServeError::Fatal(format!("bad cell frame: {e}")))?;
+    let cached_session = init.get("cache").and_then(Json::as_bool) == Some(true);
+    let key = msg.get("key").and_then(Json::as_str).map(str::to_string);
+    if cached_session {
+        if let Some(key) = &key {
+            let kj = Json::Str(key.clone()).dump();
+            sink.send(&format!("{{\"type\":\"cache_load\",\"key\":{kj}}}"))
+                .map_err(|e| ServeError::Lost(format!("cache_load send failed: {e}")))?;
+            match await_cache_reply(source, key)? {
+                Some(payload) => {
+                    sink.send(&format!(
+                        "{{\"type\":\"result\",\"cell\":{cell},\"cached\":true,\"payload\":{}}}",
+                        payload.dump()
+                    ))
+                    .map_err(|e| ServeError::Lost(format!("result send failed: {e}")))?;
+                    return Ok(());
+                }
+                None => {
+                    let payload = execute_cell(sink, init, cell, execute)?;
+                    sink.send(&format!(
+                        "{{\"type\":\"cache_store\",\"key\":{kj},\"payload\":{}}}",
+                        payload.dump()
+                    ))
+                    .map_err(|e| ServeError::Lost(format!("cache_store send failed: {e}")))?;
+                    return send_result(sink, cell, &payload);
+                }
+            }
+        }
+    }
+    let payload = execute_cell(sink, init, cell, execute)?;
+    send_result(sink, cell, &payload)
+}
+
+fn send_result(sink: &mut dyn FrameSink, cell: u64, payload: &Json) -> Result<(), ServeError> {
+    sink.send(&format!(
+        "{{\"type\":\"result\",\"cell\":{cell},\"payload\":{}}}",
+        payload.dump()
+    ))
+    .map_err(|e| ServeError::Lost(format!("result send failed: {e}")))
+}
+
+fn execute_cell(
+    sink: &mut dyn FrameSink,
+    init: &Json,
+    cell: u64,
+    execute: &mut dyn FnMut(&Json, u64) -> Result<Json, String>,
+) -> Result<Json, ServeError> {
+    execute(init, cell).map_err(|e| {
+        let msg = format!("cell {cell}: {e}");
+        send_error(sink, Some(cell), &e);
+        ServeError::Fatal(msg)
+    })
+}
+
+/// Waits for the `cache_hit`/`cache_miss` answering a `cache_load`,
+/// ignoring interleaved heartbeats.
+fn await_cache_reply(
+    source: &mut dyn LineSource,
+    key: &str,
+) -> Result<Option<Json>, ServeError> {
+    let deadline = Instant::now() + CACHE_REPLY_DEADLINE;
+    loop {
+        match source.next_line() {
+            Ok(NextLine::Line(line)) => {
+                let msg = Json::parse(&line).map_err(|e| {
+                    ServeError::Fatal(format!("unparsable cache reply {line:?}: {e}"))
+                })?;
+                match msg.get("type").and_then(Json::as_str) {
+                    Some("ping") => {}
+                    Some("cache_hit") if msg.get("key").and_then(Json::as_str) == Some(key) => {
+                        let payload = msg
+                            .req("payload")
+                            .map_err(|e| ServeError::Fatal(format!("cache_hit: {e}")))?
+                            .clone();
+                        return Ok(Some(payload));
+                    }
+                    Some("cache_miss") if msg.get("key").and_then(Json::as_str) == Some(key) => {
+                        return Ok(None);
+                    }
+                    other => {
+                        return Err(ServeError::Fatal(format!(
+                            "expected a cache reply for {key}, got {other:?}"
+                        )));
+                    }
+                }
+            }
+            Ok(NextLine::Idle) => {
+                if Instant::now() >= deadline {
+                    return Err(ServeError::Lost(format!(
+                        "cache_load for {key} unanswered for {}s",
+                        CACHE_REPLY_DEADLINE.as_secs()
+                    )));
+                }
+            }
+            Ok(NextLine::Eof) => {
+                return Err(ServeError::Lost("connection closed awaiting cache reply".into()));
+            }
+            Err(e) => return Err(ServeError::Lost(format!("read failed awaiting cache reply: {e}"))),
+        }
+    }
+}
+
+/// Serves cell assignments over stdio until the coordinator closes
+/// stdin, then exits the process (status 0 on a clean close, 1 on a
+/// protocol or executor error).
 ///
 /// `execute` maps (the `init` message, a cell id) to a result payload;
 /// its `Err` is reported to the coordinator and ends the worker —
@@ -45,76 +196,172 @@ pub fn serve<F>(mut execute: F) -> !
 where
     F: FnMut(&Json, u64) -> Result<Json, String>,
 {
-    let stdin = std::io::stdin();
+    let mut source = BlockingSource::new(std::io::stdin().lock());
+    let mut sink = WriteSink::new(std::io::stdout().lock());
     let mut init: Option<Json> = None;
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else {
-            protocol_exit("cannot read stdin");
+    loop {
+        let line = match source.next_line() {
+            Ok(NextLine::Line(line)) => line,
+            Ok(NextLine::Eof) => std::process::exit(0),
+            Ok(NextLine::Idle) => continue,
+            Err(_) => protocol_exit(&mut sink, "cannot read stdin"),
         };
-        let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let msg = match Json::parse(line) {
+        let msg = match Json::parse(&line) {
             Ok(m) => m,
-            Err(e) => protocol_exit(&format!("unparsable message {line:?}: {e}")),
+            Err(e) => protocol_exit(&mut sink, &format!("unparsable message {line:?}: {e}")),
         };
         match msg.get("type").and_then(Json::as_str) {
             Some("init") => {
-                match msg.get("schema").and_then(Json::as_str) {
-                    Some(crate::PROTOCOL_SCHEMA) => {}
-                    other => protocol_exit(&format!(
-                        "unsupported protocol schema {other:?} (this build speaks {})",
-                        crate::PROTOCOL_SCHEMA
-                    )),
+                if let Err(e) = check_init_schema(&msg) {
+                    protocol_exit(&mut sink, &e);
                 }
                 init = Some(msg);
             }
             Some("cell") => {
-                let cell = match msg.req_u64("cell") {
-                    Ok(c) => c,
-                    Err(e) => protocol_exit(&e),
+                let Some(init_msg) = init.clone() else {
+                    protocol_exit(&mut sink, "cell assignment before init");
                 };
-                let Some(init_msg) = &init else {
-                    protocol_exit("cell assignment before init");
-                };
-                match execute(init_msg, cell) {
-                    Ok(payload) => emit(&format!(
-                        "{{\"type\":\"result\",\"cell\":{cell},\"payload\":{}}}",
-                        payload.dump()
-                    )),
-                    Err(e) => {
-                        emit(&format!(
-                            "{{\"type\":\"error\",\"cell\":{cell},\"message\":{}}}",
-                            Json::Str(e.clone()).dump()
-                        ));
-                        eprintln!("rix worker: cell {cell}: {e}");
+                match run_cell(&mut source, &mut sink, &init_msg, &msg, &mut execute) {
+                    Ok(()) => {}
+                    Err(ServeError::Fatal(e) | ServeError::Lost(e)) => {
+                        // Over pipes a "lost" channel means the
+                        // coordinator is gone; either way this process
+                        // is done.
+                        eprintln!("rix worker: {e}");
                         std::process::exit(1);
                     }
                 }
             }
-            other => protocol_exit(&format!("unexpected message type {other:?}")),
+            // A `shutdown` over stdio is redundant with closing stdin
+            // but accepted for symmetry with the socket transport.
+            Some("shutdown") => std::process::exit(0),
+            Some("ping") => {}
+            other => protocol_exit(&mut sink, &format!("unexpected message type {other:?}")),
         }
     }
-    std::process::exit(0);
+}
+
+fn protocol_exit(sink: &mut dyn FrameSink, msg: &str) -> ! {
+    // A malformed coordinator message is unrecoverable: report on both
+    // channels (the error frame for the coordinator, stderr for humans)
+    // and die. The coordinator treats the explicit error as fatal.
+    send_error(sink, None, msg);
+    eprintln!("rix worker: {msg}");
+    std::process::exit(1);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
 
-    // `serve` never returns, so unit tests cover the message shapes it
-    // emits instead (the pool tests exercise the loop end to end via
-    // stand-in workers, and `crates/bench` drives the real binary).
+    // `serve` never returns, so unit tests drive `run_cell` directly
+    // with in-memory channels (the pool tests exercise the stdio loop
+    // end to end via stand-in workers, and `crates/bench` drives the
+    // real binary).
+
+    struct VecSink(Vec<String>);
+    impl FrameSink for VecSink {
+        fn send(&mut self, line: &str) -> std::io::Result<()> {
+            self.0.push(line.to_string());
+            Ok(())
+        }
+        fn close(&mut self) {}
+    }
+
+    fn exec_double(_init: &Json, cell: u64) -> Result<Json, String> {
+        Json::parse(&format!("{{\"doubled\":{}}}", cell * 2)).map_err(|e| e.to_string())
+    }
+
+    fn cell_msg(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
     #[test]
-    fn error_lines_escape_messages() {
-        let msg = Json::Str("tab\there \"quoted\"".to_string()).dump();
-        let line = format!("{{\"type\":\"error\",\"cell\":3,\"message\":{msg}}}");
-        let v = Json::parse(&line).unwrap();
-        assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+    fn uncached_cell_executes_and_emits_one_result() {
+        let init = cell_msg(r#"{"type":"init","schema":"rix-dispatch/2","cache":false}"#);
+        let msg = cell_msg(r#"{"type":"cell","cell":21}"#);
+        let mut source = BlockingSource::new(Cursor::new(Vec::new()));
+        let mut sink = VecSink(Vec::new());
+        run_cell(&mut source, &mut sink, &init, &msg, &mut exec_double)
+            .unwrap_or_else(|_| panic!("run_cell failed"));
+        assert_eq!(sink.0.len(), 1);
+        let out = Json::parse(&sink.0[0]).unwrap();
+        assert_eq!(out.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(out.get("cell").and_then(Json::as_u64), Some(21));
+        assert!(out.get("cached").is_none());
         assert_eq!(
-            v.get("message").and_then(Json::as_str),
-            Some("tab\there \"quoted\"")
+            out.req("payload").unwrap().get("doubled").and_then(Json::as_u64),
+            Some(42)
         );
+    }
+
+    #[test]
+    fn cache_hit_skips_execution_and_marks_the_result() {
+        let init = cell_msg(r#"{"type":"init","schema":"rix-dispatch/2","cache":true}"#);
+        let msg = cell_msg(r#"{"type":"cell","cell":3,"key":"k3"}"#);
+        // Scripted coordinator: a ping interleaves, then the hit.
+        let replies = b"{\"type\":\"ping\",\"n\":1}\n{\"type\":\"cache_hit\",\"key\":\"k3\",\"payload\":{\"from\":\"cache\"}}\n".to_vec();
+        let mut source = BlockingSource::new(Cursor::new(replies));
+        let mut sink = VecSink(Vec::new());
+        let mut never = |_: &Json, _: u64| -> Result<Json, String> {
+            panic!("a cache hit must not execute")
+        };
+        run_cell(&mut source, &mut sink, &init, &msg, &mut never)
+            .unwrap_or_else(|_| panic!("run_cell failed"));
+        assert_eq!(sink.0.len(), 2, "cache_load then result: {:?}", sink.0);
+        assert!(sink.0[0].contains("cache_load"));
+        let out = Json::parse(&sink.0[1]).unwrap();
+        assert_eq!(out.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            out.req("payload").unwrap().get("from").and_then(Json::as_str),
+            Some("cache")
+        );
+    }
+
+    #[test]
+    fn cache_miss_executes_then_stores_then_reports() {
+        let init = cell_msg(r#"{"type":"init","schema":"rix-dispatch/2","cache":true}"#);
+        let msg = cell_msg(r#"{"type":"cell","cell":5,"key":"k5"}"#);
+        let replies = b"{\"type\":\"cache_miss\",\"key\":\"k5\"}\n".to_vec();
+        let mut source = BlockingSource::new(Cursor::new(replies));
+        let mut sink = VecSink(Vec::new());
+        run_cell(&mut source, &mut sink, &init, &msg, &mut exec_double)
+            .unwrap_or_else(|_| panic!("run_cell failed"));
+        assert_eq!(sink.0.len(), 3, "cache_load, cache_store, result: {:?}", sink.0);
+        assert!(sink.0[0].contains("cache_load"));
+        assert!(sink.0[1].contains("cache_store") && sink.0[1].contains("\"doubled\":10"));
+        let out = Json::parse(&sink.0[2]).unwrap();
+        assert_eq!(out.get("cell").and_then(Json::as_u64), Some(5));
+        assert!(out.get("cached").is_none(), "a fresh result is not marked cached");
+    }
+
+    #[test]
+    fn executor_error_is_fatal_and_reported() {
+        let init = cell_msg(r#"{"type":"init","schema":"rix-dispatch/2","cache":false}"#);
+        let msg = cell_msg(r#"{"type":"cell","cell":9}"#);
+        let mut source = BlockingSource::new(Cursor::new(Vec::new()));
+        let mut sink = VecSink(Vec::new());
+        let mut boom =
+            |_: &Json, _: u64| -> Result<Json, String> { Err("deterministic failure".into()) };
+        match run_cell(&mut source, &mut sink, &init, &msg, &mut boom) {
+            Err(ServeError::Fatal(e)) => assert!(e.contains("deterministic failure"), "{e}"),
+            _ => panic!("executor errors must be fatal"),
+        }
+        let out = Json::parse(&sink.0[0]).unwrap();
+        assert_eq!(out.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(out.get("cell").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn init_schema_check_accepts_both_versions() {
+        for ok in [r#"{"schema":"rix-dispatch/2"}"#, r#"{"schema":"rix-dispatch/1"}"#] {
+            assert!(check_init_schema(&cell_msg(ok)).is_ok(), "{ok}");
+        }
+        let err = check_init_schema(&cell_msg(r#"{"schema":"rix-dispatch/0"}"#)).unwrap_err();
+        assert!(err.contains("unsupported protocol schema"), "{err}");
     }
 }
