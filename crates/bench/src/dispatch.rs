@@ -99,6 +99,9 @@ pub struct DispatchOptions {
     /// How long a served run waits with zero connected capacity before
     /// degrading the remaining cells to in-process execution.
     pub worker_wait: Duration,
+    /// Shared secret for served (TCP) runs: when set, every remote
+    /// hello must carry a matching token (see [`rix_dispatch::net`]).
+    pub token: Option<String>,
 }
 
 impl Default for DispatchOptions {
@@ -112,6 +115,7 @@ impl Default for DispatchOptions {
             heartbeat: Duration::from_secs(2),
             quarantine_after: 3,
             worker_wait: Duration::from_secs(60),
+            token: None,
         }
     }
 }
@@ -131,6 +135,7 @@ impl DispatchOptions {
             workers: h.workers,
             cache: h.cache.clone(),
             listen: h.listen.clone(),
+            token: h.token.clone().or_else(|| std::env::var("RIX_DISPATCH_TOKEN").ok()),
             ..Self::default()
         };
         if let Some(secs) = env_u64("RIX_DISPATCH_TIMEOUT_SECS") {
@@ -212,6 +217,39 @@ impl DispatchReport {
         s
     }
 
+    /// The report as JSON — the `dispatch` section of a result document
+    /// under `--dispatch-stats`, and the service's per-run stats. The
+    /// per-worker detail that used to exist only as the `--verbose`
+    /// table is included structurally, so machine consumers never
+    /// re-parse tables.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(w.name.clone())),
+                    ("state".into(), Json::Str(w.state().into())),
+                    ("cells_completed".into(), Json::Num(w.cells_completed.to_string())),
+                    ("failures".into(), Json::Num(w.failures.to_string())),
+                    ("reconnects".into(), Json::Num(w.reconnects.to_string())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("cells".into(), Json::Num(self.cells.to_string())),
+            ("simulated".into(), Json::Num(self.simulated.to_string())),
+            ("cache_hits".into(), Json::Num(self.cache_hits.to_string())),
+            ("workers_spawned".into(), Json::Num(self.workers_spawned.to_string())),
+            ("workers_lost".into(), Json::Num(self.workers_lost.to_string())),
+            ("retries".into(), Json::Num(self.retries.to_string())),
+            ("degraded".into(), Json::Num(self.degraded.to_string())),
+            ("quarantined".into(), Json::Num(self.quarantined.to_string())),
+            ("workers".into(), Json::Arr(workers)),
+        ])
+    }
+
     /// Multi-line per-worker table (liveness, completions, failures,
     /// reconnects, quarantine) for `--verbose`. Empty string when the
     /// run had no workers.
@@ -236,6 +274,57 @@ impl DispatchReport {
         }
         s
     }
+}
+
+// ----- progress hooks ---------------------------------------------------
+
+/// A point-in-time snapshot of a distributed run's cell accounting,
+/// delivered to the observer installed by [`with_cell_progress`]. The
+/// long-lived experiment service surfaces these counts in run status.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellProgress {
+    /// Grid cells in the run.
+    pub total: usize,
+    /// Cells finished so far (simulated or reused).
+    pub done: usize,
+    /// Of `done`, cells reused from the cache.
+    pub cached: usize,
+    /// Of `done`, cells that degraded from remote workers to in-process
+    /// execution.
+    pub degraded: usize,
+}
+
+/// The installed progress observer (see [`with_cell_progress`]).
+pub type ProgressHook = Box<dyn FnMut(CellProgress)>;
+
+thread_local! {
+    static PROGRESS_HOOK: std::cell::RefCell<Option<ProgressHook>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs `hook` as the calling thread's cell-progress observer for
+/// the duration of `f`. Progress is per-cell on in-process execution
+/// and coarser on pooled/served runs (the external pool reports only at
+/// completion). Thread-local, so concurrent runs on different threads
+/// (the service's executor pool) never see each other's progress.
+pub fn with_cell_progress<R>(hook: Box<dyn FnMut(CellProgress)>, f: impl FnOnce() -> R) -> R {
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            PROGRESS_HOOK.with(|h| *h.borrow_mut() = None);
+        }
+    }
+    PROGRESS_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+    let _uninstall = Uninstall;
+    f()
+}
+
+fn emit_progress(p: CellProgress) {
+    PROGRESS_HOOK.with(|h| {
+        if let Some(hook) = h.borrow_mut().as_mut() {
+            hook(p);
+        }
+    });
 }
 
 // ----- the worker-side plan ---------------------------------------------
@@ -509,6 +598,7 @@ pub(crate) fn run_sweep_distributed(
         }
         misses.push(i as u64);
     }
+    emit_progress(CellProgress { total, done: hits, cached: hits, degraded: 0 });
 
     let simulated = misses.len();
     let mut pool_summary = rix_dispatch::PoolSummary::default();
@@ -521,13 +611,18 @@ pub(crate) fn run_sweep_distributed(
             let mut runner = CellRunner::new(
                 plan_from_json(&plan).map_err(|e| format!("internal dispatch plan: {e}"))?,
             );
-            misses
-                .iter()
-                .map(|&cell| {
-                    let (result, wall) = runner.run(cell)?;
-                    payload_json(&result, wall)
-                })
-                .collect::<Result<_, _>>()?
+            let mut payloads = Vec::with_capacity(misses.len());
+            for &cell in &misses {
+                let (result, wall) = runner.run(cell)?;
+                payloads.push(payload_json(&result, wall)?);
+                emit_progress(CellProgress {
+                    total,
+                    done: hits + payloads.len(),
+                    cached: hits,
+                    degraded: 0,
+                });
+            }
+            payloads
         } else {
             let pool = rix_dispatch::PoolConfig {
                 workers: opts.workers,
@@ -538,6 +633,7 @@ pub(crate) fn run_sweep_distributed(
             let (payloads, summary) = rix_dispatch::dispatch_cells(&plan, &misses, &pool)
                 .map_err(|e| describe_pool_error(e, sweep, narms))?;
             pool_summary = summary;
+            emit_progress(CellProgress { total, done: total, cached: hits, degraded: 0 });
             payloads
         };
         for (&cell, payload) in misses.iter().zip(&payloads) {
@@ -656,6 +752,7 @@ fn run_sweep_served(
         heartbeat: opts.heartbeat,
         quarantine_after: opts.quarantine_after,
         worker_wait: opts.worker_wait,
+        token: opts.token.clone(),
     };
     let plan = plan_json(sweep);
     let cells: Vec<u64> = (0..total as u64).collect();
@@ -676,6 +773,13 @@ fn run_sweep_served(
             )?);
         }
     }
+    let mut progress = CellProgress {
+        total,
+        done: total - outcome.unfinished.len(),
+        cached: hits,
+        degraded: 0,
+    };
+    emit_progress(progress);
 
     // Graceful degradation: whatever the network could not finish runs
     // here, through the same plan round trip as every other path.
@@ -698,6 +802,9 @@ fn run_sweep_served(
                 if let Some(trial) = hit {
                     trials[i] = Some(trial);
                     hits += 1;
+                    progress.done += 1;
+                    progress.cached += 1;
+                    emit_progress(progress);
                     continue;
                 }
             }
@@ -708,6 +815,9 @@ fn run_sweep_served(
                 cache.store(key, &entry)?;
             }
             trials[i] = Some(trial_from_payload(bench, label, &payload)?);
+            progress.done += 1;
+            progress.degraded += 1;
+            emit_progress(progress);
         }
     }
 

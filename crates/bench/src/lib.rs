@@ -40,10 +40,11 @@
 //! performance regressions in the simulator itself are visible.
 
 pub mod dispatch;
+pub mod service;
 pub mod space;
 pub mod spec;
 
-pub use dispatch::{DispatchOptions, DispatchReport};
+pub use dispatch::{CellProgress, DispatchOptions, DispatchReport};
 pub use space::{Axis, AxisValue, ParamSpace};
 pub use spec::ExperimentSpec;
 
@@ -177,6 +178,15 @@ pub struct Harness {
     /// Print the per-worker dispatch table (liveness, completions,
     /// failures, reconnects, quarantine) after a distributed run.
     pub verbose: bool,
+    /// Shared secret for served (TCP) runs: when set, remote worker and
+    /// status hellos must carry a matching token (workers read theirs
+    /// from `RIX_DISPATCH_TOKEN`; see [`dispatch`]).
+    pub token: Option<String>,
+    /// Include the structured dispatch report (cache split, fault
+    /// history, per-worker stats) as a `dispatch` section in JSON
+    /// result documents. Off by default so result bytes stay identical
+    /// to pre-service releases.
+    pub dispatch_stats: bool,
     /// Which flags were given explicitly on the command line (vs left at
     /// their defaults) — what an [`ExperimentSpec`] lets the CLI
     /// override.
@@ -215,6 +225,8 @@ impl Default for Harness {
             cache: None,
             listen: None,
             verbose: false,
+            token: None,
+            dispatch_stats: false,
             given: GivenFlags::default(),
         }
     }
@@ -246,6 +258,10 @@ impl Harness {
          \x20                         (e.g. 0.0.0.0:7777; pair with `exp worker --connect`;\n\
          \x20                         mutually exclusive with --workers)\n\
          \x20 --verbose               print the per-worker dispatch table after the run\n\
+         \x20 --token SECRET          shared secret for --listen: remote workers must present\n\
+         \x20                         it in their hello (they read RIX_DISPATCH_TOKEN)\n\
+         \x20 --dispatch-stats        include the structured dispatch report (per-worker\n\
+         \x20                         stats) as a `dispatch` section in JSON result documents\n\
          \x20 --diagnostics           extra §3.2 metrics (fig4 only)\n\
          \x20 --help, -h              this message"
     }
@@ -345,6 +361,8 @@ impl Harness {
                 "--cache" => h.cache = Some(value(&args, &mut i, "--cache")?),
                 "--listen" => h.listen = Some(value(&args, &mut i, "--listen")?),
                 "--verbose" => h.verbose = true,
+                "--token" => h.token = Some(value(&args, &mut i, "--token")?),
+                "--dispatch-stats" => h.dispatch_stats = true,
                 "--diagnostics" => h.diagnostics = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -463,6 +481,40 @@ impl Trial {
 pub fn trials_json(trials: &[Trial]) -> String {
     let body: Vec<String> = trials.iter().map(Trial::to_json).collect();
     format!("[\n{}\n]", body.join(",\n"))
+}
+
+/// The `rix-exp-result/1` document: the canonical output of `exp run
+/// --json`, and what the experiment service stores and re-serves.
+/// `cache` adds a `cache` section (hit/miss split — given only when the
+/// run used a trial cache), `dispatch` adds a `dispatch` section with
+/// the full structured [`DispatchReport`] (given under
+/// `--dispatch-stats`). With both `None` the bytes are identical to
+/// pre-service releases, which is what the byte-identity guarantees in
+/// the e2e tests — and the service's dedup story — rest on.
+#[must_use]
+pub fn result_doc(
+    spec: &ExperimentSpec,
+    trials: &[Trial],
+    cache: Option<&DispatchReport>,
+    dispatch: Option<&DispatchReport>,
+) -> String {
+    use rix_isa::json::Json;
+    let mut sections = cache.map_or_else(String::new, |r| {
+        format!("\n  \"cache\":{{\"hits\":{},\"misses\":{}}},", r.cache_hits, r.simulated)
+    });
+    if let Some(r) = dispatch {
+        sections.push_str(&format!("\n  \"dispatch\":{},", r.to_json().dump()));
+    }
+    format!(
+        "{{\n  \"schema\":\"rix-exp-result/1\",\n  \"name\":{},\n  \
+         \"spec_fingerprint\":\"{}\",\n  \"spec_fingerprint_fnv64\":\"{:#018x}\",\n  \
+         \"spec\":{},{sections}\n  \"trials\":{}\n}}",
+        spec.name.as_ref().map_or_else(|| "null".to_string(), |n| Json::Str(n.clone()).dump()),
+        spec.fingerprint_hex(),
+        spec.fingerprint(),
+        spec.to_json(),
+        trials_json(trials),
+    )
 }
 
 fn json_escape(s: &str) -> String {

@@ -595,3 +595,31 @@ fn workers_status_reports_queue_and_liveness() {
     let _ = w.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn dispatch_stats_flag_adds_worker_stats_to_the_document() {
+    let dir = scratch("dispatch-stats");
+    let spec = write_spec(&dir, SPEC);
+    let plain = run_json(&["--workers", "2"], &[], &spec);
+    assert!(
+        Json::parse(&plain).expect("parses").get("dispatch").is_none(),
+        "no dispatch section without the flag"
+    );
+
+    let stats = run_json(&["--workers", "2", "--dispatch-stats"], &[], &spec);
+    let doc = Json::parse(&stats).expect("parses");
+    let dispatch = doc.req("dispatch").expect("dispatch section present");
+    assert_eq!(dispatch.req_u64("cells").expect("cells"), 4);
+    assert_eq!(dispatch.req_u64("workers_spawned").expect("workers_spawned"), 2);
+    let workers = dispatch.req("workers").expect("per-worker stats").as_arr().expect("array");
+    assert_eq!(workers.len(), 2, "one entry per worker");
+    for w in workers {
+        assert!(w.get("name").and_then(Json::as_str).is_some());
+        assert!(w.get("state").and_then(Json::as_str).is_some());
+        assert!(w.get("cells_completed").and_then(Json::as_u64).is_some());
+    }
+
+    // The section is additive: trials (and thus the science) unchanged.
+    assert_eq!(trials_of(&plain), trials_of(&stats));
+    let _ = std::fs::remove_dir_all(&dir);
+}

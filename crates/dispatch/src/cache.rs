@@ -19,10 +19,24 @@ use crate::hash::fnv128_hex;
 use rix_isa::json::Json;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 /// The on-disk entry schema.
 pub const CACHE_SCHEMA: &str = "rix-trial-cache/1";
+
+/// Aggregate statistics over a cache directory's committed entries —
+/// what `exp cache stats` reports for a long-lived service cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries that pass the full load checks (schema, recorded key).
+    pub entries: usize,
+    /// `*.json` files that fail them — unparsable, truncated, wrong
+    /// schema, or filed under the wrong key. Read as misses at lookup
+    /// time; counted here so an operator can see rot.
+    pub corrupt: usize,
+    /// Total size of all `*.json` entry files, valid and corrupt.
+    pub bytes: u64,
+}
 
 /// When this process started, captured once — the stale-temp-file
 /// cutoff. A temp file older than this cannot belong to a live write of
@@ -132,6 +146,61 @@ impl ResultCache {
             format!("cannot commit cache entry `{}`: {e}", target.display())
         })
     }
+
+    /// Every committed entry file in the directory (`{key}.json`, temp
+    /// files excluded), with its key.
+    fn entry_files(&self) -> Result<Vec<(String, PathBuf)>, String> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot read cache directory `{}`: {e}", self.dir.display()))?;
+        let mut files = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.') {
+                continue;
+            }
+            let Some(key) = name.strip_suffix(".json") else { continue };
+            files.push((key.to_string(), entry.path()));
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Walks the directory and classifies every committed entry:
+    /// loadable entries versus corrupt ones, plus their total size.
+    pub fn stats(&self) -> Result<CacheStats, String> {
+        let mut stats = CacheStats::default();
+        for (key, path) in self.entry_files()? {
+            stats.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if self.load(&key).is_some() {
+                stats.entries += 1;
+            } else {
+                stats.corrupt += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Removes every committed entry whose modification time is at
+    /// least `older_than` in the past (so `0s` prunes everything), and
+    /// returns how many were removed. Entries touched concurrently by
+    /// another process simply survive until a later sweep; a remove
+    /// racing a rewrite is a harmless no-op.
+    pub fn gc(&self, older_than: Duration) -> Result<usize, String> {
+        let cutoff = SystemTime::now()
+            .checked_sub(older_than)
+            .unwrap_or(SystemTime::UNIX_EPOCH);
+        let mut removed = 0usize;
+        for (_, path) in self.entry_files()? {
+            let old = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .is_ok_and(|mtime| mtime <= cutoff);
+            if old && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +293,44 @@ mod tests {
         std::fs::write(&live, "concurrent write in flight").unwrap();
         let cache = ResultCache::open(&dir).unwrap();
         assert!(live.exists(), "open must not sweep fresh tmp files");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_classify_valid_and_corrupt_entries() {
+        let cache = ResultCache::open(scratch_dir("stats")).unwrap();
+        assert_eq!(cache.stats().unwrap(), CacheStats::default(), "empty cache");
+        let payload = Json::parse(r#"{"v":1}"#).unwrap();
+        for d in ["a", "b", "c"] {
+            cache.store(&ResultCache::key(d), &payload).unwrap();
+        }
+        let bad = ResultCache::key("doomed");
+        cache.store(&bad, &payload).unwrap();
+        std::fs::write(cache.dir().join(format!("{bad}.json")), "not json").unwrap();
+        // Temp files and non-entry files are not counted at all.
+        std::fs::write(cache.dir().join(".0123.42.tmp"), "in flight").unwrap();
+        std::fs::write(cache.dir().join("README"), "notes").unwrap();
+
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.corrupt, 1);
+        assert!(stats.bytes > 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_prunes_by_age_and_zero_prunes_everything() {
+        let cache = ResultCache::open(scratch_dir("gc")).unwrap();
+        let payload = Json::parse(r#"{"v":1}"#).unwrap();
+        for d in ["a", "b"] {
+            cache.store(&ResultCache::key(d), &payload).unwrap();
+        }
+        // Freshly-written entries are younger than an hour.
+        assert_eq!(cache.gc(std::time::Duration::from_secs(3600)).unwrap(), 0);
+        assert_eq!(cache.stats().unwrap().entries, 2, "young entries survive");
+        // A zero threshold means "older than now": everything goes.
+        assert_eq!(cache.gc(std::time::Duration::ZERO).unwrap(), 2);
+        assert_eq!(cache.stats().unwrap(), CacheStats::default());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -35,7 +35,7 @@
 //!
 //! ```text
 //! worker → coordinator   {"schema":"rix-dispatch/2","type":"hello",
-//!                         "name":"w4242","role":"worker"}
+//!                         "name":"w4242","role":"worker","token":"…"}
 //! either direction       {"type":"ping","n":7}
 //! worker → coordinator   {"type":"cache_load","key":"…"}
 //! coordinator → worker   {"type":"cache_hit","key":"…","payload":{…}}
@@ -48,7 +48,12 @@
 //!
 //! A TCP connection opens with the worker's `hello` (a `"role":"status"`
 //! hello instead receives one `rix-dispatch-status/1` document and is
-//! closed — that is how `exp workers --status` works). The coordinator
+//! closed — that is how `exp workers --status` works). When the
+//! coordinator was started with a shared secret (`--token` /
+//! `RIX_DISPATCH_TOKEN`), every hello — worker and status alike — must
+//! carry a matching `"token"` field; a missing or mismatched token is
+//! answered with a single cell-less `{"type":"error"}` frame and the
+//! connection is closed before any work is offered. The coordinator
 //! answers with `init`, then one `cell` at a time per worker (every
 //! worker stays single-occupied, so a slow cell never queues behind a
 //! fast one). Any received frame proves the peer alive; `ping` frames
@@ -115,7 +120,7 @@ pub mod pool;
 pub mod transport;
 pub mod worker;
 
-pub use cache::ResultCache;
+pub use cache::{CacheStats, ResultCache};
 pub use net::{connect_worker, query_status, serve_cells, NetOutcome, NetPoolConfig};
 pub use pool::{dispatch_cells, PoolConfig, PoolError, PoolSummary, WorkerStat};
 pub use transport::{Backoff, NetFault, NetFaultKind};

@@ -67,6 +67,11 @@ pub struct NetPoolConfig {
     /// (including at startup) before degrading the remaining cells to
     /// in-process execution.
     pub worker_wait: Duration,
+    /// Shared secret: when set, every `hello` (worker and status alike)
+    /// must carry a matching `"token"` field; a mismatch is answered
+    /// with one structured `error` frame and the connection is closed.
+    /// Workers read theirs from `RIX_DISPATCH_TOKEN`.
+    pub token: Option<String>,
 }
 
 impl Default for NetPoolConfig {
@@ -77,6 +82,7 @@ impl Default for NetPoolConfig {
             heartbeat: Duration::from_secs(2),
             quarantine_after: 3,
             worker_wait: Duration::from_secs(60),
+            token: None,
         }
     }
 }
@@ -321,6 +327,21 @@ impl Coordinator<'_> {
             ));
             sink.close();
             return;
+        }
+        if let Some(expected) = &self.cfg.token {
+            if hello.get("token").and_then(Json::as_str) != Some(expected.as_str()) {
+                let _ = sink.send(&format!(
+                    "{{\"type\":\"error\",\"message\":{}}}",
+                    Json::Str(
+                        "hello rejected: missing or mismatched token (set --token or \
+                         RIX_DISPATCH_TOKEN to this coordinator's shared secret)"
+                            .into()
+                    )
+                    .dump()
+                ));
+                sink.close();
+                return;
+            }
         }
         if hello.get("role").and_then(Json::as_str) == Some("status") {
             let _ = sink.send(&self.status_doc().dump());
@@ -755,9 +776,10 @@ where
         }
     };
     let hello = format!(
-        "{{\"schema\":\"{}\",\"type\":\"hello\",\"name\":{},\"role\":\"worker\"}}",
+        "{{\"schema\":\"{}\",\"type\":\"hello\",\"name\":{},\"role\":\"worker\"{}}}",
         crate::PROTOCOL_SCHEMA,
-        Json::Str(name.to_string()).dump()
+        Json::Str(name.to_string()).dump(),
+        hello_token()
     );
     if let Err(e) = sink.send(&hello) {
         return ConnEnd::Lost { inited: false, reason: format!("hello send failed: {e}") };
@@ -877,6 +899,16 @@ where
             }
             Some("shutdown") => break ConnEnd::Shutdown,
             Some("quarantine") => break ConnEnd::Quarantined,
+            // A structured rejection (bad token, unsupported schema):
+            // the coordinator will never accept this configuration, so
+            // reconnecting would only loop — treat it as fatal.
+            Some("error") => {
+                let reason = msg
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified coordinator error");
+                break ConnEnd::Fatal(format!("coordinator rejected this worker: {reason}"));
+            }
             other => break ConnEnd::Fatal(format!("unexpected coordinator frame type {other:?}")),
         }
     };
@@ -885,9 +917,20 @@ where
     end
 }
 
+/// The optional `,"token":…` hello fragment: the shared secret from
+/// `RIX_DISPATCH_TOKEN`, empty when unset. Read from the environment on
+/// every connection so a rotated secret takes effect on reconnect.
+fn hello_token() -> String {
+    std::env::var("RIX_DISPATCH_TOKEN")
+        .ok()
+        .map_or_else(String::new, |t| format!(",\"token\":{}", Json::Str(t).dump()))
+}
+
 /// Asks the coordinator at `addr` for its live status document
 /// (`rix-dispatch-status/1`): cells done/queued, per-worker liveness,
-/// completions, failures, reconnects and quarantine state.
+/// completions, failures, reconnects and quarantine state. Sends the
+/// `RIX_DISPATCH_TOKEN` shared secret when set (token-protected
+/// coordinators reject status hellos too).
 pub fn query_status(addr: &str) -> Result<Json, String> {
     let stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -898,8 +941,9 @@ pub fn query_status(addr: &str) -> Result<Json, String> {
     let mut source = TcpSource::new(stream, POLL)
         .map_err(|e| format!("cannot set read timeout: {e}"))?;
     sink.send(&format!(
-        "{{\"schema\":\"{}\",\"type\":\"hello\",\"name\":\"status\",\"role\":\"status\"}}",
-        crate::PROTOCOL_SCHEMA
+        "{{\"schema\":\"{}\",\"type\":\"hello\",\"name\":\"status\",\"role\":\"status\"{}}}",
+        crate::PROTOCOL_SCHEMA,
+        hello_token()
     ))
     .map_err(|e| format!("hello send failed: {e}"))?;
     let deadline = Instant::now() + HELLO_DEADLINE;
@@ -917,6 +961,11 @@ pub fn query_status(addr: &str) -> Result<Json, String> {
     };
     sink.close();
     let doc = Json::parse(&line).map_err(|e| format!("unparsable status reply: {e}"))?;
+    if doc.get("type").and_then(Json::as_str) == Some("error") {
+        let reason =
+            doc.get("message").and_then(Json::as_str).unwrap_or("unspecified error");
+        return Err(format!("{addr} rejected the status query: {reason}"));
+    }
     match doc.get("schema").and_then(Json::as_str) {
         Some(crate::STATUS_SCHEMA) => Ok(doc),
         other => Err(format!("unexpected status schema {other:?}")),
@@ -943,6 +992,7 @@ mod tests {
             heartbeat: Duration::from_millis(100),
             quarantine_after: 3,
             worker_wait: Duration::from_secs(10),
+            token: None,
         }
     }
 
@@ -1015,6 +1065,89 @@ mod tests {
         assert!(out.payloads.iter().all(Option::is_none));
         assert_eq!(out.summary.degraded_cells, 3);
         assert_eq!(out.summary.workers_spawned, 0);
+    }
+
+    #[test]
+    fn token_mismatch_gets_a_structured_rejection() {
+        let (listener, addr) = listen();
+        let cfg = NetPoolConfig {
+            token: Some("sesame".into()),
+            worker_wait: Duration::from_millis(200),
+            ..fast_cfg()
+        };
+        // A tokenless peer must receive exactly one structured error
+        // frame, then EOF — never an init.
+        let intruder = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            writeln!(
+                s,
+                "{{\"schema\":\"rix-dispatch/2\",\"type\":\"hello\",\"name\":\"intruder\",\"role\":\"worker\"}}"
+            )
+            .unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut first = String::new();
+            reader.read_line(&mut first).unwrap();
+            let mut rest = String::new();
+            reader.read_line(&mut rest).unwrap_or(0);
+            (first, rest)
+        });
+        let out = serve_cells(listener, &plan(), &[3], None, None, &cfg).unwrap();
+        let (first, rest) = intruder.join().unwrap();
+        let reply = Json::parse(first.trim()).expect("rejection is a JSON frame");
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+        assert!(
+            reply.get("message").and_then(Json::as_str).unwrap_or("").contains("token"),
+            "{first}"
+        );
+        assert!(rest.is_empty(), "connection closed after the rejection: {rest:?}");
+        assert_eq!(out.summary.workers_spawned, 0, "the intruder never became a worker");
+        assert_eq!(out.unfinished, vec![0], "its cell degraded to the caller");
+    }
+
+    #[test]
+    fn matching_token_is_admitted_and_serves_cells() {
+        let (listener, addr) = listen();
+        let cfg = NetPoolConfig { token: Some("sesame".into()), ..fast_cfg() };
+        let worker = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            writeln!(
+                s,
+                "{{\"schema\":\"rix-dispatch/2\",\"type\":\"hello\",\"name\":\"keyed\",\"role\":\"worker\",\"token\":\"sesame\"}}"
+            )
+            .unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut saw_init = false;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                let msg = Json::parse(line.trim()).unwrap();
+                match msg.get("type").and_then(Json::as_str) {
+                    Some("init") => saw_init = true,
+                    Some("ping") => {}
+                    Some("cell") => {
+                        let cell = msg.get("cell").and_then(Json::as_u64).unwrap();
+                        writeln!(
+                            s,
+                            "{{\"type\":\"result\",\"cell\":{cell},\"payload\":{{\"cell\":{cell}}}}}"
+                        )
+                        .unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            saw_init
+        });
+        let out = serve_cells(listener, &plan(), &[5, 6], None, None, &cfg).unwrap();
+        assert!(worker.join().unwrap(), "the keyed worker was sent init");
+        assert!(out.unfinished.is_empty(), "{:?}", out.summary);
+        assert_eq!(
+            out.payloads[0].as_ref().and_then(|p| p.get("cell")).and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(out.summary.workers_spawned, 1);
     }
 
     /// A raw scripted peer: says hello, waits for its first cell

@@ -1,0 +1,80 @@
+//! The thin client side of the API: one function that performs a
+//! single request/response exchange (what the `exp`
+//! `submit`/`status`/`fetch`/`runs` subcommands are built on).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Performs one `rix-serve/1` exchange against `addr` and returns
+/// `(status, body)`. `token` adds the bearer header; `body` makes it a
+/// JSON request body. Network and protocol failures are errors; HTTP
+/// error statuses are returned to the caller, who knows what each
+/// means for its endpoint.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(token) = token {
+        req.push_str(&format!("Authorization: Bearer {token}\r\n"));
+    }
+    match body {
+        Some(body) => req.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )),
+        None => req.push_str("\r\n"),
+    }
+    stream
+        .write_all(req.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("sending request to {addr}: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("reading reply from {addr}: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}: {:?}", line.trim_end()))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| format!("reading reply headers: {e}"))?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf).map_err(|e| format!("reading reply body: {e}"))?;
+            String::from_utf8(buf).map_err(|_| "reply body is not UTF-8".to_string())?
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading reply body: {e}"))?;
+            buf
+        }
+    };
+    Ok((status, body))
+}

@@ -1,0 +1,107 @@
+//! A minimal HTTP/1.1 subset — exactly what the experiment API needs
+//! and nothing more: one request per connection (`Connection: close`),
+//! `Content-Length` bodies, no chunked encoding, no keep-alive, no TLS.
+//! Hand-rolled over `std::net` so the service stays registry-free.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Bodies above this size are rejected before buffering (an experiment
+/// spec is a few KiB; anything near this bound is not a spec).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request. Header names are lowercased at parse time, so
+/// lookups are case-insensitive the way HTTP requires.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer per HTTP).
+    pub method: String,
+    /// The request target, e.g. `/v1/runs/0xabc…/result`.
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// The first value of `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `stream` (with a read deadline, so a stalled
+/// peer cannot pin a connection thread forever).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string())
+        }
+        _ => return Err(format!("malformed request line {:?}", line.trim_end())),
+    };
+    let mut req = Request { method, path, ..Request::default() };
+    loop {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| format!("reading headers: {e}"))?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if req.headers.len() >= MAX_HEADERS {
+            return Err("too many request headers".to_string());
+        }
+        let (name, value) =
+            trimmed.split_once(':').ok_or_else(|| format!("malformed header {trimmed:?}"))?;
+        req.headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if let Some(len) = req.header("content-length") {
+        let len: usize =
+            len.parse().map_err(|_| format!("malformed content-length {len:?}"))?;
+        if len > MAX_BODY {
+            return Err(format!("request body of {len} bytes exceeds the {MAX_BODY} cap"));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(|e| format!("reading body: {e}"))?;
+        req.body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    }
+    Ok(req)
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete response and leaves the connection to be closed
+/// (every exchange is single-shot).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), String> {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("writing response: {e}"))
+}

@@ -1,0 +1,108 @@
+//! # rix-serve: the experiment API service
+//!
+//! A long-lived HTTP/1.1 + JSON server that turns the one-shot
+//! experiment engine into a shared farm: many clients submit
+//! `rix-exp/1` specs, the server validates them, keys each run by the
+//! spec's 128-bit fingerprint, and executes through a bounded pool —
+//! **identical submissions join the in-flight or completed run instead
+//! of re-simulating**, whether they race it live or arrive after a
+//! restart. Everything durable (run records, result documents, the
+//! trial cache) lives under a `--data-dir` with atomic writes
+//! ([`store`]), so a restarted server lists prior runs warm and
+//! re-serves completed results byte-for-byte.
+//!
+//! The crate is engine-agnostic: the [`Engine`] trait is the seam
+//! between HTTP/queueing/persistence (here) and simulation semantics
+//! (`rix-bench`'s `service` module implements it over the real `Sweep`
+//! engine; tests implement mocks). Like the dispatch layer, it is
+//! hand-rolled over `std` — no registry dependencies; JSON is
+//! [`rix_isa::json`].
+//!
+//! ## API (`rix-serve/1`)
+//!
+//! | method & path | body | replies |
+//! |---|---|---|
+//! | `POST /v1/runs` | a `rix-exp/1` spec | `201` accepted / `200` joined an existing run (`"joined":true`) / `400` invalid spec / `429` queue full |
+//! | `GET /v1/runs` | — | `200` run listing |
+//! | `GET /v1/runs/{id}` | — | `200` status + progress / `404` |
+//! | `GET /v1/runs/{id}/result` | — | `200` the stored `rix-exp-result/1` bytes / `409` not finished / `404` |
+//!
+//! Every reply body (except the raw result document) is a
+//! `{"schema":"rix-serve/1", …}` object; errors carry an `"error"`
+//! field. With a server token set, every request must present
+//! `Authorization: Bearer <token>` or is answered `401`.
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use store::{RunRecord, RunState, RunStore};
+
+/// The API reply schema.
+pub const SCHEMA: &str = "rix-serve/1";
+
+/// The durable run-record schema (see [`store`]).
+pub const RUN_SCHEMA: &str = "rix-serve-run/1";
+
+/// Cell-progress counters for one run, updated live while it executes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Grid cells in the run.
+    pub total: usize,
+    /// Cells finished so far (simulated or reused).
+    pub done: usize,
+    /// Of `done`, cells reused from the trial cache.
+    pub cached: usize,
+    /// Of `done`, cells that degraded from remote workers to in-process
+    /// execution.
+    pub degraded: usize,
+}
+
+/// What validation learned about a spec — everything the service needs
+/// to admit, dedup and list a run without understanding specs itself.
+#[derive(Clone, Debug)]
+pub struct SpecInfo {
+    /// The run id: the spec's `fingerprint128` as `0x…` hex. Identical
+    /// specs produce identical ids, which is the dedup key.
+    pub id: String,
+    /// The spec's `name`, for listings.
+    pub name: Option<String>,
+    /// The canonical (compact) spec JSON, as persisted in run records.
+    pub canonical_spec: String,
+    /// Grid cells the spec materialises.
+    pub cells: usize,
+}
+
+/// What executing a run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The complete `rix-exp-result/1` document — stored and re-served
+    /// byte-for-byte, so it must already be in its final form
+    /// (trailing newline included).
+    pub doc: String,
+    /// The structured dispatch report (compact JSON), surfaced in run
+    /// status.
+    pub dispatch: Option<String>,
+}
+
+/// The simulation engine behind the service. Implementations must be
+/// shareable across executor threads.
+pub trait Engine: Send + Sync {
+    /// Full validation, exactly as strict as `exp --dry-run` for the
+    /// real engine: parse, shape-check, lint, checkpoint-file checks.
+    /// `Ok` admits the spec and names its run.
+    fn validate(&self, spec_text: &str) -> Result<SpecInfo, String>;
+
+    /// Executes the spec to completion, reporting cell progress through
+    /// `progress` along the way, and returns the finished result
+    /// document. `cache_dir` is the store's trial-cache directory —
+    /// engines that cache use it so dedup survives restarts.
+    fn execute(
+        &self,
+        spec_text: &str,
+        cache_dir: &str,
+        progress: &mut dyn FnMut(Progress),
+    ) -> Result<RunOutput, String>;
+}
